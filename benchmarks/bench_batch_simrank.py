@@ -1,0 +1,54 @@
+"""Supporting benchmark: the batch SimRank algorithm family.
+
+Not a paper figure by itself, but underpins every experiment: the Batch
+comparator must be correct and its cost model sane.  Benchmarks the four
+batch implementations on one mid-sized graph and cross-checks agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.generators import linkage_model_digraph
+from repro.simrank.exact import exact_simrank
+from repro.simrank.matrix import matrix_simrank
+from repro.simrank.naive import naive_simrank
+from repro.simrank.partial_sums import partial_sums_simrank
+from repro.simrank.svd_batch import svd_batch_simrank
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = linkage_model_digraph(80, 3, seed=19)
+    config = SimRankConfig(damping=0.6, iterations=15)
+    return graph, config
+
+
+def test_batch_matrix_form(benchmark, workload):
+    graph, config = workload
+    scores = benchmark(matrix_simrank, graph, config)
+    truth = exact_simrank(graph, config)
+    assert np.max(np.abs(scores - truth)) < 1e-3
+
+
+def test_batch_partial_sums(benchmark, workload):
+    graph, config = workload
+    scores = benchmark(partial_sums_simrank, graph, config)
+    # Iterative form: agrees with naive, not with matrix form.
+    assert np.allclose(np.diag(scores), 1.0)
+
+
+def test_batch_naive(benchmark, workload):
+    graph, config = workload
+    scores = benchmark.pedantic(
+        naive_simrank, args=(graph, config), rounds=1, iterations=1
+    )
+    reference = partial_sums_simrank(graph, config)
+    assert np.max(np.abs(scores - reference)) < 1e-10
+
+
+def test_batch_svd_lossless(benchmark, workload):
+    graph, config = workload
+    scores = benchmark(svd_batch_simrank, graph, None, config)
+    truth = exact_simrank(graph, config)
+    assert np.max(np.abs(scores - truth)) < 1e-8

@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of the Fig. 1 motivating-example table."""
+
+import pytest
+
+from repro.bench.experiments import fig1
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.figure("fig1")
+def test_fig1_example_table(benchmark, scale):
+    """Regenerate the Fig. 1 table; benchmark the whole pipeline."""
+    table = benchmark(fig1, scale)
+    print()
+    print(format_table(table))
+    # Sanity: the inserted edge changed some pairs but not others.
+    old = table.column("sim (old G)")
+    new = table.column("sim_true")
+    assert any(abs(a - b) > 1e-6 for a, b in zip(old, new))
+    assert any(abs(a - b) < 1e-9 for a, b in zip(old, new))

@@ -1,0 +1,70 @@
+"""Fig. 2a — per-algorithm update timing on the three dataset families.
+
+Besides regenerating the harness table, this file benchmarks each
+algorithm's unit-update path in isolation so pytest-benchmark's stats
+(mean/stddev) apply to the quantity the paper plots.
+"""
+
+import pytest
+
+from repro.bench.experiments import _snapshot_workload, fig2a
+from repro.bench.reporting import format_table
+from repro.incremental.engine import DynamicSimRank
+from repro.incremental.inc_svd import IncSVDSimRank
+from repro.simrank.matrix import matrix_simrank
+
+
+@pytest.mark.figure("fig2a")
+def test_fig2a_table(benchmark, scale):
+    """The full Fig. 2a sweep (all datasets, all |ΔE| sizes)."""
+    table = benchmark.pedantic(fig2a, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    assert len(table.rows) >= 6
+
+
+def _workload(scale):
+    name = "dblp-tiny" if scale == "tiny" else "dblp"
+    base, batch, config = _snapshot_workload(name, 8)
+    initial = matrix_simrank(base, config)
+    return base, batch, config, initial
+
+
+@pytest.mark.figure("fig2a")
+@pytest.mark.parametrize("algorithm", ["inc-sr", "inc-usr"])
+def test_incremental_update_throughput(benchmark, scale, algorithm):
+    """Mean cost of applying an 8-update batch incrementally."""
+    base, batch, config, initial = _workload(scale)
+
+    def run():
+        engine = DynamicSimRank(
+            base, config, algorithm=algorithm, initial_scores=initial
+        )
+        engine.apply(batch)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.graph.num_edges == base.num_edges + batch.num_insertions
+
+
+@pytest.mark.figure("fig2a")
+def test_inc_svd_update_throughput(benchmark, scale):
+    """Mean cost of Inc-SVD (r=5) processing the same batch + rescoring."""
+    base, batch, config, initial = _workload(scale)
+
+    def run():
+        session = IncSVDSimRank(base, rank=5, config=config)
+        session.apply_batch(batch)
+        return session.scores()
+
+    scores = benchmark(run)
+    assert scores.shape == (base.num_nodes, base.num_nodes)
+
+
+@pytest.mark.figure("fig2a")
+def test_batch_recompute_cost(benchmark, scale):
+    """Cost of the Batch comparator: one full recomputation."""
+    base, batch, config, _ = _workload(scale)
+    final = batch.applied(base)
+    scores = benchmark(matrix_simrank, final, config)
+    assert scores.shape == (base.num_nodes, base.num_nodes)

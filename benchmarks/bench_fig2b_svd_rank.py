@@ -1,0 +1,18 @@
+"""Fig. 2b — the lossless SVD rank of the auxiliary matrix C̄."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig2b
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.figure("fig2b")
+def test_fig2b_rank_table(benchmark, scale):
+    """Regenerate Fig. 2b; assert the paper's qualitative claim."""
+    table = benchmark.pedantic(fig2b, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    fractions = np.asarray(table.column("% of n"), dtype=float)
+    # r must NOT be negligibly smaller than n (the Sec. IV argument).
+    assert np.all(fractions > 20.0)

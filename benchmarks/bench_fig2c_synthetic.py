@@ -1,0 +1,16 @@
+"""Fig. 2c — insertion/deletion timing sweeps on linkage-model graphs."""
+
+import pytest
+
+from repro.bench.experiments import fig2c
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.figure("fig2c")
+def test_fig2c_synthetic_table(benchmark, scale):
+    """Regenerate Fig. 2c (both edge directions)."""
+    table = benchmark.pedantic(fig2c, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    directions = set(table.column("direction"))
+    assert directions == {"insert", "delete"}

@@ -1,0 +1,18 @@
+"""Fig. 2d — effect of the Theorem 4 pruning (Inc-SR vs Inc-uSR)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig2d
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.figure("fig2d")
+def test_fig2d_pruning_table(benchmark, scale):
+    """Regenerate Fig. 2d; assert pruning removes most node-pairs."""
+    table = benchmark.pedantic(fig2d, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    pruned = np.asarray(table.column("% pruned pairs"), dtype=float)
+    # The paper reports 76-82% pruned; our sparser scaled graphs prune more.
+    assert np.all(pruned > 50.0)

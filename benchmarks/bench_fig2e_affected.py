@@ -1,0 +1,17 @@
+"""Fig. 2e — size of the affected areas |AFF|/n² as updates grow."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig2e
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.figure("fig2e")
+def test_fig2e_affected_table(benchmark, scale):
+    """Regenerate Fig. 2e; affected areas stay well below n²."""
+    table = benchmark.pedantic(fig2e, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    fractions = np.asarray(table.column("% affected"), dtype=float)
+    assert np.all(fractions < 50.0)

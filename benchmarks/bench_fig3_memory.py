@@ -1,0 +1,37 @@
+"""Fig. 3 — intermediate memory of Inc-SR / Inc-uSR / Inc-SVD(r)."""
+
+import pytest
+
+from repro.bench.experiments import fig3
+from repro.bench.reporting import format_table
+from repro.metrics.memory import (
+    inc_svd_intermediate_bytes,
+    inc_usr_intermediate_bytes,
+)
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_memory_table(benchmark, scale):
+    """Regenerate Fig. 3 (analytic working-set accounting)."""
+    table = benchmark.pedantic(fig3, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    assert len(table.rows) == 3
+
+
+@pytest.mark.figure("fig3")
+def test_inc_svd_memory_grows_quartically_with_rank():
+    """The paper's Fig. 3 observation: r dominates Inc-SVD's footprint."""
+    n = 13634  # DBLP's node count, for the shape comparison
+    r5 = inc_svd_intermediate_bytes(n, 5)
+    r25 = inc_svd_intermediate_bytes(n, 25)
+    assert r25 / r5 > 2.0  # grows super-linearly in r
+
+    # And Inc-SR needs far less than Inc-uSR (pruned working set).
+    from repro.metrics.memory import inc_sr_intermediate_bytes
+
+    usr = inc_usr_intermediate_bytes(n, 93560, 15)
+    sr = inc_sr_intermediate_bytes(
+        n, 93560, 15, average_area=0.24 * n * n * 0.01, average_row_support=300
+    )
+    assert sr < usr / 10

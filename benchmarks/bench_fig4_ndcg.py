@@ -1,0 +1,22 @@
+"""Fig. 4 — NDCG30 exactness against a K=35 Batch baseline."""
+
+import pytest
+
+from repro.bench.experiments import fig4
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_ndcg_table(benchmark, scale):
+    """Regenerate Fig. 4; assert the paper's ordering of methods."""
+    table = benchmark.pedantic(fig4, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(table))
+    for row in table.rows:
+        cells = dict(zip(table.headers, row))
+        # Inc-SR and Inc-uSR agree exactly (lossless pruning) ...
+        assert abs(cells["Inc-SR(K=15)"] - cells["Inc-uSR(K=15)"]) < 1e-9
+        # ... reach high accuracy at K=15 ...
+        assert cells["Inc-SR(K=15)"] > 0.9
+        # ... and beat Inc-SVD at its default rank.
+        assert cells["Inc-SR(K=15)"] >= cells["Inc-SVD(r=5)"]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Why SVD-based incremental SimRank loses accuracy (paper Sec. IV).
+
+Walks through the paper's Examples 2–3 numerically, then measures the
+drift of Inc-SVD against the exact scores on a realistic graph, side by
+side with Inc-SR which stays exact.  This is the "fly in the ointment"
+analysis as runnable code.
+
+Run:  python examples/accuracy_study.py
+"""
+
+import numpy as np
+
+from repro import DynamicSimRank, EdgeUpdate, SimRankConfig
+from repro.datasets.citation import dblp_like
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import random_insertions
+from repro.graph.transition import backward_transition_matrix
+from repro.incremental.inc_svd import IncSVDSimRank
+from repro.linalg.svd_tools import lossless_rank, truncated_svd
+from repro.metrics.error import max_abs_error
+from repro.simrank.matrix import matrix_simrank
+
+
+def paper_example_2_and_3() -> None:
+    """The 2-node counterexample: Eq. (6) fails when rank(Q) < n."""
+    print("=== Paper Examples 2-3: the 2-node counterexample ===")
+    # Q = [[0, 1], [0, 0]] has rank 1 < n = 2.
+    graph = DynamicDiGraph.from_edges(2, [(1, 0)])  # edge 1 -> 0 gives Q[0,1]=1
+    q_matrix = backward_transition_matrix(graph).toarray()
+    print("Q =", q_matrix.tolist())
+    factors = truncated_svd(q_matrix, rank=lossless_rank(q_matrix))
+    uut = factors.u @ factors.u.T
+    print("U·Uᵀ =", np.round(uut, 6).tolist(), "(≠ I because rank(Q) < n)")
+
+    # Insert the edge that makes ΔQ = [[0,0],[1,0]] and track the drift.
+    session = IncSVDSimRank(graph, rank=lossless_rank(q_matrix))
+    session.apply(EdgeUpdate.insert(0, 1))  # edge 0 -> 1 gives Q[1,0]=1
+    residual = session.reconstruction_residual()
+    print(
+        f"||Q̃ - Ũ·Σ̃·Ṽᵀ||₂ after the factor update = {residual:.3f} "
+        "(the paper derives exactly 1)"
+    )
+    print()
+
+
+def drift_on_citation_graph() -> None:
+    """Inc-SVD vs Inc-SR error growth over a stream of updates."""
+    print("=== Accuracy drift on a DBLP-like graph ===")
+    corpus = dblp_like(num_papers=250, num_years=6)
+    base = corpus.snapshot_at(corpus.timestamps()[-1])
+    config = SimRankConfig(damping=0.6, iterations=15)
+    rank = lossless_rank(backward_transition_matrix(base))
+    print(
+        f"graph: n={base.num_nodes}, rank(Q)={rank} "
+        f"({100 * rank / base.num_nodes:.0f}% of n)"
+    )
+
+    engine = DynamicSimRank(base, config, algorithm="inc-sr")
+    svd_session = IncSVDSimRank(base, rank=rank, config=config)
+
+    updates = list(random_insertions(base, 20, seed=9))
+    live_graph = base.copy()
+    print(f"{'updates':>8}  {'Inc-SR err':>12}  {'Inc-SVD err':>12}")
+    for count, update in enumerate(updates, start=1):
+        engine.apply(update)
+        svd_session.apply(update)
+        update.apply_to(live_graph)
+        if count % 5 == 0:
+            truth = matrix_simrank(live_graph, config)
+            sr_err = max_abs_error(engine.similarities(), truth)
+            svd_err = max_abs_error(svd_session.scores(), truth)
+            print(f"{count:>8}  {sr_err:>12.2e}  {svd_err:>12.2e}")
+    print(
+        "\nInc-SR stays at iteration-truncation level while Inc-SVD "
+        "accumulates eigen-information loss (even at the lossless rank)."
+    )
+
+
+if __name__ == "__main__":
+    paper_example_2_and_3()
+    drift_on_citation_graph()

@@ -1,0 +1,65 @@
+"""Timing helpers and result containers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def timed(function: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``function`` once; return ``(result, wall_seconds)``."""
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class Table:
+    """A titled table of experiment results.
+
+    ``rows`` holds raw values (numbers or strings); rendering to text is
+    the job of :mod:`repro.bench.reporting` so results stay assertable in
+    tests.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the header count."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text footnote."""
+        self.notes.append(note)
+
+    def column(self, header: str) -> List[Any]:
+        """Extract a column by header name."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (``12.3 ms`` / ``4.56 s``)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> Optional[float]:
+    """``baseline / candidate`` or ``None`` when the candidate took ~0 time."""
+    if candidate_seconds <= 0.0:
+        return None
+    return baseline_seconds / candidate_seconds

@@ -1,0 +1,43 @@
+"""ASCII rendering of :class:`~repro.bench.harness.Table` results."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .harness import Table
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a table with aligned columns, title rule, and footnotes."""
+    headers = [str(h) for h in table.headers]
+    body = [[_render_cell(cell) for cell in row] for row in table.rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [table.title, "=" * len(table.title), line(headers), rule]
+    parts.extend(line(row) for row in body)
+    for note in table.notes:
+        parts.append(f"* {note}")
+    return "\n".join(parts)
+
+
+def print_table(table: Table) -> None:
+    """Print a rendered table followed by a blank line."""
+    print(format_table(table))
+    print()

@@ -1,0 +1,172 @@
+"""Top-level command line: ``python -m repro <command>``.
+
+Commands
+--------
+``info <edges.txt>``
+    Print structural statistics of an edge-list graph.
+``compute <edges.txt> [-o scores.npy]``
+    Batch SimRank; optionally save the dense score matrix.
+``update <edges.txt> <updates.txt> [-o scores.npy]``
+    Load a graph, precompute SimRank, apply updates incrementally with
+    Inc-SR, and report timing plus top pairs.  The updates file has one
+    ``+ source target`` or ``- source target`` per line.
+``similar <edges.txt> <node> [-k 10]``
+    Top-k most similar nodes to one node (single-source query).
+
+All commands accept ``--damping`` and ``--iterations``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+from .config import SimRankConfig
+from .exceptions import GraphError
+from .graph.io import load_edge_list
+from .graph.stats import graph_stats
+from .graph.updates import EdgeUpdate, UpdateBatch
+from .incremental.engine import DynamicSimRank
+from .metrics.topk import top_k_pairs
+from .simrank.matrix import matrix_simrank
+from .simrank.queries import top_k_similar_nodes
+
+
+def load_update_file(path: str) -> UpdateBatch:
+    """Parse a ``± source target`` update file into an UpdateBatch."""
+    updates: List[EdgeUpdate] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 3 or fields[0] not in {"+", "-"}:
+                raise GraphError(
+                    f"{path}:{line_number}: expected '+|- source target', "
+                    f"got {line!r}"
+                )
+            source, target = int(fields[1]), int(fields[2])
+            if fields[0] == "+":
+                updates.append(EdgeUpdate.insert(source, target))
+            else:
+                updates.append(EdgeUpdate.delete(source, target))
+    return UpdateBatch(updates)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Incremental SimRank on link-evolving graphs "
+        "(Yu, Lin, Zhang; ICDE 2014).",
+    )
+    parser.add_argument("--damping", type=float, default=0.6)
+    parser.add_argument("--iterations", type=int, default=15)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="graph statistics")
+    info.add_argument("edges", help="edge-list file")
+
+    compute = commands.add_parser("compute", help="batch SimRank")
+    compute.add_argument("edges", help="edge-list file")
+    compute.add_argument("-o", "--output", help="save scores as .npy")
+    compute.add_argument("-k", "--top", type=int, default=10)
+
+    update = commands.add_parser("update", help="incremental updates")
+    update.add_argument("edges", help="edge-list file")
+    update.add_argument("updates", help="update file (+/- source target)")
+    update.add_argument("-o", "--output", help="save scores as .npy")
+    update.add_argument("-k", "--top", type=int, default=10)
+    update.add_argument(
+        "--consolidate",
+        action="store_true",
+        help="group updates by target row before processing",
+    )
+
+    similar = commands.add_parser("similar", help="single-source query")
+    similar.add_argument("edges", help="edge-list file")
+    similar.add_argument("node", type=int)
+    similar.add_argument("-k", "--top", type=int, default=10)
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SimRankConfig:
+    return SimRankConfig(damping=args.damping, iterations=args.iterations)
+
+
+def _print_top_pairs(scores: np.ndarray, k: int) -> None:
+    print(f"top-{k} similar pairs:")
+    for a, b, score in top_k_pairs(scores, k):
+        print(f"  ({a}, {b})  {score:.6f}")
+
+
+def command_info(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    stats = graph_stats(graph)
+    for key, value in stats.as_dict().items():
+        formatted = f"{value:.4f}" if isinstance(value, float) else str(value)
+        print(f"{key:>20}: {formatted}")
+    return 0
+
+
+def command_compute(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    scores = matrix_simrank(graph, _config(args))
+    _print_top_pairs(scores, args.top)
+    if args.output:
+        np.save(args.output, scores)
+        print(f"scores saved to {args.output}")
+    return 0
+
+
+def command_update(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    batch = load_update_file(args.updates)
+    config = _config(args)
+    engine = DynamicSimRank(graph, config, algorithm="inc-sr")
+    if args.consolidate:
+        groups = engine.apply_consolidated(batch)
+        print(
+            f"applied {len(batch)} updates as {groups} consolidated "
+            f"row updates in {engine.total_update_seconds() * 1e3:.1f} ms"
+        )
+    else:
+        engine.apply(batch)
+        affected = engine.aggregate_affected()
+        print(
+            f"applied {len(batch)} unit updates in "
+            f"{engine.total_update_seconds() * 1e3:.1f} ms "
+            f"({100 * affected.pruned_fraction():.1f}% of pairs pruned)"
+        )
+    _print_top_pairs(engine.similarities(), args.top)
+    if args.output:
+        np.save(args.output, engine.similarities())
+        print(f"scores saved to {args.output}")
+    return 0
+
+
+def command_similar(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    neighbors = top_k_similar_nodes(graph, args.node, args.top, _config(args))
+    print(f"top-{args.top} nodes similar to {args.node}:")
+    for other, score in neighbors:
+        print(f"  {other}  {score:.6f}")
+    return 0
+
+
+_COMMANDS = {
+    "info": command_info,
+    "compute": command_compute,
+    "update": command_update,
+    "similar": command_similar,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,86 @@
+"""networkx-friendly convenience wrappers.
+
+Lets users who live in networkx consume this library without touching
+the internal graph type: similarity dictionaries keyed by the original
+node labels, plus an incremental session wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from .config import SimRankConfig
+from .graph.digraph import DynamicDiGraph
+from .graph.updates import EdgeUpdate
+from .incremental.engine import DynamicSimRank
+from .simrank.matrix import matrix_simrank
+
+
+def simrank_similarity(
+    nx_graph,
+    config: SimRankConfig = None,
+) -> Dict[Hashable, Dict[Hashable, float]]:
+    """All-pairs matrix-form SimRank of a networkx DiGraph.
+
+    Mirrors the call shape of :func:`networkx.simrank_similarity` but
+    computes the matrix form used throughout this package (see
+    :mod:`repro.simrank.base` for the convention difference).
+    """
+    graph, labels = DynamicDiGraph.from_networkx(nx_graph)
+    scores = matrix_simrank(graph, config)
+    names = {index: label for label, index in labels.items()}
+    return {
+        names[a]: {names[b]: float(scores[a, b]) for b in range(len(names))}
+        for a in range(len(names))
+    }
+
+
+class NetworkxDynamicSimRank:
+    """An incremental SimRank session addressed by networkx node labels.
+
+    Wraps :class:`~repro.incremental.engine.DynamicSimRank`, translating
+    labels to internal indices.  The node set is fixed at construction
+    (the paper's link-evolving setting).
+    """
+
+    def __init__(self, nx_graph, config: SimRankConfig = None,
+                 algorithm: str = "inc-sr") -> None:
+        graph, labels = DynamicDiGraph.from_networkx(nx_graph)
+        self._labels: Dict[Hashable, int] = labels
+        self._engine = DynamicSimRank(graph, config, algorithm=algorithm)
+
+    def _index(self, label: Hashable) -> int:
+        from .exceptions import NodeNotFoundError
+
+        try:
+            return self._labels[label]
+        except KeyError:
+            raise NodeNotFoundError(label) from None
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Insert an edge and update similarities incrementally."""
+        self._engine.apply(
+            EdgeUpdate.insert(self._index(source), self._index(target))
+        )
+
+    def remove_edge(self, source: Hashable, target: Hashable) -> None:
+        """Delete an edge and update similarities incrementally."""
+        self._engine.apply(
+            EdgeUpdate.delete(self._index(source), self._index(target))
+        )
+
+    def similarity(self, node_a: Hashable, node_b: Hashable) -> float:
+        """Current SimRank score of a labeled pair."""
+        return self._engine.similarity(self._index(node_a), self._index(node_b))
+
+    def top_k(self, k: int) -> list:
+        """Top-k most similar labeled pairs."""
+        names = {index: label for label, index in self._labels.items()}
+        return [
+            (names[a], names[b], score) for a, b, score in self._engine.top_k(k)
+        ]
+
+    @property
+    def engine(self) -> DynamicSimRank:
+        """The underlying index-based engine (escape hatch)."""
+        return self._engine

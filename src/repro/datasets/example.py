@@ -1,0 +1,77 @@
+"""The 15-node motivating-example graph (paper Fig. 1, reconstructed).
+
+The paper's Fig. 1 shows a 15-node citation fragment of DBLP with an
+inserted edge ``(i, j)``, but only publishes the drawing plus a handful
+of structural facts (e.g. ``d_j = 2`` with in-neighbors ``{h, k}``, and
+the columns ``[S]_{:,i}``, ``[S]_{:,j}`` supported on ``{f, i, j}``).
+This module builds a fixed 15-node citation graph consistent with those
+facts; absolute scores differ from the paper's drawing, but the table's
+*behaviour* is reproduced: inserting ``(i, j)`` changes a handful of
+pairs, Inc-SR matches the batch recomputation exactly, and Inc-SVD —
+even with a lossless SVD — does not (see ``fig1`` in the harness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph.digraph import DynamicDiGraph
+from ..graph.updates import EdgeUpdate
+
+#: Node labels in paper order; index = node id.
+NODE_LABELS = "abcdefghijklmno"
+
+#: Citation edges (citing -> cited) of the example graph, by label.
+EXAMPLE_EDGES: List[Tuple[str, str]] = [
+    # j is referenced by h and k (the paper states d_j = 2, I(j) = {h, k}).
+    ("h", "j"), ("k", "j"),
+    # i shares referees with j, plus one more.
+    ("h", "i"), ("k", "i"), ("g", "i"),
+    # f shares referees with i and j.
+    ("g", "f"), ("h", "f"),
+    # the referee layer itself is cited by older papers.
+    ("l", "g"), ("m", "g"),
+    ("l", "h"), ("m", "h"), ("n", "h"),
+    ("n", "k"), ("o", "k"),
+    # the (a, b) pair of the table: common citer c.
+    ("c", "a"), ("d", "a"),
+    ("c", "b"), ("e", "b"),
+    # the (m, l) pair: common citer a.
+    ("a", "l"), ("b", "l"),
+    ("a", "m"), ("c", "m"),
+    # periphery closing the graph.
+    ("d", "n"), ("e", "o"),
+    ("o", "c"), ("o", "d"),
+    ("n", "e"),
+]
+
+
+def label_to_index() -> Dict[str, int]:
+    """Mapping from the paper's letter labels to node ids."""
+    return {label: index for index, label in enumerate(NODE_LABELS)}
+
+
+def example_graph() -> DynamicDiGraph:
+    """The old graph ``G`` of Fig. 1 (before the dashed edge)."""
+    mapping = label_to_index()
+    edges = [(mapping[s], mapping[t]) for s, t in EXAMPLE_EDGES]
+    return DynamicDiGraph.from_edges(len(NODE_LABELS), edges)
+
+
+def example_update() -> EdgeUpdate:
+    """The dashed insertion ``(i, j)`` of Fig. 1."""
+    mapping = label_to_index()
+    return EdgeUpdate.insert(mapping["i"], mapping["j"])
+
+
+#: The node pairs listed in the Fig. 1 table, by label.
+TABLE_PAIRS: List[Tuple[str, str]] = [
+    ("a", "b"),
+    ("a", "d"),
+    ("i", "f"),
+    ("k", "g"),
+    ("k", "h"),
+    ("j", "f"),
+    ("m", "l"),
+    ("j", "b"),
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The concrete
+subclasses mirror the major subsystems: graph mutation errors, shape or
+configuration errors in the numeric code, and convergence failures in the
+iterative solvers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by graph construction or mutation."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id referenced by an operation does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """Attempted to insert an edge that is already present."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) already exists")
+        self.source = source
+        self.target = target
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Attempted to delete or reference an edge that is not present."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) does not exist")
+        self.source = source
+        self.target = target
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is outside its legal domain."""
+
+
+class DimensionError(ReproError, ValueError):
+    """A matrix or vector argument has an incompatible shape."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+    def __init__(self, message: str, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

@@ -1,0 +1,34 @@
+"""Dynamic directed-graph substrate for incremental SimRank.
+
+This subpackage provides everything the algorithms need from the graph
+side: a mutable digraph with O(1) edge insertion/deletion and degree
+queries (:mod:`repro.graph.digraph`), construction and incremental
+maintenance of the backward transition matrix ``Q``
+(:mod:`repro.graph.transition`), typed edge-update streams
+(:mod:`repro.graph.updates`), synthetic generators used by the benchmarks
+(:mod:`repro.graph.generators`), timestamped snapshot graphs
+(:mod:`repro.graph.snapshots`), and edge-list I/O (:mod:`repro.graph.io`).
+"""
+
+from .digraph import DynamicDiGraph
+from .transition import (
+    adjacency_matrix,
+    backward_transition_matrix,
+    transition_row,
+    update_transition_matrix,
+)
+from .updates import EdgeUpdate, UpdateBatch, UpdateKind, graph_delta
+from .snapshots import TimestampedGraph
+
+__all__ = [
+    "DynamicDiGraph",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateKind",
+    "TimestampedGraph",
+    "adjacency_matrix",
+    "backward_transition_matrix",
+    "transition_row",
+    "update_transition_matrix",
+    "graph_delta",
+]

@@ -1,0 +1,212 @@
+"""Synthetic graph and update-stream generators.
+
+The paper evaluates on (i) real snapshot graphs (DBLP, cit-HepPh, YouTube)
+and (ii) synthetic graphs produced by GraphGen following the *linkage
+generation model* of Garg et al. (IMC 2009, reference [20]).  This module
+provides laptop-scale stand-ins:
+
+* :func:`erdos_renyi_digraph` — uniform random digraphs (test fodder).
+* :func:`preferential_attachment_digraph` — scale-free in-degree digraphs.
+* :func:`linkage_model_digraph` — preferential attachment + locality
+  (friend-of-friend closure), echoing the evolution dynamics of [20].
+* :func:`random_insertions` / :func:`random_deletions` /
+  :func:`random_update_batch` — update-stream samplers.
+
+All generators take an explicit ``seed`` and are deterministic for a given
+seed, which the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .digraph import DynamicDiGraph
+from .updates import EdgeUpdate, UpdateBatch
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi_digraph(
+    num_nodes: int, edge_probability: float, seed: Optional[int] = None
+) -> DynamicDiGraph:
+    """G(n, p) digraph without self-loops.
+
+    Each ordered pair ``(u, v)``, ``u != v``, receives an edge
+    independently with probability ``edge_probability``.
+    """
+    if not (0.0 <= edge_probability <= 1.0):
+        raise GraphError(
+            f"edge probability must be in [0, 1], got {edge_probability}"
+        )
+    rng = _rng(seed)
+    graph = DynamicDiGraph(num_nodes)
+    mask = rng.random((num_nodes, num_nodes)) < edge_probability
+    np.fill_diagonal(mask, False)
+    sources, targets = np.nonzero(mask)
+    for source, target in zip(sources.tolist(), targets.tolist()):
+        graph.add_edge(source, target)
+    return graph
+
+
+def preferential_attachment_digraph(
+    num_nodes: int,
+    out_degree: int,
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """Scale-free digraph: each new node cites ``out_degree`` earlier nodes.
+
+    Targets are chosen proportionally to ``1 + in_degree``, producing the
+    skewed in-degree distribution typical of citation graphs.  Edges point
+    from newer to older nodes (like paper citations), so the graph is a
+    DAG under the node ordering.
+    """
+    if out_degree < 1:
+        raise GraphError(f"out_degree must be >= 1, got {out_degree}")
+    if num_nodes < 2:
+        raise GraphError(f"need at least 2 nodes, got {num_nodes}")
+    rng = _rng(seed)
+    graph = DynamicDiGraph(num_nodes)
+    weights = np.ones(num_nodes)
+    for node in range(1, num_nodes):
+        k = min(out_degree, node)
+        probabilities = weights[:node] / weights[:node].sum()
+        targets = rng.choice(node, size=k, replace=False, p=probabilities)
+        for target in targets.tolist():
+            graph.add_edge(node, target)
+            weights[target] += 1.0
+    return graph
+
+
+def linkage_model_digraph(
+    num_nodes: int,
+    out_degree: int,
+    locality: float = 0.5,
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """Preferential attachment with triadic/locality closure (ref. [20]).
+
+    Each arriving node first links to one node chosen preferentially by
+    in-degree; each further link is, with probability ``locality``, a
+    *copying* step (an out-neighbor of an already-linked node — the
+    friend-of-friend closure observed in social aggregation networks),
+    otherwise another preferential step.
+    """
+    if not (0.0 <= locality <= 1.0):
+        raise GraphError(f"locality must be in [0, 1], got {locality}")
+    if out_degree < 1:
+        raise GraphError(f"out_degree must be >= 1, got {out_degree}")
+    rng = _rng(seed)
+    graph = DynamicDiGraph(num_nodes)
+    weights = np.ones(num_nodes)
+
+    def preferential_target(limit: int, taken: set) -> Optional[int]:
+        candidates = [v for v in range(limit) if v not in taken]
+        if not candidates:
+            return None
+        local = weights[candidates]
+        probabilities = local / local.sum()
+        return int(rng.choice(candidates, p=probabilities))
+
+    for node in range(1, num_nodes):
+        taken: set = set()
+        first = preferential_target(node, taken)
+        if first is None:
+            continue
+        graph.add_edge(node, first)
+        weights[first] += 1.0
+        taken.add(first)
+        for _ in range(min(out_degree, node) - 1):
+            target: Optional[int] = None
+            if rng.random() < locality and taken:
+                anchor = int(rng.choice(sorted(taken)))
+                hops = [
+                    v for v in graph.out_neighbors(anchor) if v not in taken
+                ]
+                if hops:
+                    target = int(rng.choice(hops))
+            if target is None:
+                target = preferential_target(node, taken)
+            if target is None:
+                break
+            graph.add_edge(node, target)
+            weights[target] += 1.0
+            taken.add(target)
+    return graph
+
+
+# ---------------------------------------------------------------------- #
+# Update-stream samplers
+# ---------------------------------------------------------------------- #
+
+
+def random_insertions(
+    graph: DynamicDiGraph,
+    count: int,
+    seed: Optional[int] = None,
+    max_attempts_factor: int = 50,
+) -> UpdateBatch:
+    """Sample ``count`` distinct non-existing edges as insertion updates.
+
+    Sampling is rejection-based over uniform node pairs, skipping
+    self-loops and existing/already-sampled edges.
+    """
+    rng = _rng(seed)
+    n = graph.num_nodes
+    if n < 2:
+        raise GraphError("need at least 2 nodes to sample insertions")
+    chosen: List[Tuple[int, int]] = []
+    seen = graph.edge_set()
+    attempts = 0
+    limit = max(1, count) * max_attempts_factor
+    while len(chosen) < count:
+        attempts += 1
+        if attempts > limit:
+            raise GraphError(
+                f"could not sample {count} new edges after {limit} attempts"
+            )
+        source = int(rng.integers(n))
+        target = int(rng.integers(n))
+        if source == target or (source, target) in seen:
+            continue
+        seen.add((source, target))
+        chosen.append((source, target))
+    return UpdateBatch(EdgeUpdate.insert(s, t) for s, t in chosen)
+
+
+def random_deletions(
+    graph: DynamicDiGraph, count: int, seed: Optional[int] = None
+) -> UpdateBatch:
+    """Sample ``count`` distinct existing edges as deletion updates."""
+    rng = _rng(seed)
+    edges = sorted(graph.edge_set())
+    if count > len(edges):
+        raise GraphError(
+            f"cannot delete {count} edges from a graph with {len(edges)}"
+        )
+    picked = rng.choice(len(edges), size=count, replace=False)
+    return UpdateBatch(
+        EdgeUpdate.delete(*edges[int(index)]) for index in sorted(picked)
+    )
+
+
+def random_update_batch(
+    graph: DynamicDiGraph,
+    insertions: int,
+    deletions: int,
+    seed: Optional[int] = None,
+) -> UpdateBatch:
+    """A mixed batch: ``deletions`` removals then ``insertions`` additions.
+
+    Deletions are sampled from the original edge set and insertions from
+    the complement, so the batch is always applicable to ``graph``.
+    """
+    delete_batch = random_deletions(graph, deletions, seed=seed)
+    insert_batch = random_insertions(
+        graph, insertions, seed=None if seed is None else seed + 1
+    )
+    return UpdateBatch(list(delete_batch) + list(insert_batch))

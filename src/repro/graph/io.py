@@ -1,0 +1,83 @@
+"""Plain-text edge-list I/O.
+
+Two formats, both whitespace-separated with ``#`` comments:
+
+* plain: ``source target`` per line (SNAP-style, as used by cit-HepPh);
+* timed: ``source target timestamp`` per line, loading into a
+  :class:`~repro.graph.snapshots.TimestampedGraph`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from ..exceptions import GraphError
+from .digraph import DynamicDiGraph
+from .snapshots import TimestampedGraph
+
+
+def _parse_lines(path: str, expected_fields: int) -> List[Tuple[int, ...]]:
+    rows: List[Tuple[int, ...]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != expected_fields:
+                raise GraphError(
+                    f"{path}:{line_number}: expected {expected_fields} "
+                    f"fields, got {len(fields)}"
+                )
+            try:
+                rows.append(tuple(int(field) for field in fields))
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_number}: non-integer field in {line!r}"
+                ) from exc
+    return rows
+
+
+def load_edge_list(path: str, num_nodes: Optional[int] = None) -> DynamicDiGraph:
+    """Load a plain edge list; infer the node count when not given."""
+    rows = _parse_lines(path, expected_fields=2)
+    inferred = 1 + max((max(s, t) for s, t in rows), default=-1)
+    n = inferred if num_nodes is None else num_nodes
+    if n < inferred:
+        raise GraphError(
+            f"num_nodes={n} too small for edges referencing node {inferred - 1}"
+        )
+    return DynamicDiGraph.from_edges(n, rows)
+
+
+def save_edge_list(graph: DynamicDiGraph, path: str) -> None:
+    """Write the graph as a plain edge list (sorted, with a size header)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for source, target in graph.edges():
+            handle.write(f"{source} {target}\n")
+
+
+def load_timed_edge_list(
+    path: str, num_nodes: Optional[int] = None
+) -> TimestampedGraph:
+    """Load a timed edge list into a :class:`TimestampedGraph`."""
+    rows = _parse_lines(path, expected_fields=3)
+    inferred = 1 + max((max(s, t) for s, t, _ in rows), default=-1)
+    n = inferred if num_nodes is None else num_nodes
+    if n < inferred:
+        raise GraphError(
+            f"num_nodes={n} too small for edges referencing node {inferred - 1}"
+        )
+    return TimestampedGraph.from_timed_edges(n, rows)
+
+
+def save_timed_edge_list(graph: TimestampedGraph, path: str) -> None:
+    """Write a timed edge list, one ``source target timestamp`` per line."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for (source, target), timestamp in sorted(graph._edges.items()):
+            handle.write(f"{source} {target} {timestamp}\n")

@@ -1,0 +1,370 @@
+"""High-level incremental SimRank session: :class:`DynamicSimRank`.
+
+The engine owns the triple ``(graph, Q, S)`` and keeps it consistent
+across unit updates and batches, dispatching to the configured algorithm:
+
+* ``"inc-sr"``  — Algorithm 2 (pruned, default);
+* ``"inc-usr"`` — Algorithm 1 (no pruning);
+* ``"batch"``   — full recomputation via the matrix-form batch iteration
+  (the paper's Batch comparator, used for crossover studies).
+
+Every update is timed and its affected-area statistics recorded in
+:class:`UpdateStats`, which the benchmark harness aggregates into the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import SimRankConfig
+from ..exceptions import ConfigError, GraphError
+from ..graph.digraph import DynamicDiGraph
+from ..graph.transition import (
+    backward_transition_matrix,
+    update_transition_matrix,
+    verify_transition_matrix,
+)
+from ..graph.updates import EdgeUpdate, UpdateBatch
+from ..simrank.base import default_config
+from ..simrank.matrix import matrix_simrank
+from .affected import AffectedAreaStats
+from .inc_sr import inc_sr_update
+from .inc_usr import inc_usr_update
+
+ALGORITHMS = ("inc-sr", "inc-usr", "batch")
+
+
+@dataclass
+class UpdateStats:
+    """Per-unit-update bookkeeping produced by the engine."""
+
+    update: EdgeUpdate
+    seconds: float
+    algorithm: str
+    affected: Optional[AffectedAreaStats] = field(default=None)
+
+
+class DynamicSimRank:
+    """A live SimRank index over a link-evolving graph.
+
+    Typical use::
+
+        engine = DynamicSimRank(graph, config=SimRankConfig(0.6, 15))
+        engine.apply(EdgeUpdate.insert(3, 7))
+        engine.similarity(3, 7)
+
+    Parameters
+    ----------
+    graph:
+        Initial graph; copied, so the caller's object is never mutated.
+    config:
+        Damping/iterations shared by the initial batch computation and
+        all incremental updates.
+    algorithm:
+        One of ``"inc-sr"`` (default), ``"inc-usr"``, ``"batch"``.
+    initial_scores:
+        Optional precomputed ``S`` for the initial graph (skips the batch
+        precomputation — the paper's "precompute SimRank on the old
+        entire graph once" step).
+    paranoid:
+        When True, re-derive ``Q`` from the graph after every update and
+        assert consistency (slow; for tests/debugging).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        config: SimRankConfig = None,
+        algorithm: str = "inc-sr",
+        initial_scores: Optional[np.ndarray] = None,
+        paranoid: bool = False,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise ConfigError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        self._config = default_config(config)
+        self._graph = graph.copy()
+        self._algorithm = algorithm
+        self._paranoid = bool(paranoid)
+        self._q_matrix = backward_transition_matrix(self._graph)
+        if initial_scores is None:
+            self._s_matrix = matrix_simrank(self._q_matrix, self._config)
+        else:
+            scores = np.asarray(initial_scores, dtype=np.float64)
+            n = self._graph.num_nodes
+            if scores.shape != (n, n):
+                raise GraphError(
+                    f"initial_scores shape {scores.shape} != ({n}, {n})"
+                )
+            self._s_matrix = scores.copy()
+        self._history: List[UpdateStats] = []
+
+    # ------------------------------------------------------------------ #
+    # Read API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> SimRankConfig:
+        """The shared configuration."""
+        return self._config
+
+    @property
+    def algorithm(self) -> str:
+        """The configured update algorithm."""
+        return self._algorithm
+
+    @property
+    def graph(self) -> DynamicDiGraph:
+        """The live graph (internal copy; do not mutate)."""
+        return self._graph
+
+    @property
+    def transition_matrix(self) -> sp.csr_matrix:
+        """The live backward transition matrix ``Q``."""
+        return self._q_matrix
+
+    @property
+    def history(self) -> List[UpdateStats]:
+        """Per-update statistics in application order."""
+        return list(self._history)
+
+    def similarities(self) -> np.ndarray:
+        """A copy of the full similarity matrix ``S``."""
+        return self._s_matrix.copy()
+
+    def similarity(self, node_a: int, node_b: int) -> float:
+        """The SimRank score of one node pair."""
+        return float(self._s_matrix[node_a, node_b])
+
+    def top_k(self, k: int, include_self: bool = False):
+        """Top-``k`` most similar node pairs (delegates to metrics.topk)."""
+        from ..metrics.topk import top_k_pairs
+
+        return top_k_pairs(self._s_matrix, k, include_self=include_self)
+
+    # ------------------------------------------------------------------ #
+    # Update API
+    # ------------------------------------------------------------------ #
+
+    def apply(
+        self, change: Union[EdgeUpdate, UpdateBatch]
+    ) -> List[UpdateStats]:
+        """Apply a unit update or a batch; return the new stats entries."""
+        updates = [change] if isinstance(change, EdgeUpdate) else list(change)
+        produced: List[UpdateStats] = []
+        for update in updates:
+            produced.append(self._apply_unit(update))
+        return produced
+
+    def _apply_unit(self, update: EdgeUpdate) -> UpdateStats:
+        started = time.perf_counter()
+        affected: Optional[AffectedAreaStats] = None
+
+        if self._algorithm == "batch":
+            update.apply_to(self._graph)
+            self._q_matrix = backward_transition_matrix(self._graph)
+            self._s_matrix = matrix_simrank(self._q_matrix, self._config)
+        elif self._algorithm == "inc-sr":
+            # Fast path: Theorem 1-3 quantities need only the old state,
+            # so precompute them, mutate the graph in place, and apply
+            # the pruned iteration directly into S (no copies).
+            from .gamma import compute_update_vectors
+            from .inc_sr import inc_sr_core
+
+            vectors = compute_update_vectors(
+                self._q_matrix, self._s_matrix, update, self._graph, self._config
+            )
+            update.apply_to(self._graph)
+            result = inc_sr_core(
+                self._q_matrix,
+                self._s_matrix,
+                update.target,
+                vectors,
+                self._config,
+                in_place=True,
+                q_csc=self._q_matrix.tocsc(),
+            )
+            affected = result.affected
+            self._s_matrix = result.new_s
+            self._q_matrix = update_transition_matrix(
+                self._q_matrix, update, self._graph
+            )
+        else:
+            result = inc_usr_update(
+                self._graph,
+                self._q_matrix,
+                self._s_matrix,
+                update,
+                self._config,
+            )
+            self._s_matrix = result.new_s
+            update.apply_to(self._graph)
+            self._q_matrix = update_transition_matrix(
+                self._q_matrix, update, self._graph
+            )
+
+        if self._paranoid:
+            problem = verify_transition_matrix(self._q_matrix, self._graph)
+            if problem is not None:
+                raise GraphError(f"paranoid check failed: {problem}")
+
+        stats = UpdateStats(
+            update=update,
+            seconds=time.perf_counter() - started,
+            algorithm=self._algorithm,
+            affected=affected,
+        )
+        self._history.append(stats)
+        return stats
+
+    def apply_consolidated(self, batch: UpdateBatch) -> int:
+        """Apply a batch as per-target consolidated row updates.
+
+        Groups the batch by target node (cancelling inverse pairs) and
+        processes each group as a *single* generalized rank-one update —
+        see :mod:`repro.incremental.row_update`.  Returns the number of
+        row groups processed.  Only available with the ``inc-sr``
+        algorithm (the pruned core is reused for each group).
+        """
+        if self._algorithm != "inc-sr":
+            raise ConfigError(
+                "apply_consolidated requires the 'inc-sr' algorithm, "
+                f"engine uses {self._algorithm!r}"
+            )
+        from .row_update import apply_consolidated_batch
+
+        started = time.perf_counter()
+        scores, q_matrix, graph, groups = apply_consolidated_batch(
+            self._graph, self._q_matrix, self._s_matrix, batch, self._config
+        )
+        self._s_matrix = scores
+        self._q_matrix = q_matrix
+        self._graph = graph
+        elapsed = time.perf_counter() - started
+        for update in batch:
+            self._history.append(
+                UpdateStats(
+                    update=update,
+                    seconds=elapsed / max(1, len(batch)),
+                    algorithm="inc-sr/consolidated",
+                )
+            )
+        if self._paranoid:
+            problem = verify_transition_matrix(self._q_matrix, self._graph)
+            if problem is not None:
+                raise GraphError(f"paranoid check failed: {problem}")
+        return groups
+
+    def add_node(self) -> int:
+        """Grow the node universe by one isolated node; return its id.
+
+        Node arrival is the paper's other update type (handled in [8] by
+        He et al.); here it is exact and O(n): an isolated node has an
+        all-zero ``Q`` row/column, and its only nonzero similarity is the
+        matrix-form self-score ``1 − C``.  Subsequent edges to/from the
+        node flow through the normal incremental path.
+        """
+        node = self._graph.add_node()
+        n = self._graph.num_nodes
+        self._q_matrix = sp.csr_matrix(
+            (
+                self._q_matrix.data,
+                self._q_matrix.indices,
+                np.concatenate(
+                    (self._q_matrix.indptr, [self._q_matrix.indptr[-1]])
+                ),
+            ),
+            shape=(n, n),
+        )
+        expanded = np.zeros((n, n))
+        expanded[: n - 1, : n - 1] = self._s_matrix
+        expanded[node, node] = 1.0 - self._config.damping
+        self._s_matrix = expanded
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Persist the session (graph, S, config) to a ``.npz`` file.
+
+        The paper's workflow precomputes SimRank once and then serves
+        updates; persisting the state lets that precomputation survive
+        process restarts.  ``Q`` is rebuilt on load (cheaper than
+        storing it).
+        """
+        edges = np.asarray(list(self._graph.edges()), dtype=np.int64)
+        np.savez_compressed(
+            path,
+            num_nodes=np.asarray([self._graph.num_nodes], dtype=np.int64),
+            edges=edges.reshape(-1, 2),
+            scores=self._s_matrix,
+            damping=np.asarray([self._config.damping]),
+            iterations=np.asarray([self._config.iterations], dtype=np.int64),
+            algorithm=np.asarray([self._algorithm]),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "DynamicSimRank":
+        """Restore a session previously written by :meth:`save`."""
+        payload = np.load(path, allow_pickle=False)
+        num_nodes = int(payload["num_nodes"][0])
+        graph = DynamicDiGraph(num_nodes)
+        for source, target in payload["edges"]:
+            graph.add_edge(int(source), int(target))
+        config = SimRankConfig(
+            damping=float(payload["damping"][0]),
+            iterations=int(payload["iterations"][0]),
+        )
+        return cls(
+            graph,
+            config,
+            algorithm=str(payload["algorithm"][0]),
+            initial_scores=payload["scores"],
+        )
+
+    def total_update_seconds(self) -> float:
+        """Sum of wall-clock seconds over all applied updates."""
+        return sum(stats.seconds for stats in self._history)
+
+    def aggregate_affected(self) -> Optional[AffectedAreaStats]:
+        """Merged affected-area stats across all Inc-SR updates (or None)."""
+        merged: Optional[AffectedAreaStats] = None
+        for stats in self._history:
+            if stats.affected is None:
+                continue
+            merged = (
+                stats.affected
+                if merged is None
+                else merged.merged_with(stats.affected)
+            )
+        return merged
+
+    def intermediate_bytes(self) -> int:
+        """Rough bytes held by the engine beyond the S output (Fig. 3).
+
+        Counts ``Q`` (CSR arrays) and the per-update vector workspace;
+        the ``n²`` output matrix is excluded, mirroring the paper's
+        "intermediate space" definition.
+        """
+        q_bytes = (
+            self._q_matrix.data.nbytes
+            + self._q_matrix.indices.nbytes
+            + self._q_matrix.indptr.nbytes
+        )
+        n = self._graph.num_nodes
+        # ξ, η, γ, w, u, v dense scratch vectors.
+        vector_bytes = 8 * 6 * n
+        return q_bytes + vector_bytes

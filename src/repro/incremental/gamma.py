@@ -1,0 +1,148 @@
+"""Theorems 2–3: the update vectors ``γ`` and scalar ``λ``.
+
+After the rank-one decomposition ``ΔQ = u·vᵀ`` (Theorem 1), the SimRank
+update matrix is ``ΔS = M + Mᵀ`` with
+
+    M = Σ_{k>=0} C^{k+1} · Q̃^k · e_j · γᵀ · (Q̃ᵀ)^k          (Eq. (26))
+
+where ``γ`` folds ``u``'s scaling into the closed forms of Eqs. (27)–(28)
+and ``λ`` is Eq. (29):
+
+    λ = [S]_{i,i} + (1/C)·[S]_{j,j} − 2·[Q]_{j,:}·[S]_{:,i} − 1/C + 1.
+
+Everything here is computed from the *old* ``Q`` and ``S`` only, using a
+single sparse matrix–vector product ``w = Q·[S]_{:,i}`` plus SAXPY-level
+vector work — this is lines 3–12 of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import SimRankConfig
+from ..exceptions import DimensionError
+from ..graph.updates import EdgeUpdate
+
+
+@dataclass(frozen=True)
+class UpdateVectors:
+    """All precomputed quantities for one unit update.
+
+    Attributes
+    ----------
+    u, v:
+        The rank-one factors of ``ΔQ`` (Theorem 1), dense.
+    gamma:
+        The folded right-hand-side vector ``γ`` of Eq. (27)/(28).
+    lam:
+        The scalar ``λ`` of Eq. (29) (only meaningful for the
+        ``d_j > 0`` insertion / ``d_j > 1`` deletion branches; exposed
+        for tests in all cases).
+    target_degree:
+        ``d_j``, the in-degree of the target in the old graph.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    gamma: np.ndarray
+    lam: float
+    target_degree: int
+
+
+def compute_gamma(
+    q_matrix: sp.csr_matrix,
+    s_matrix: np.ndarray,
+    update: EdgeUpdate,
+    target_degree: int,
+    config: SimRankConfig,
+) -> np.ndarray:
+    """The vector ``γ`` of Theorem 3 (Eqs. (27)–(28)).
+
+    Parameters
+    ----------
+    q_matrix, s_matrix:
+        The transition and similarity matrices of the *old* graph.
+    update:
+        The unit update on edge ``(i, j)``.
+    target_degree:
+        ``d_j`` in the old graph.
+    config:
+        Supplies the damping factor ``C``.
+    """
+    damping = config.damping
+    n = q_matrix.shape[0]
+    if s_matrix.shape != (n, n):
+        raise DimensionError(
+            f"S has shape {s_matrix.shape}, expected ({n}, {n})"
+        )
+    source, target = update.edge
+
+    # Line 3 of Algorithm 1: w = Q · [S]_{:,i}  (one sparse mat-vec).
+    w_vector = q_matrix @ s_matrix[:, source]
+    # Line 4: λ from Eq. (29); [w]_j doubles as [Q]_{j,:}·[S]_{:,i}.
+    lam = (
+        s_matrix[source, source]
+        + s_matrix[target, target] / damping
+        - 2.0 * w_vector[target]
+        - 1.0 / damping
+        + 1.0
+    )
+
+    e_target = np.zeros(n)
+    e_target[target] = 1.0
+
+    if update.is_insert:
+        if target_degree == 0:
+            # Eq. (27), d_j = 0:  γ = Q·[S]_{:,i} + (1/2)[S]_{i,i}·e_j
+            return w_vector + 0.5 * s_matrix[source, source] * e_target
+        # Eq. (27), d_j > 0.
+        scale = 1.0 / (target_degree + 1)
+        coefficient = lam * scale / 2.0 + 1.0 / damping - 1.0
+        return scale * (
+            w_vector
+            - s_matrix[:, target] / damping
+            + coefficient * e_target
+        )
+    if target_degree == 1:
+        # Eq. (28), d_j = 1:  γ = (1/2)[S]_{i,i}·e_j − Q·[S]_{:,i}
+        return 0.5 * s_matrix[source, source] * e_target - w_vector
+    # Eq. (28), d_j > 1.
+    scale = 1.0 / (target_degree - 1)
+    coefficient = lam * scale / 2.0 - 1.0 / damping + 1.0
+    return scale * (
+        s_matrix[:, target] / damping - w_vector + coefficient * e_target
+    )
+
+
+def compute_update_vectors(
+    q_matrix: sp.csr_matrix,
+    s_matrix: np.ndarray,
+    update: EdgeUpdate,
+    graph,
+    config: SimRankConfig,
+) -> UpdateVectors:
+    """Bundle ``(u, v, γ, λ, d_j)`` for a unit update (lines 1–12 of Alg. 1)."""
+    from .rank_one import rank_one_decomposition, target_in_degree
+
+    degree = target_in_degree(graph, update)
+    u_vector, v_vector = rank_one_decomposition(graph, update)
+    gamma = compute_gamma(q_matrix, s_matrix, update, degree, config)
+    damping = config.damping
+    w_vector = q_matrix @ s_matrix[:, update.source]
+    lam = (
+        s_matrix[update.source, update.source]
+        + s_matrix[update.target, update.target] / damping
+        - 2.0 * w_vector[update.target]
+        - 1.0 / damping
+        + 1.0
+    )
+    return UpdateVectors(
+        u=u_vector,
+        v=v_vector,
+        gamma=gamma,
+        lam=float(lam),
+        target_degree=degree,
+    )

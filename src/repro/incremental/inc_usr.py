@@ -1,0 +1,98 @@
+"""Algorithm 1 — **Inc-uSR**: incremental SimRank without pruning.
+
+Given the old graph ``G``, its transition matrix ``Q`` and similarity
+matrix ``S``, and a unit update on edge ``(i, j)``:
+
+1. lines 1–12: precompute ``u, v`` (Theorem 1) and ``γ, λ``
+   (Theorems 2–3) from the old ``Q`` and ``S``;
+2. lines 13–17: iterate the two auxiliary vectors
+
+       ξ_{k+1} = C·Q̃·ξ_k,    η_{k+1} = Q̃·η_k,
+       M_{k+1} = ξ_{k+1}·η_{k+1}ᵀ + M_k,
+
+   with ``ξ_0 = C·e_j`` and ``η_0 = γ``, applying
+   ``Q̃·x = Q·x + (vᵀx)·u`` so the updated matrix is never formed;
+3. line 18: ``S̃ = S + M_K + M_Kᵀ``.
+
+Total cost: ``O(K·n²)`` (the ``n²`` is the outer-product accumulation),
+with only matrix–vector and vector–vector products — the paper's headline
+improvement over the ``O(r⁴·n²)`` Inc-SVD baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import SimRankConfig
+from ..graph.digraph import DynamicDiGraph
+from ..graph.updates import EdgeUpdate
+from ..linalg.sylvester import rank_one_sylvester_series, updated_matvec
+from ..simrank.base import default_config
+from .affected import AffectedAreaStats
+from .gamma import UpdateVectors, compute_update_vectors
+
+
+@dataclass
+class UnitUpdateResult:
+    """Outcome of one incremental unit update.
+
+    Attributes
+    ----------
+    new_s:
+        The updated similarity matrix ``S̃`` (dense ``n x n``).
+    delta_s:
+        The SimRank update matrix ``ΔS = M_K + M_Kᵀ`` (``None`` on the
+        engine's in-place Inc-SR fast path, where it is never formed).
+    vectors:
+        The precomputed :class:`~repro.incremental.gamma.UpdateVectors`.
+    affected:
+        Affected-area statistics; populated by Inc-SR only.
+    """
+
+    new_s: np.ndarray
+    delta_s: Optional[np.ndarray]
+    vectors: UpdateVectors
+    affected: Optional[AffectedAreaStats] = field(default=None)
+
+
+def inc_usr_update(
+    graph: DynamicDiGraph,
+    q_matrix: sp.csr_matrix,
+    s_matrix: np.ndarray,
+    update: EdgeUpdate,
+    config: SimRankConfig = None,
+) -> UnitUpdateResult:
+    """Apply one unit update to ``S`` with Algorithm 1 (no pruning).
+
+    ``graph``, ``q_matrix`` and ``s_matrix`` all describe the graph
+    *before* the update; the caller is responsible for mutating the graph
+    and ``Q`` afterwards (the :class:`~repro.incremental.engine.DynamicSimRank`
+    engine does this).
+    """
+    cfg = default_config(config)
+    vectors = compute_update_vectors(q_matrix, s_matrix, update, graph, cfg)
+
+    n = q_matrix.shape[0]
+    e_target = np.zeros(n)
+    e_target[update.target] = 1.0
+
+    matvec = updated_matvec(q_matrix, vectors.u, vectors.v)
+    series = rank_one_sylvester_series(
+        matvec,
+        u_vector=e_target,
+        w_vector=vectors.gamma,
+        damping=cfg.damping,
+        iterations=cfg.iterations,
+        materialize=True,
+    )
+    m_matrix = series.matrix
+    delta_s = m_matrix + m_matrix.T
+    return UnitUpdateResult(
+        new_s=s_matrix + delta_s,
+        delta_s=delta_s,
+        vectors=vectors,
+    )

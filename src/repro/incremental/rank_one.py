@@ -1,0 +1,96 @@
+"""Theorem 1: the rank-one structure of transition-matrix updates.
+
+For a unit update on edge ``(i, j)`` (source ``i``, target ``j``), only
+row ``j`` of ``Q`` changes, and the change factors as ``ΔQ = u·vᵀ``:
+
+Insertion (``d_j`` = in-degree of ``j`` in the *old* graph):
+
+* ``d_j = 0``:  ``u = e_j``,            ``v = e_i``
+* ``d_j > 0``:  ``u = e_j/(d_j + 1)``,  ``v = e_i − [Q]ᵀ_{j,:}``
+
+Deletion (the edge exists, so ``d_j >= 1``):
+
+* ``d_j = 1``:  ``u = e_j``,            ``v = −e_i``
+* ``d_j > 1``:  ``u = e_j/(d_j − 1)``,  ``v = [Q]ᵀ_{j,:} − e_i``
+
+The decomposition is validated end-to-end by tests that materialize
+``u·vᵀ`` and compare against ``Q̃ − Q``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import EdgeExistsError, EdgeNotFoundError, GraphError
+from ..graph.digraph import DynamicDiGraph
+from ..graph.updates import EdgeUpdate
+
+
+def validate_update(graph: DynamicDiGraph, update: EdgeUpdate) -> None:
+    """Check that ``update`` is applicable to ``graph`` (raises if not)."""
+    source, target = update.edge
+    exists = graph.has_edge(source, target)
+    if update.is_insert and exists:
+        raise EdgeExistsError(source, target)
+    if not update.is_insert and not exists:
+        raise EdgeNotFoundError(source, target)
+
+
+def old_transition_row_dense(graph: DynamicDiGraph, node: int) -> np.ndarray:
+    """Dense ``[Q]_{node,:}`` of the *old* graph as a 1-D array."""
+    n = graph.num_nodes
+    row = np.zeros(n)
+    in_list = graph.in_neighbors(node)
+    if in_list:
+        weight = 1.0 / len(in_list)
+        for neighbor in in_list:
+            row[neighbor] = weight
+    return row
+
+
+def rank_one_decomposition(
+    graph: DynamicDiGraph, update: EdgeUpdate
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return dense ``(u, v)`` with ``Q̃ − Q = u·vᵀ`` (Theorem 1).
+
+    ``graph`` must be the graph *before* the update; the update must be
+    applicable (inserting a missing edge / deleting an existing one).
+    """
+    validate_update(graph, update)
+    n = graph.num_nodes
+    source, target = update.edge
+    degree = graph.in_degree(target)
+
+    u_vector = np.zeros(n)
+    v_vector = np.zeros(n)
+
+    if update.is_insert:
+        if degree == 0:
+            u_vector[target] = 1.0
+            v_vector[source] = 1.0
+        else:
+            u_vector[target] = 1.0 / (degree + 1)
+            v_vector = -old_transition_row_dense(graph, target)
+            v_vector[source] += 1.0
+    else:
+        if degree == 1:
+            u_vector[target] = 1.0
+            v_vector[source] = -1.0
+        else:
+            u_vector[target] = 1.0 / (degree - 1)
+            v_vector = old_transition_row_dense(graph, target)
+            v_vector[source] -= 1.0
+    return u_vector, v_vector
+
+
+def delta_q_dense(graph: DynamicDiGraph, update: EdgeUpdate) -> np.ndarray:
+    """Materialized ``ΔQ = u·vᵀ`` (dense); for tests and documentation."""
+    u_vector, v_vector = rank_one_decomposition(graph, update)
+    return np.outer(u_vector, v_vector)
+
+
+def target_in_degree(graph: DynamicDiGraph, update: EdgeUpdate) -> int:
+    """The in-degree ``d_j`` of the update target in the old graph."""
+    return graph.in_degree(update.target)

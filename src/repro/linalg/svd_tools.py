@@ -1,0 +1,98 @@
+"""SVD utilities for the Inc-SVD baseline and the rank study (Fig. 2b).
+
+The paper's Section IV analysis hinges on the distinction between a
+*lossless* SVD (target rank = matrix rank, zero reconstruction error) and
+a *low-rank* SVD (target rank below the matrix rank).  These helpers
+compute truncated SVDs of sparse matrices, numerical ranks, and the
+fraction ``r/n`` reported in Fig. 2b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import DimensionError
+
+#: Singular values below this (relative to the largest) count as zero.
+RANK_TOLERANCE = 1e-10
+
+
+@dataclass(frozen=True)
+class SVDFactors:
+    """A (possibly truncated) SVD ``X ≈ U · diag(sigma) · Vᵀ``."""
+
+    u: np.ndarray
+    sigma: np.ndarray
+    v: np.ndarray  # columns are right singular vectors (n x r)
+
+    @property
+    def rank(self) -> int:
+        """Number of retained singular triplets."""
+        return int(self.sigma.shape[0])
+
+    def reconstruct(self) -> np.ndarray:
+        """Materialize ``U · diag(sigma) · Vᵀ`` densely."""
+        return (self.u * self.sigma) @ self.v.T
+
+    def truncated(self, rank: int) -> "SVDFactors":
+        """Keep only the top ``rank`` singular triplets."""
+        if rank < 1:
+            raise DimensionError(f"rank must be >= 1, got {rank}")
+        r = min(rank, self.rank)
+        return SVDFactors(
+            u=self.u[:, :r].copy(),
+            sigma=self.sigma[:r].copy(),
+            v=self.v[:, :r].copy(),
+        )
+
+
+def truncated_svd(matrix, rank: int) -> SVDFactors:
+    """Top-``rank`` SVD of a dense or sparse matrix.
+
+    Uses a dense LAPACK SVD (graphs at reproduction scale are small
+    enough); singular triplets are returned in non-increasing order and
+    trailing numerically-zero triplets inside the requested rank are kept,
+    matching the paper's "target rank given by the user" semantics.
+    """
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+    if dense.ndim != 2:
+        raise DimensionError(f"expected a matrix, got ndim={dense.ndim}")
+    if rank < 1:
+        raise DimensionError(f"rank must be >= 1, got {rank}")
+    u, sigma, vt = np.linalg.svd(dense, full_matrices=False)
+    r = min(rank, sigma.shape[0])
+    return SVDFactors(u=u[:, :r], sigma=sigma[:r], v=vt[:r].T)
+
+
+def numerical_rank(matrix, tolerance: float = RANK_TOLERANCE) -> int:
+    """Numerical rank: singular values above ``tolerance * sigma_max``."""
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+    sigma = np.linalg.svd(dense, compute_uv=False)
+    if sigma.size == 0 or sigma[0] == 0.0:
+        return 0
+    return int(np.sum(sigma > tolerance * sigma[0]))
+
+
+def lossless_rank(matrix, tolerance: float = RANK_TOLERANCE) -> int:
+    """Target rank needed for a *lossless* SVD (alias of numerical rank)."""
+    return numerical_rank(matrix, tolerance=tolerance)
+
+
+def lossless_rank_fraction(matrix, tolerance: float = RANK_TOLERANCE) -> float:
+    """``rank(X)/n`` as a fraction in [0, 1] — the quantity plotted in Fig. 2b."""
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+    n = min(dense.shape)
+    if n == 0:
+        return 0.0
+    return numerical_rank(dense, tolerance=tolerance) / n
+
+
+def reconstruction_error(matrix, factors: SVDFactors) -> float:
+    """Spectral-norm error ``||X - U·Σ·Vᵀ||₂`` of a truncated SVD."""
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+    residual = dense - factors.reconstruct()
+    return float(np.linalg.norm(residual, ord=2))

@@ -1,0 +1,163 @@
+"""Iterative Sylvester-equation solvers.
+
+Two flavors:
+
+* :func:`sylvester_series` — the generic truncated series
+  ``X_K = Σ_{k=0..K} A^k · C · B^k`` for ``X = A·X·B + C``; this is what a
+  *batch* recomputation of SimRank does, using matrix-matrix products.
+* :func:`rank_one_sylvester_series` — the paper's specialization
+  (Sec. V-A): when ``C = c·u·wᵀ`` is rank one, each series term is an
+  outer product of two iterated vectors, so the whole solve uses only
+  matrix-vector and vector-vector products.  This function implements the
+  iteration "ξ_{k+1} = c·Ã·ξ_k, η_{k+1} = Ã·η_k, M_{k+1} = ξ·ηᵀ + M_k"
+  in a form that also exposes the low-rank factor stack (one vector pair
+  per iteration) so callers can avoid materializing ``M`` at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import DimensionError
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def sylvester_series(
+    a_matrix,
+    b_matrix,
+    c_matrix: np.ndarray,
+    iterations: int,
+) -> np.ndarray:
+    """Truncated series solution of ``X = A·X·B + C``.
+
+    Iterates ``X_{k+1} = A·X_k·B + C`` starting from ``X_0 = C``, which
+    equals the partial sum ``Σ_{k=0..K} A^k C B^k`` after ``K`` steps.
+    ``A``/``B`` may be sparse; ``C`` and the result are dense.
+    """
+    if iterations < 0:
+        raise DimensionError(f"iterations must be >= 0, got {iterations}")
+    a_sparse = sp.csr_matrix(a_matrix)
+    b_sparse = sp.csr_matrix(b_matrix)
+    current = np.array(c_matrix, dtype=np.float64, copy=True)
+    if a_sparse.shape[0] != current.shape[0] or b_sparse.shape[1] != current.shape[1]:
+        raise DimensionError(
+            f"incompatible shapes A{a_sparse.shape} C{current.shape} "
+            f"B{b_sparse.shape}"
+        )
+    constant = np.asarray(c_matrix, dtype=np.float64)
+    for _ in range(iterations):
+        current = a_sparse @ current @ b_sparse + constant
+    return current
+
+
+@dataclass
+class RankOneSeriesResult:
+    """Outcome of :func:`rank_one_sylvester_series`.
+
+    Attributes
+    ----------
+    matrix:
+        The accumulated ``M_K`` (dense ``n x n``), or ``None`` when the
+        caller asked for factors only.
+    left_factors, right_factors:
+        Lists of the per-iteration vectors ``ξ_k`` and ``η_k`` such that
+        ``M_K = Σ_k ξ_k · η_kᵀ``; length ``K + 1`` including the k=0 term.
+    """
+
+    matrix: Optional[np.ndarray]
+    left_factors: List[np.ndarray]
+    right_factors: List[np.ndarray]
+
+    def reconstruct(self) -> np.ndarray:
+        """Materialize ``M_K`` from the factor stack."""
+        n = self.left_factors[0].shape[0]
+        result = np.zeros((n, n))
+        for left, right in zip(self.left_factors, self.right_factors):
+            result += np.outer(left, right)
+        return result
+
+
+def rank_one_sylvester_series(
+    matvec: MatVec,
+    u_vector: np.ndarray,
+    w_vector: np.ndarray,
+    damping: float,
+    iterations: int,
+    materialize: bool = True,
+) -> RankOneSeriesResult:
+    """Solve ``M = c·Ã·M·Ãᵀ + c·u·wᵀ`` by the paper's vector iteration.
+
+    Parameters
+    ----------
+    matvec:
+        A function computing ``Ã @ x`` for a dense vector ``x``.  For the
+        incremental algorithms this applies the *updated* transition
+        matrix ``Q̃ = Q + u·vᵀ`` without materializing it
+        (``Q̃·x = Q·x + (vᵀx)·u``).
+    u_vector, w_vector:
+        The rank-one right-hand side factors (dense 1-D arrays).
+    damping:
+        The scalar ``c`` (the SimRank damping factor ``C``).
+    iterations:
+        Number of series terms beyond the zeroth, i.e. the paper's ``K``.
+    materialize:
+        When True, accumulate the dense ``M_K``; when False, only the
+        factor stack is kept (memory ``O(K·n)`` instead of ``O(n²)``).
+
+    Notes
+    -----
+    The k-th stored pair is ``ξ_k = c^{k+1}·Ã^k·u`` and ``η_k = Ã^k·w``,
+    so ``M_K = Σ_{k=0..K} ξ_k·η_kᵀ = Σ c^{k+1} Ã^k u wᵀ (Ãᵀ)^k`` exactly
+    as in Eq. (15) of the paper.
+    """
+    u_dense = np.asarray(u_vector, dtype=np.float64).ravel()
+    w_dense = np.asarray(w_vector, dtype=np.float64).ravel()
+    if u_dense.shape != w_dense.shape:
+        raise DimensionError(
+            f"u and w must share a shape, got {u_dense.shape} vs {w_dense.shape}"
+        )
+    if iterations < 0:
+        raise DimensionError(f"iterations must be >= 0, got {iterations}")
+
+    n = u_dense.shape[0]
+    xi = damping * u_dense
+    eta = w_dense.copy()
+    left_factors = [xi.copy()]
+    right_factors = [eta.copy()]
+    accumulated = np.outer(xi, eta) if materialize else None
+
+    for _ in range(iterations):
+        xi = damping * matvec(xi)
+        eta = matvec(eta)
+        left_factors.append(xi.copy())
+        right_factors.append(eta.copy())
+        if accumulated is not None:
+            accumulated += np.outer(xi, eta)
+
+    return RankOneSeriesResult(
+        matrix=accumulated,
+        left_factors=left_factors,
+        right_factors=right_factors,
+    )
+
+
+def updated_matvec(
+    q_matrix: sp.csr_matrix, u_vector: np.ndarray, v_vector: np.ndarray
+) -> MatVec:
+    """Matvec for ``Q̃ = Q + u·vᵀ`` without materializing ``Q̃``.
+
+    This is the trick noted after Theorem 3: ``Q̃·x = Q·x + (vᵀ·x)·u``,
+    saving the memory for a second sparse matrix.
+    """
+    u_dense = np.asarray(u_vector, dtype=np.float64).ravel()
+    v_dense = np.asarray(v_vector, dtype=np.float64).ravel()
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        return q_matrix @ x + (v_dense @ x) * u_dense
+
+    return apply

@@ -1,0 +1,21 @@
+"""Evaluation metrics used by the paper's experiments.
+
+* :mod:`repro.metrics.topk` — top-k node-pair extraction.
+* :mod:`repro.metrics.ndcg` — NDCG@k over node-pair rankings (Fig. 4).
+* :mod:`repro.metrics.error` — element-wise error norms between score
+  matrices.
+* :mod:`repro.metrics.memory` — intermediate-memory accounting (Fig. 3).
+"""
+
+from .error import frobenius_error, max_abs_error, mean_abs_error
+from .ndcg import ndcg_at_k, ndcg_of_pairs
+from .topk import top_k_pairs
+
+__all__ = [
+    "top_k_pairs",
+    "ndcg_at_k",
+    "ndcg_of_pairs",
+    "max_abs_error",
+    "mean_abs_error",
+    "frobenius_error",
+]

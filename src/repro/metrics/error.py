@@ -1,0 +1,39 @@
+"""Element-wise error norms between similarity matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionError
+
+
+def _pair(a_matrix: np.ndarray, b_matrix: np.ndarray):
+    a_dense = np.asarray(a_matrix, dtype=np.float64)
+    b_dense = np.asarray(b_matrix, dtype=np.float64)
+    if a_dense.shape != b_dense.shape:
+        raise DimensionError(
+            f"shape mismatch {a_dense.shape} vs {b_dense.shape}"
+        )
+    return a_dense, b_dense
+
+
+def max_abs_error(a_matrix: np.ndarray, b_matrix: np.ndarray) -> float:
+    """``max |A − B|`` — the paper's accuracy guarantee is stated in this norm."""
+    a_dense, b_dense = _pair(a_matrix, b_matrix)
+    if a_dense.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a_dense - b_dense)))
+
+
+def mean_abs_error(a_matrix: np.ndarray, b_matrix: np.ndarray) -> float:
+    """Mean absolute element-wise difference."""
+    a_dense, b_dense = _pair(a_matrix, b_matrix)
+    if a_dense.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(a_dense - b_dense)))
+
+
+def frobenius_error(a_matrix: np.ndarray, b_matrix: np.ndarray) -> float:
+    """Frobenius norm ``||A − B||_F``."""
+    a_dense, b_dense = _pair(a_matrix, b_matrix)
+    return float(np.linalg.norm(a_dense - b_dense))

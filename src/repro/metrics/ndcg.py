@@ -1,0 +1,73 @@
+"""NDCG over node-pair rankings (the paper's Fig. 4 exactness metric).
+
+The paper assesses the top-30 most similar node-pairs produced by each
+algorithm against a high-iteration Batch baseline, using NDCG₃₀ with the
+baseline scores as graded relevance.  Formally, for a ranking
+``p_1, ..., p_k`` of node pairs and relevance ``rel(p)``:
+
+    DCG@k  = Σ_{i=1..k} rel(p_i) / log₂(i + 1)
+    NDCG@k = DCG@k / IDCG@k
+
+where IDCG@k is the DCG of the ideal (relevance-sorted) ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from .topk import top_k_pairs
+
+
+def dcg(relevances: Sequence[float]) -> float:
+    """Discounted cumulative gain of an ordered relevance list."""
+    values = np.asarray(list(relevances), dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    discounts = np.log2(np.arange(2, values.size + 2))
+    return float(np.sum(values / discounts))
+
+
+def ndcg_of_pairs(
+    ranked_pairs: List[Tuple[int, int]],
+    baseline: np.ndarray,
+    k: int,
+) -> float:
+    """NDCG@k of a pair ranking, graded by ``baseline`` scores.
+
+    ``ranked_pairs`` is the algorithm's top list (best first); the ideal
+    ranking is derived from ``baseline`` itself.  Returns 1.0 when the
+    baseline has no positive mass (nothing to rank).
+    """
+    if k < 1:
+        raise DimensionError(f"k must be >= 1, got {k}")
+    baseline_matrix = np.asarray(baseline)
+    gains = [
+        float(baseline_matrix[a, b]) for a, b in ranked_pairs[:k]
+    ]
+    ideal_pairs = top_k_pairs(baseline_matrix, k)
+    ideal_gains = [score for (_, _, score) in ideal_pairs]
+    ideal = dcg(ideal_gains)
+    if ideal <= 0.0:
+        return 1.0
+    return dcg(gains) / ideal
+
+
+def ndcg_at_k(
+    approximate: np.ndarray, baseline: np.ndarray, k: int = 30
+) -> float:
+    """NDCG@k of ``approximate``'s top-k pairs against ``baseline`` truth.
+
+    This is the paper's evaluation protocol: rank pairs by the candidate
+    algorithm's scores, grade them by the (K=35) Batch baseline scores.
+    """
+    approx_matrix = np.asarray(approximate)
+    baseline_matrix = np.asarray(baseline)
+    if approx_matrix.shape != baseline_matrix.shape:
+        raise DimensionError(
+            f"shape mismatch {approx_matrix.shape} vs {baseline_matrix.shape}"
+        )
+    ranked = [(a, b) for (a, b, _) in top_k_pairs(approx_matrix, k)]
+    return ndcg_of_pairs(ranked, baseline_matrix, k)

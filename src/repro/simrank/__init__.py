@@ -1,0 +1,39 @@
+"""Batch SimRank algorithms on static graphs.
+
+All functions take a :class:`~repro.graph.digraph.DynamicDiGraph` (or a
+prebuilt ``Q``) and return the dense ``n x n`` similarity matrix ``S``.
+
+* :mod:`repro.simrank.naive` — Jeh & Widom's original iteration
+  (iterative form, diagonal pinned at 1), ``O(K·d²·n²)``.
+* :mod:`repro.simrank.partial_sums` — Lizorkin et al.'s partial-sums
+  memoization, ``O(K·d·n²)``.
+* :mod:`repro.simrank.matrix` — the matrix form ``S = C·Q·S·Qᵀ + (1-C)·I``
+  iterated with sparse products; plays the role of the paper's fast
+  **Batch** comparator [6].
+* :mod:`repro.simrank.exact` — closed-form fixed point via Kronecker
+  lifting (small-graph oracle).
+* :mod:`repro.simrank.svd_batch` — Li et al. [1]'s non-iterative low-rank
+  computation from an SVD of ``Q``.
+"""
+
+from .matrix import batch_simrank, matrix_simrank
+from .naive import naive_simrank
+from .partial_sums import partial_sums_simrank
+from .exact import exact_simrank
+from .svd_batch import svd_batch_simrank
+from .queries import single_pair_simrank, single_source_simrank, top_k_similar_nodes
+from .montecarlo import monte_carlo_simrank_pair, monte_carlo_simrank_source
+
+__all__ = [
+    "batch_simrank",
+    "matrix_simrank",
+    "naive_simrank",
+    "partial_sums_simrank",
+    "exact_simrank",
+    "svd_batch_simrank",
+    "single_pair_simrank",
+    "single_source_simrank",
+    "top_k_similar_nodes",
+    "monte_carlo_simrank_pair",
+    "monte_carlo_simrank_source",
+]

@@ -1,0 +1,66 @@
+"""Shared validation and conventions for the SimRank implementations.
+
+Two SimRank conventions coexist in the literature and in this package:
+
+* the **iterative form** (Jeh & Widom, Eq. (1) of the paper), which pins
+  ``s(a, a) = 1`` exactly at every iteration; and
+* the **matrix form** (Li et al., Eq. (2) of the paper),
+  ``S = C·Q·S·Qᵀ + (1-C)·Iₙ``, whose diagonal satisfies
+  ``S_{aa} >= 1 - C`` but is generally below 1.
+
+The paper's incremental theory (Theorems 1-4) is stated for the matrix
+form, so that is this package's default; :func:`repro.simrank.naive` keeps
+the iterative form for cross-validation against networkx.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import SimRankConfig
+from ..exceptions import DimensionError
+from ..graph.digraph import DynamicDiGraph
+from ..graph.transition import backward_transition_matrix
+
+
+def resolve_q(graph_or_q) -> sp.csr_matrix:
+    """Accept either a graph or a prebuilt ``Q`` and return CSR ``Q``."""
+    if isinstance(graph_or_q, DynamicDiGraph):
+        return backward_transition_matrix(graph_or_q)
+    q_matrix = sp.csr_matrix(graph_or_q)
+    if q_matrix.shape[0] != q_matrix.shape[1]:
+        raise DimensionError(f"Q must be square, got {q_matrix.shape}")
+    return q_matrix
+
+
+def check_similarity_matrix(
+    s_matrix: np.ndarray, damping: float, atol: float = 1e-8
+) -> None:
+    """Assert structural invariants of a matrix-form SimRank matrix.
+
+    Checks: square, symmetric, entries within ``[-atol, 1 + atol]``, and
+    diagonal at least ``1 - C - atol``.  Raises ``DimensionError`` (shape)
+    or ``ValueError`` (value) on violation; useful in tests and the
+    engine's paranoid mode.
+    """
+    s_dense = np.asarray(s_matrix)
+    if s_dense.ndim != 2 or s_dense.shape[0] != s_dense.shape[1]:
+        raise DimensionError(f"S must be square, got shape {s_dense.shape}")
+    asymmetry = float(np.max(np.abs(s_dense - s_dense.T), initial=0.0))
+    if asymmetry > atol:
+        raise ValueError(f"S is not symmetric (max asymmetry {asymmetry:.3e})")
+    low = float(s_dense.min(initial=0.0))
+    high = float(s_dense.max(initial=0.0))
+    if low < -atol or high > 1.0 + atol:
+        raise ValueError(f"S entries outside [0, 1]: min={low}, max={high}")
+    diagonal_floor = float(np.min(np.diag(s_dense))) if s_dense.size else 1.0
+    if diagonal_floor < (1.0 - damping) - atol:
+        raise ValueError(
+            f"diagonal of S dips below 1 - C: min diag {diagonal_floor}"
+        )
+
+
+def default_config(config: SimRankConfig = None) -> SimRankConfig:
+    """Return ``config`` or a fresh default :class:`SimRankConfig`."""
+    return config if config is not None else SimRankConfig()

@@ -1,0 +1,32 @@
+"""Exact matrix-form SimRank on small graphs (test oracle).
+
+Solves the fixed point of Eq. (2) directly via Kronecker lifting
+(:func:`repro.linalg.kron.solve_sylvester_kron`).  Cost grows like
+``O(n^6)`` in the worst case, so this is only used as ground truth for
+graphs of up to a few hundred nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimRankConfig
+from ..linalg.kron import exact_simrank_kron
+from .base import default_config, resolve_q
+
+
+def exact_simrank(graph_or_q, config: SimRankConfig = None) -> np.ndarray:
+    """The exact matrix-form SimRank fixed point ``S = C·Q·S·Qᵀ + (1-C)·I``."""
+    cfg = default_config(config)
+    q_matrix = resolve_q(graph_or_q)
+    return exact_simrank_kron(q_matrix, cfg.damping)
+
+
+def truncation_error_bound(config: SimRankConfig = None) -> float:
+    """Per-entry bound ``C^{K+1} / (1 - C)`` on ``|S_K - S|``.
+
+    Follows from the series tail ``(1-C)·Σ_{k>K} C^k ||Q^k (Qᵀ)^k||_max``
+    with ``||Q^k (Qᵀ)^k||_max <= 1``.
+    """
+    cfg = default_config(config)
+    return cfg.damping ** (cfg.iterations + 1) / (1.0 - cfg.damping)

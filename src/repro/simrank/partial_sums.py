@@ -1,0 +1,63 @@
+"""Lizorkin et al.'s partial-sums memoization (PVLDB 2008).
+
+The naive iteration recomputes ``Σ_{i∈I(a)} s(i, j)`` for every pair
+``(a, b)`` — ``O(d²)`` score accesses per pair.  Partial sums memoize, for
+every node ``j``, the vector ``Partial_j[a] = Σ_{i∈I(a)} s_{k-1}(i, j)``
+once per iteration and reuse it across all pairs sharing ``a``:
+``O(K·d·n²)`` total.  In matrix language one iteration is
+``S_k = C · P · (Pᵀ applied to columns)`` with ``P`` the in-neighbor
+averaging operator, which is exactly what the vectorized inner loop below
+computes one column at a time.
+
+This algorithm follows the *iterative form* (diagonal pinned to 1),
+matching :mod:`repro.simrank.naive` exactly, iteration by iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import SimRankConfig
+from ..graph.digraph import DynamicDiGraph
+from ..graph.transition import backward_transition_matrix
+from .base import default_config
+
+
+def partial_sums_simrank(
+    graph: DynamicDiGraph, config: SimRankConfig = None
+) -> np.ndarray:
+    """Iterative-form SimRank via partial-sums memoization.
+
+    Produces the same scores as :func:`repro.simrank.naive.naive_simrank`
+    (up to float round-off) in ``O(K·d·n²)`` time.
+    """
+    cfg = default_config(config)
+    n = graph.num_nodes
+    q_matrix = backward_transition_matrix(graph)  # rows average over I(a)
+    has_in_links = np.asarray(q_matrix.sum(axis=1)).ravel() > 0.0
+
+    current = np.eye(n)
+    for _ in range(cfg.iterations):
+        # partial[a, j] = (1/|I(a)|) Σ_{i∈I(a)} current[i, j]  (memoized
+        # once per j across all a -- the partial-sums trick, vectorized).
+        partial = q_matrix @ current
+        nxt = cfg.damping * (partial @ q_matrix.T)
+        # Zero out rows/columns of nodes with no in-links (base case),
+        # then pin the diagonal to 1 (iterative-form convention).
+        nxt[~has_in_links, :] = 0.0
+        nxt[:, ~has_in_links] = 0.0
+        np.fill_diagonal(nxt, 1.0)
+        current = nxt
+    return current
+
+
+def partial_sums_iteration_cost(graph: DynamicDiGraph) -> int:
+    """Score-access count of one partial-sums iteration, ``~ 2·m·n``.
+
+    Exposed so tests can assert the claimed ``O(d·n²)`` against the naive
+    ``O(d²·n²)`` bound on concrete graphs.
+    """
+    n = graph.num_nodes
+    m = graph.num_edges
+    return 2 * m * n

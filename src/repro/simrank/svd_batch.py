@@ -1,0 +1,55 @@
+"""Li et al. [1]'s non-iterative batch SimRank from an SVD of ``Q``.
+
+With ``Q = U·Σ·Vᵀ`` (target rank ``r``), powers collapse onto the
+``r``-dimensional column space of ``U``:
+
+    Q^k·(Qᵀ)^k = U·T^{k-1}·Σ²·(Tᵀ)^{k-1}·Uᵀ   for k >= 1,
+    T = Σ·Vᵀ·U (r×r),
+
+so the matrix-form series (Eq. (16)) becomes
+
+    S = (1−C)·Iₙ + (1−C)·C·U·M·Uᵀ,   M = C·T·M·Tᵀ + Σ².
+
+``M`` is an r×r Sylvester solve.  With the *lossless* SVD of a full-rank
+``Q`` this is exact; a truncated (low-rank) SVD trades accuracy for
+speed — the paper's Fig. 2b/Fig. 4 study that trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimRankConfig
+from ..linalg.svd_tools import lossless_rank, truncated_svd
+from .base import default_config, resolve_q
+
+
+def svd_batch_simrank(
+    graph_or_q,
+    rank: Optional[int] = None,
+    config: SimRankConfig = None,
+) -> np.ndarray:
+    """Batch SimRank via Li et al.'s low-rank closed form.
+
+    Parameters
+    ----------
+    graph_or_q:
+        Graph or prebuilt ``Q``.
+    rank:
+        Target rank ``r`` of the SVD.  ``None`` selects the lossless rank
+        (``rank(Q)``), in which case the result is exact for the matrix
+        form whenever ``Q`` is full column space on its range — i.e. the
+        reconstruction ``U·Σ·Vᵀ`` equals ``Q`` exactly.
+    config:
+        Supplies the damping factor (iterations unused; non-iterative).
+    """
+    from ..incremental.inc_svd import low_rank_simrank_scores
+
+    cfg = default_config(config)
+    q_matrix = resolve_q(graph_or_q)
+    target = lossless_rank(q_matrix) if rank is None else int(rank)
+    target = max(1, target)
+    factors = truncated_svd(q_matrix, target)
+    return low_rank_simrank_scores(factors, cfg.damping)

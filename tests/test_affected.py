@@ -1,0 +1,118 @@
+"""Tests for repro.incremental.affected (Theorem 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import EdgeUpdate
+from repro.incremental.affected import (
+    AffectedAreaStats,
+    AffectedAreaTracker,
+    initial_affected_sets,
+)
+from repro.incremental.inc_sr import inc_sr_update
+from repro.simrank.exact import exact_simrank
+
+
+class TestAffectedAreaStats:
+    def test_average_area(self):
+        stats = AffectedAreaStats(num_nodes=10)
+        stats.record(2, 3)
+        stats.record(4, 5)
+        assert stats.area_sizes() == [6, 20]
+        assert stats.average_area() == pytest.approx(13.0)
+
+    def test_fractions(self):
+        stats = AffectedAreaStats(num_nodes=10)
+        stats.record(5, 4)  # 20 of 100 pairs
+        assert stats.affected_fraction() == pytest.approx(0.2)
+        assert stats.pruned_fraction() == pytest.approx(0.8)
+
+    def test_empty_stats(self):
+        stats = AffectedAreaStats(num_nodes=10)
+        assert stats.average_area() == 0.0
+        assert stats.affected_fraction() == 0.0
+        assert stats.iterations == 0
+
+    def test_zero_nodes(self):
+        stats = AffectedAreaStats(num_nodes=0)
+        stats.record(0, 0)
+        assert stats.affected_fraction() == 0.0
+
+    def test_merge(self):
+        a = AffectedAreaStats(num_nodes=10)
+        a.record(1, 1)
+        b = AffectedAreaStats(num_nodes=10)
+        b.record(2, 2)
+        merged = a.merged_with(b)
+        assert merged.row_sizes == [1, 2]
+        assert merged.average_area() == pytest.approx((1 + 4) / 2)
+        # originals untouched
+        assert a.row_sizes == [1]
+
+
+class TestAffectedAreaTracker:
+    def test_expand_is_out_neighbor_closure(self, diamond_graph):
+        tracker = AffectedAreaTracker(diamond_graph)
+        expanded = tracker.expand(np.asarray([0]))
+        np.testing.assert_array_equal(expanded, [1, 2])
+        expanded2 = tracker.expand(np.asarray([1, 2]))
+        np.testing.assert_array_equal(expanded2, [3])
+
+    def test_expand_empty(self, diamond_graph):
+        tracker = AffectedAreaTracker(diamond_graph)
+        assert tracker.expand(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_record(self, diamond_graph):
+        tracker = AffectedAreaTracker(diamond_graph)
+        tracker.record_iteration(np.asarray([0, 1]), np.asarray([2]))
+        assert tracker.stats.row_sizes == [2]
+        assert tracker.stats.col_sizes == [1]
+
+
+class TestInitialAffectedSets:
+    def test_b0_contains_target(self, diamond_graph, config):
+        s = exact_simrank(diamond_graph, config)
+        b0 = initial_affected_sets(
+            diamond_graph, s, update_source=0, update_target=3,
+            target_degree_positive=True,
+        )
+        assert 3 in b0
+
+    def test_b0_superset_of_gamma_support(self, cyclic_graph):
+        """Theorem 4 soundness: supp(γ) ⊆ B0 = F1 ∪ F2 ∪ {j}."""
+        config = SimRankConfig(damping=0.6, iterations=15)
+        q = backward_transition_matrix(cyclic_graph)
+        s = exact_simrank(cyclic_graph, config)
+        update = EdgeUpdate.insert(4, 2)
+        from repro.incremental.gamma import compute_update_vectors
+
+        vectors = compute_update_vectors(q, s, update, cyclic_graph, config)
+        b0 = set(
+            initial_affected_sets(
+                cyclic_graph,
+                s,
+                update_source=update.source,
+                update_target=update.target,
+                target_degree_positive=vectors.target_degree > 0,
+            ).tolist()
+        )
+        support = set(np.nonzero(np.abs(vectors.gamma) > 0)[0].tolist())
+        assert support <= b0
+
+    def test_theorem4_zero_outside_support(self):
+        """Entries of ΔS outside the recorded affected areas are zero."""
+        graph = DynamicDiGraph.from_edges(
+            8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]
+        )
+        config = SimRankConfig(damping=0.6, iterations=12)
+        q = backward_transition_matrix(graph)
+        s = exact_simrank(graph, config)
+        result = inc_sr_update(graph, q, s, EdgeUpdate.insert(3, 0), config)
+        delta = result.new_s - s
+        # The second chain 4..7 is unreachable from the update: zero delta.
+        assert np.max(np.abs(delta[4:, 4:])) == 0.0
+        # And the affected fraction reflects that more than half is pruned.
+        assert result.affected.pruned_fraction() > 0.5

@@ -1,0 +1,153 @@
+"""Tests for the batch SimRank algorithms (repro.simrank.*)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import ConvergenceError
+from repro.graph.digraph import DynamicDiGraph
+from repro.simrank.base import check_similarity_matrix
+from repro.simrank.exact import exact_simrank, truncation_error_bound
+from repro.simrank.matrix import batch_simrank, matrix_simrank
+from repro.simrank.naive import naive_simrank, naive_simrank_single_pair
+from repro.simrank.partial_sums import (
+    partial_sums_iteration_cost,
+    partial_sums_simrank,
+)
+
+
+class TestNaiveSimRank:
+    def test_diagonal_pinned_to_one(self, random_graph, config):
+        scores = naive_simrank(random_graph, config)
+        np.testing.assert_allclose(np.diag(scores), 1.0)
+
+    def test_matches_networkx(self, cyclic_graph):
+        config = SimRankConfig(damping=0.9, iterations=40)
+        ours = naive_simrank(cyclic_graph, config)
+        theirs = nx.simrank_similarity(
+            cyclic_graph.to_networkx(),
+            importance_factor=config.damping,
+            max_iterations=100,
+            tolerance=1e-12,
+        )
+        for a in range(cyclic_graph.num_nodes):
+            for b in range(cyclic_graph.num_nodes):
+                assert ours[a, b] == pytest.approx(theirs[a][b], abs=1e-5)
+
+    def test_diamond_closed_form(self, diamond_graph):
+        # s(1,2) = C exactly (common single in-neighbor 0, s(0,0)=1).
+        config = SimRankConfig(damping=0.8, iterations=20)
+        scores = naive_simrank(diamond_graph, config)
+        assert scores[1, 2] == pytest.approx(0.8)
+        # s(0, 3) = 0: node 0 has no in-links.
+        assert scores[0, 3] == 0.0
+
+    def test_symmetric(self, random_graph, config):
+        scores = naive_simrank(random_graph, config)
+        np.testing.assert_allclose(scores, scores.T, atol=1e-12)
+
+    def test_single_pair_helper(self, diamond_graph):
+        config = SimRankConfig(damping=0.8, iterations=20)
+        assert naive_simrank_single_pair(
+            diamond_graph, 1, 2, config
+        ) == pytest.approx(0.8)
+
+
+class TestPartialSumsSimRank:
+    def test_identical_to_naive_every_graph(self, config):
+        for seed in (1, 2, 3):
+            from repro.graph.generators import erdos_renyi_digraph
+
+            graph = erdos_renyi_digraph(25, 0.12, seed=seed)
+            np.testing.assert_allclose(
+                partial_sums_simrank(graph, config),
+                naive_simrank(graph, config),
+                atol=1e-10,
+            )
+
+    def test_iteration_cost_below_naive(self, citation_graph):
+        n = citation_graph.num_nodes
+        d = citation_graph.average_in_degree()
+        partial_cost = partial_sums_iteration_cost(citation_graph)
+        naive_cost = (d * n) ** 2 / n * n  # O(d^2 n^2) shaped
+        assert partial_cost == 2 * citation_graph.num_edges * n
+        assert partial_cost < naive_cost
+
+
+class TestMatrixSimRank:
+    def test_fixed_point_residual_within_bound(self, cyclic_graph, config):
+        scores = matrix_simrank(cyclic_graph, config)
+        truth = exact_simrank(cyclic_graph, config)
+        bound = truncation_error_bound(config)
+        assert np.max(np.abs(scores - truth)) <= bound
+
+    def test_diagonal_at_least_one_minus_damping(self, random_graph, config):
+        scores = matrix_simrank(random_graph, config)
+        assert np.min(np.diag(scores)) >= (1 - config.damping) - 1e-12
+
+    def test_invariants(self, random_graph, config):
+        check_similarity_matrix(matrix_simrank(random_graph, config), config.damping)
+
+    def test_accepts_prebuilt_q(self, diamond_graph, config):
+        from repro.graph.transition import backward_transition_matrix
+
+        q = backward_transition_matrix(diamond_graph)
+        np.testing.assert_allclose(
+            matrix_simrank(q, config), matrix_simrank(diamond_graph, config)
+        )
+
+    def test_batch_alias(self, diamond_graph, config):
+        np.testing.assert_array_equal(
+            batch_simrank(diamond_graph, config),
+            matrix_simrank(diamond_graph, config),
+        )
+
+    def test_tolerance_early_exit(self, diamond_graph):
+        # The diamond is a DAG of depth 2: converges after 3 iterations.
+        config = SimRankConfig(damping=0.6, iterations=50)
+        scores = matrix_simrank(diamond_graph, config, tolerance=1e-14)
+        truth = exact_simrank(diamond_graph, config)
+        np.testing.assert_allclose(scores, truth, atol=1e-12)
+
+    def test_tolerance_failure_raises(self, cyclic_graph):
+        config = SimRankConfig(damping=0.9, iterations=2)
+        with pytest.raises(ConvergenceError):
+            matrix_simrank(cyclic_graph, config, tolerance=1e-12)
+
+    def test_empty_graph(self, config):
+        scores = matrix_simrank(DynamicDiGraph(3), config)
+        np.testing.assert_allclose(scores, (1 - config.damping) * np.eye(3))
+
+
+class TestExactSimRank:
+    def test_satisfies_matrix_equation(self, cyclic_graph, config):
+        from repro.graph.transition import backward_transition_matrix
+
+        q = backward_transition_matrix(cyclic_graph).toarray()
+        s = exact_simrank(cyclic_graph, config)
+        residual = s - (
+            config.damping * q @ s @ q.T
+            + (1 - config.damping) * np.eye(len(s))
+        )
+        assert np.max(np.abs(residual)) < 1e-12
+
+    def test_scores_in_unit_interval(self, random_graph, config):
+        s = exact_simrank(random_graph, config)
+        assert s.min() >= -1e-12
+        assert s.max() <= 1.0 + 1e-12
+
+    def test_truncation_bound_formula(self):
+        config = SimRankConfig(damping=0.6, iterations=15)
+        assert truncation_error_bound(config) == pytest.approx(
+            0.6**16 / 0.4
+        )
+
+
+class TestConventionDifference:
+    def test_matrix_form_diagonal_below_iterative_form(self, cyclic_graph, config):
+        """Documented convention gap: matrix form has diag <= 1."""
+        matrix_scores = matrix_simrank(cyclic_graph, config)
+        naive_scores = naive_simrank(cyclic_graph, config)
+        assert np.all(np.diag(matrix_scores) <= np.diag(naive_scores) + 1e-12)
+        assert np.min(np.diag(matrix_scores)) < 1.0

@@ -1,0 +1,128 @@
+"""Tests for repro.bench (harness, reporting, experiments, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, fig1, fig2b, fig2e, fig4, run_experiment
+from repro.bench.harness import Table, format_seconds, speedup, timed
+from repro.bench.reporting import format_table
+from repro.exceptions import ConfigError
+
+
+class TestHarness:
+    def test_timed_returns_result_and_duration(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_table_row_arity_checked(self):
+        table = Table(title="t", headers=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_column_extraction(self):
+        table = Table(title="t", headers=["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_format_seconds(self):
+        assert format_seconds(0.5e-3).endswith("us")
+        assert format_seconds(0.05).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) is None
+
+
+class TestReporting:
+    def test_format_table_contains_everything(self):
+        table = Table(title="My Title", headers=["col1", "col2"])
+        table.add_row("value", 0.125)
+        table.add_note("a footnote")
+        text = format_table(table)
+        assert "My Title" in text
+        assert "col1" in text
+        assert "value" in text
+        assert "0.1250" in text
+        assert "* a footnote" in text
+
+
+class TestExperiments:
+    def test_registry_covers_every_figure(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2a",
+            "fig2b",
+            "fig2c",
+            "fig2d",
+            "fig2e",
+            "fig3",
+            "fig4",
+            "abl-tolerance",
+            "abl-order",
+            "abl-iterations",
+            "abl-consolidation",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            fig2e(scale="huge")
+
+    def test_fig1_incsr_exact_and_incsvd_not(self):
+        table = fig1()
+        true_col = np.asarray(table.column("sim_true"), dtype=float)
+        sr_col = np.asarray(table.column("sim_IncSR"), dtype=float)
+        svd_col = np.asarray(table.column("sim_IncSVD"), dtype=float)
+        np.testing.assert_allclose(sr_col, true_col, atol=1e-3)
+        assert np.max(np.abs(svd_col - true_col)) > 1e-2
+
+    def test_fig1_insertion_changes_some_pairs_not_others(self):
+        table = fig1()
+        old = np.asarray(table.column("sim (old G)"), dtype=float)
+        new = np.asarray(table.column("sim_true"), dtype=float)
+        changed = np.abs(old - new) > 1e-6
+        assert changed.any()
+        assert (~changed).any()
+
+    def test_fig2b_rank_not_negligible(self):
+        table = fig2b("tiny")
+        fractions = np.asarray(table.column("% of n"), dtype=float)
+        # The paper's point: r is a large fraction of n (not << n).
+        assert np.all(fractions > 20.0)
+
+    def test_fig2e_affected_fraction_small(self):
+        table = fig2e("tiny")
+        fractions = np.asarray(table.column("% affected"), dtype=float)
+        assert np.all(fractions < 50.0)
+        assert np.all(fractions >= 0.0)
+
+    def test_fig4_incsr_beats_incsvd(self):
+        table = fig4("tiny")
+        for row in table.rows:
+            by_header = dict(zip(table.headers, row))
+            assert by_header["Inc-SR(K=15)"] >= by_header["Inc-SVD(r=5)"]
+            # lossless pruning: Inc-SR == Inc-uSR at each K
+            assert by_header["Inc-SR(K=15)"] == pytest.approx(
+                by_header["Inc-uSR(K=15)"], abs=1e-9
+            )
+            assert by_header["Inc-SR(K=5)"] == pytest.approx(
+                by_header["Inc-uSR(K=5)"], abs=1e-9
+            )
+
+
+class TestCLI:
+    def test_main_runs_single_experiment(self, capsys):
+        from repro.bench.cli import main
+
+        exit_code = main(["fig1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Fig. 1" in captured.out

@@ -1,0 +1,115 @@
+"""Tests for repro.cli (the top-level command line)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_update_file, main
+from repro.exceptions import GraphError
+from repro.graph.io import save_edge_list
+
+
+@pytest.fixture
+def edges_file(tmp_path, citation_graph):
+    path = str(tmp_path / "graph.txt")
+    save_edge_list(citation_graph, path)
+    return path
+
+
+@pytest.fixture
+def updates_file(tmp_path, citation_graph):
+    path = tmp_path / "updates.txt"
+    existing = sorted(citation_graph.edge_set())
+    source, target = existing[0]
+    lines = [
+        "# a comment",
+        f"- {source} {target}",
+        "+ 0 55",
+        "+ 1 55",
+        "+ 2 55",  # repeated target: exercises consolidation
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestLoadUpdateFile:
+    def test_parses_signs(self, updates_file):
+        batch = load_update_file(updates_file)
+        assert len(batch) == 4
+        assert batch.num_deletions == 1
+        assert batch.num_insertions == 3
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("* 0 1\n")
+        with pytest.raises(GraphError):
+            load_update_file(str(path))
+
+    def test_rejects_wrong_arity(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("+ 0\n")
+        with pytest.raises(GraphError):
+            load_update_file(str(path))
+
+
+class TestCommands:
+    def test_info(self, edges_file, capsys):
+        assert main(["info", edges_file]) == 0
+        out = capsys.readouterr().out
+        assert "num_nodes" in out
+        assert "in_degree_gini" in out
+
+    def test_compute_with_output(self, edges_file, tmp_path, capsys):
+        out_path = str(tmp_path / "scores.npy")
+        code = main(
+            ["--iterations", "5", "compute", edges_file, "-o", out_path, "-k", "3"]
+        )
+        assert code == 0
+        scores = np.load(out_path)
+        assert scores.shape[0] == scores.shape[1]
+        assert "top-3 similar pairs" in capsys.readouterr().out
+
+    def test_update_unit_path(self, edges_file, updates_file, capsys):
+        code = main(
+            ["--iterations", "5", "update", edges_file, updates_file, "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied 4 unit updates" in out
+        assert "pruned" in out
+
+    def test_update_consolidated_path(self, edges_file, updates_file, capsys):
+        code = main(
+            [
+                "--iterations",
+                "5",
+                "update",
+                edges_file,
+                updates_file,
+                "--consolidate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # 4 updates but at most 2 distinct target rows.
+        assert "consolidated row updates" in out
+        assert "as 2 consolidated" in out
+
+    def test_consolidated_and_unit_agree(
+        self, edges_file, updates_file, tmp_path, capsys
+    ):
+        unit_out = str(tmp_path / "unit.npy")
+        cons_out = str(tmp_path / "cons.npy")
+        main(["update", edges_file, updates_file, "-o", unit_out])
+        main(["update", edges_file, updates_file, "--consolidate", "-o", cons_out])
+        unit_scores = np.load(unit_out)
+        cons_scores = np.load(cons_out)
+        np.testing.assert_allclose(unit_scores, cons_scores, atol=1e-3)
+
+    def test_similar(self, edges_file, capsys):
+        assert main(["similar", edges_file, "5", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "similar to 5" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

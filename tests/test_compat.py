@@ -1,0 +1,108 @@
+"""Tests for repro.compat (networkx-facing wrappers)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.compat import NetworkxDynamicSimRank, simrank_similarity
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DynamicDiGraph
+from repro.simrank.matrix import matrix_simrank
+
+
+@pytest.fixture
+def labeled_graph():
+    graph = nx.DiGraph()
+    graph.add_edges_from(
+        [("alice", "bob"), ("alice", "carol"), ("bob", "dave"), ("carol", "dave")]
+    )
+    return graph
+
+
+class TestSimrankSimilarity:
+    def test_matches_internal_matrix(self, labeled_graph):
+        config = SimRankConfig(damping=0.8, iterations=20)
+        scores = simrank_similarity(labeled_graph, config)
+        internal, labels = DynamicDiGraph.from_networkx(labeled_graph)
+        matrix = matrix_simrank(internal, config)
+        for a, index_a in labels.items():
+            for b, index_b in labels.items():
+                assert scores[a][b] == pytest.approx(matrix[index_a, index_b])
+
+    def test_symmetric(self, labeled_graph):
+        scores = simrank_similarity(labeled_graph)
+        assert scores["bob"]["carol"] == pytest.approx(scores["carol"]["bob"])
+
+
+class TestNetworkxDynamicSimRank:
+    def test_incremental_update_matches_recompute(self, labeled_graph):
+        config = SimRankConfig(damping=0.6, iterations=25)
+        session = NetworkxDynamicSimRank(labeled_graph, config)
+        session.add_edge("dave", "alice")
+        labeled_graph.add_edge("dave", "alice")
+        recomputed = simrank_similarity(labeled_graph, config)
+        assert session.similarity("bob", "carol") == pytest.approx(
+            recomputed["bob"]["carol"], abs=1e-4
+        )
+
+    def test_remove_edge(self, labeled_graph):
+        config = SimRankConfig(damping=0.6, iterations=25)
+        session = NetworkxDynamicSimRank(labeled_graph, config)
+        session.remove_edge("alice", "bob")
+        labeled_graph.remove_edge("alice", "bob")
+        recomputed = simrank_similarity(labeled_graph, config)
+        assert session.similarity("bob", "carol") == pytest.approx(
+            recomputed["bob"]["carol"], abs=1e-4
+        )
+
+    def test_top_k_uses_labels(self, labeled_graph):
+        session = NetworkxDynamicSimRank(labeled_graph)
+        top = session.top_k(2)
+        assert len(top) == 2
+        names = {"alice", "bob", "carol", "dave"}
+        for a, b, score in top:
+            assert a in names and b in names
+            assert 0.0 <= score <= 1.0
+
+    def test_unknown_label_rejected(self, labeled_graph):
+        session = NetworkxDynamicSimRank(labeled_graph)
+        with pytest.raises(NodeNotFoundError):
+            session.similarity("alice", "nobody")
+
+    def test_engine_escape_hatch(self, labeled_graph):
+        session = NetworkxDynamicSimRank(labeled_graph)
+        assert session.engine.graph.num_nodes == 4
+
+
+class TestEngineNodeArrival:
+    def test_add_node_then_edges(self, cyclic_graph):
+        from repro import DynamicSimRank
+        from repro.graph.updates import EdgeUpdate
+
+        config = SimRankConfig(damping=0.6, iterations=25)
+        engine = DynamicSimRank(cyclic_graph, config, algorithm="inc-sr")
+        new_node = engine.add_node()
+        assert new_node == cyclic_graph.num_nodes
+        # Isolated node: self-score is 1 - C, everything else 0.
+        assert engine.similarity(new_node, new_node) == pytest.approx(0.4)
+        assert engine.similarity(new_node, 0) == 0.0
+
+        engine.apply(EdgeUpdate.insert(0, new_node))
+        engine.apply(EdgeUpdate.insert(new_node, 2))
+        live = cyclic_graph.copy()
+        live.add_node()
+        live.add_edge(0, new_node)
+        live.add_edge(new_node, 2)
+        truth = matrix_simrank(live, config)
+        np.testing.assert_allclose(
+            engine.similarities(), truth, atol=1e-4
+        )
+
+    def test_add_node_under_paranoid_mode(self, diamond_graph, config):
+        from repro import DynamicSimRank
+        from repro.graph.updates import EdgeUpdate
+
+        engine = DynamicSimRank(diamond_graph, config, paranoid=True)
+        node = engine.add_node()
+        engine.apply(EdgeUpdate.insert(node, 0))

@@ -1,0 +1,133 @@
+"""Tests for repro.datasets (citation, video, registry, example)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.citation import citation_network, cith_like, dblp_like
+from repro.datasets.example import (
+    EXAMPLE_EDGES,
+    NODE_LABELS,
+    TABLE_PAIRS,
+    example_graph,
+    example_update,
+    label_to_index,
+)
+from repro.datasets.registry import DatasetSpec, get_dataset, list_datasets
+from repro.datasets.video import youtube_like
+from repro.exceptions import ConfigError, GraphError
+
+
+class TestCitationNetwork:
+    def test_deterministic(self):
+        a = citation_network(100, 5, 4, seed=1)
+        b = citation_network(100, 5, 4, seed=1)
+        assert sorted(a._edges.items()) == sorted(b._edges.items())
+
+    def test_edges_cite_earlier_papers(self):
+        corpus = citation_network(120, 6, 5, seed=2)
+        for (source, target) in corpus._edges:
+            assert source > target
+
+    def test_snapshots_grow_monotonically(self):
+        corpus = citation_network(150, 5, 4, seed=3)
+        sizes = [corpus.snapshot_at(t).num_edges for t in corpus.timestamps()]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == corpus.num_edges
+
+    def test_in_degree_skew(self):
+        corpus = citation_network(300, 5, 5, seed=4)
+        graph = corpus.snapshot_at(corpus.timestamps()[-1])
+        degrees = sorted((graph.in_degree(v) for v in range(300)), reverse=True)
+        assert degrees[0] >= 4 * max(1, degrees[150])
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            citation_network(10, 0, 3)
+        with pytest.raises(GraphError):
+            citation_network(2, 5, 3)
+        with pytest.raises(GraphError):
+            citation_network(10, 2, 0)
+
+    def test_dblp_sparser_than_cith(self):
+        dblp = dblp_like(num_papers=300, num_years=6)
+        cith = cith_like(num_papers=300, num_years=6)
+        dblp_density = dblp.num_edges / dblp.num_nodes
+        cith_density = cith.num_edges / cith.num_nodes
+        assert cith_density > dblp_density
+
+
+class TestYoutubeLike:
+    def test_deterministic(self):
+        a = youtube_like(num_videos=150, num_ages=4, seed=5)
+        b = youtube_like(num_videos=150, num_ages=4, seed=5)
+        assert sorted(a._edges.items()) == sorted(b._edges.items())
+
+    def test_contains_cycles(self):
+        """Reciprocal related-links must create 2-cycles (unlike citations)."""
+        corpus = youtube_like(num_videos=200, num_ages=4, seed=6)
+        graph = corpus.snapshot_at(corpus.timestamps()[-1])
+        has_mutual = any(
+            graph.has_edge(t, s) for (s, t) in graph.edges() if s < t
+        )
+        assert has_mutual
+
+    def test_snapshots_grow(self):
+        corpus = youtube_like(num_videos=150, num_ages=5, seed=7)
+        sizes = [corpus.snapshot_at(t).num_edges for t in corpus.timestamps()]
+        assert sizes == sorted(sizes)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            youtube_like(num_videos=2, num_ages=5)
+
+
+class TestRegistry:
+    def test_all_registered_datasets_build(self):
+        for name in list_datasets():
+            spec = get_dataset(name)
+            corpus = spec.build()
+            assert corpus.num_edges > 0
+            assert spec.config.damping == 0.6
+
+    def test_names_cover_three_families(self):
+        names = list_datasets()
+        for family in ("dblp", "cith", "youtu"):
+            assert any(name.startswith(family) for name in names)
+
+    def test_youtu_uses_k5_like_paper(self):
+        assert get_dataset("youtu").config.iterations == 5
+        assert get_dataset("dblp").config.iterations == 15
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            get_dataset("no-such-dataset")
+
+
+class TestExampleGraph:
+    def test_fifteen_nodes(self):
+        graph = example_graph()
+        assert graph.num_nodes == len(NODE_LABELS) == 15
+        assert graph.num_edges == len(EXAMPLE_EDGES)
+
+    def test_structural_facts_from_paper(self):
+        """d_j = 2 with I(j) = {h, k}, as stated in Example 4."""
+        graph = example_graph()
+        mapping = label_to_index()
+        j = mapping["j"]
+        assert graph.in_degree(j) == 2
+        assert graph.in_neighbors(j) == frozenset(
+            {mapping["h"], mapping["k"]}
+        )
+
+    def test_update_is_the_dashed_insertion(self):
+        graph = example_graph()
+        update = example_update()
+        mapping = label_to_index()
+        assert update.is_insert
+        assert update.edge == (mapping["i"], mapping["j"])
+        assert not graph.has_edge(*update.edge)
+
+    def test_table_pairs_valid_labels(self):
+        mapping = label_to_index()
+        for a, b in TABLE_PAIRS:
+            assert a in mapping and b in mapping

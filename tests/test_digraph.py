@@ -1,0 +1,138 @@
+"""Tests for repro.graph.digraph."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+from repro.graph.digraph import DynamicDiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DynamicDiGraph(0)
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicDiGraph(-1)
+
+    def test_from_edges(self):
+        graph = DynamicDiGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 0)
+
+    def test_from_labeled_edges(self):
+        graph, labels = DynamicDiGraph.from_labeled_edges(
+            [("x", "y"), ("y", "z"), ("x", "z")]
+        )
+        assert graph.num_nodes == 3
+        assert labels == {"x": 0, "y": 1, "z": 2}
+        assert graph.has_edge(labels["x"], labels["z"])
+
+    def test_copy_is_deep(self):
+        graph = DynamicDiGraph.from_edges(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_equality(self):
+        a = DynamicDiGraph.from_edges(3, [(0, 1), (1, 2)])
+        b = DynamicDiGraph.from_edges(3, [(1, 2), (0, 1)])
+        assert a == b
+        b.add_edge(2, 0)
+        assert a != b
+
+
+class TestMutation:
+    def test_add_and_remove_edge_roundtrip(self):
+        graph = DynamicDiGraph(4)
+        graph.add_edge(1, 3)
+        assert graph.has_edge(1, 3)
+        graph.remove_edge(1, 3)
+        assert not graph.has_edge(1, 3)
+        assert graph.num_edges == 0
+
+    def test_duplicate_insert_raises(self):
+        graph = DynamicDiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(EdgeExistsError):
+            graph.add_edge(0, 1)
+
+    def test_missing_delete_raises(self):
+        graph = DynamicDiGraph(2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 1)
+
+    def test_unknown_node_raises(self):
+        graph = DynamicDiGraph(2)
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(0, 5)
+        with pytest.raises(NodeNotFoundError):
+            graph.in_degree(-1)
+
+    def test_self_loop_allowed(self):
+        graph = DynamicDiGraph(2)
+        graph.add_edge(1, 1)
+        assert graph.has_edge(1, 1)
+        assert graph.in_degree(1) == 1
+        assert graph.out_degree(1) == 1
+
+    def test_add_node_grows_universe(self):
+        graph = DynamicDiGraph(2)
+        new = graph.add_node()
+        assert new == 2
+        assert graph.num_nodes == 3
+        graph.add_edge(0, new)
+        assert graph.has_edge(0, 2)
+
+
+class TestQueries:
+    def test_in_and_out_neighbors(self, diamond_graph):
+        assert diamond_graph.in_neighbors(3) == frozenset({1, 2})
+        assert diamond_graph.out_neighbors(0) == frozenset({1, 2})
+        assert diamond_graph.in_neighbors(0) == frozenset()
+
+    def test_degrees(self, diamond_graph):
+        assert diamond_graph.in_degree(3) == 2
+        assert diamond_graph.out_degree(0) == 2
+        assert diamond_graph.in_degree(0) == 0
+
+    def test_average_in_degree(self, diamond_graph):
+        assert diamond_graph.average_in_degree() == pytest.approx(1.0)
+
+    def test_average_in_degree_empty(self):
+        assert DynamicDiGraph(0).average_in_degree() == 0.0
+
+    def test_edges_sorted_deterministic(self):
+        graph = DynamicDiGraph.from_edges(3, [(2, 1), (0, 2), (0, 1)])
+        assert list(graph.edges()) == [(0, 1), (0, 2), (2, 1)]
+
+    def test_in_neighbor_lists(self, diamond_graph):
+        assert diamond_graph.in_neighbor_lists() == [[], [0], [0], [1, 2]]
+
+    def test_contains(self, diamond_graph):
+        assert 3 in diamond_graph
+        assert 4 not in diamond_graph
+        assert "a" not in diamond_graph
+
+    def test_len(self, diamond_graph):
+        assert len(diamond_graph) == 4
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, citation_graph):
+        nx_graph = citation_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == citation_graph.num_nodes
+        assert nx_graph.number_of_edges() == citation_graph.num_edges
+        back, labels = DynamicDiGraph.from_networkx(nx_graph)
+        assert back == citation_graph
+        assert labels == {v: v for v in range(citation_graph.num_nodes)}

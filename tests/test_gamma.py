@@ -1,0 +1,166 @@
+"""Tests for repro.incremental.gamma (Theorems 2-3).
+
+The key identity under test: with ``w = y + (λ/2)·u`` (Theorem 2), the
+rank-two right-hand side ``T = u·wᵀ + w·uᵀ`` must equal the expansion
+``u·(Q·S·v)ᵀ + (Q·S·v)·uᵀ + (vᵀ·S·v)·u·uᵀ`` of Eq. (23); and the folded
+vector ``γ`` must satisfy ``e_j·γᵀ = u·wᵀ`` so the Theorem 3 series is
+the Theorem 2 series.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.generators import erdos_renyi_digraph
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import EdgeUpdate
+from repro.incremental.gamma import compute_gamma, compute_update_vectors
+from repro.simrank.exact import exact_simrank
+
+
+def theorem2_w(q_dense, s_matrix, u, v):
+    """The w of Theorem 2 from its defining quantities (Eq. (19))."""
+    z = s_matrix @ v
+    y = q_dense @ z
+    lam = float(v @ z)
+    return y + 0.5 * lam * u, lam
+
+
+def applicable_updates(graph):
+    """One insertion and one deletion covering each degree branch."""
+    updates = []
+    edge_set = graph.edge_set()
+    n = graph.num_nodes
+    # insertion with d_j = 0 and d_j > 0; deletion with d_j = 1 and > 1
+    for target in range(n):
+        degree = graph.in_degree(target)
+        for source in range(n):
+            update = EdgeUpdate.insert(source, target)
+            if (source, target) not in edge_set and source != target:
+                if degree == 0 and not any(
+                    u.is_insert and graph.in_degree(u.target) == 0
+                    for u in updates
+                ):
+                    updates.append(update)
+                if degree > 0 and not any(
+                    u.is_insert and graph.in_degree(u.target) > 0
+                    for u in updates
+                ):
+                    updates.append(update)
+    for source, target in sorted(edge_set):
+        degree = graph.in_degree(target)
+        if degree == 1 and not any(
+            not u.is_insert and graph.in_degree(u.target) == 1 for u in updates
+        ):
+            updates.append(EdgeUpdate.delete(source, target))
+        if degree > 1 and not any(
+            not u.is_insert and graph.in_degree(u.target) > 1 for u in updates
+        ):
+            updates.append(EdgeUpdate.delete(source, target))
+    return updates
+
+
+class TestUpdateVectors:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gamma_folds_w_exactly(self, seed):
+        """γ·scaled-by-u equals the Theorem 2 w: e_j·γᵀ == u·wᵀ."""
+        graph = erdos_renyi_digraph(18, 0.15, seed=seed)
+        config = SimRankConfig(damping=0.7, iterations=12)
+        q = backward_transition_matrix(graph)
+        s = exact_simrank(graph, config)
+        for update in applicable_updates(graph):
+            vectors = compute_update_vectors(q, s, update, graph, config)
+            w_expected, lam_expected = theorem2_w(
+                q.toarray(), s, vectors.u, vectors.v
+            )
+            e_j = np.zeros(graph.num_nodes)
+            e_j[update.target] = 1.0
+            np.testing.assert_allclose(
+                np.outer(e_j, vectors.gamma),
+                np.outer(vectors.u, w_expected),
+                atol=1e-10,
+                err_msg=f"update={update}",
+            )
+
+    def test_lambda_matches_eq29(self, cyclic_graph):
+        """λ = [S]ii + (1/C)[S]jj − 2[Q]j,:[S]:,i − 1/C + 1 (Eq. (29))."""
+        config = SimRankConfig(damping=0.6, iterations=10)
+        q = backward_transition_matrix(cyclic_graph)
+        s = exact_simrank(cyclic_graph, config)
+        update = EdgeUpdate.insert(4, 2)
+        vectors = compute_update_vectors(q, s, update, cyclic_graph, config)
+        i, j = update.source, update.target
+        q_dense = q.toarray()
+        expected = (
+            s[i, i]
+            + s[j, j] / config.damping
+            - 2 * q_dense[j] @ s[:, i]
+            - 1 / config.damping
+            + 1
+        )
+        assert vectors.lam == pytest.approx(expected)
+
+    def test_lambda_equals_vt_s_v_definition(self, cyclic_graph):
+        """For the d_j>0 insertion branch, λ is vᵀ·S·v (Theorem 2 proof)."""
+        config = SimRankConfig(damping=0.6, iterations=10)
+        q = backward_transition_matrix(cyclic_graph)
+        s = exact_simrank(cyclic_graph, config)
+        update = EdgeUpdate.insert(4, 2)  # node 2 has in-degree 1 > 0
+        vectors = compute_update_vectors(q, s, update, cyclic_graph, config)
+        assert vectors.lam == pytest.approx(
+            float(vectors.v @ s @ vectors.v), abs=1e-10
+        )
+
+    def test_rank_two_rhs_matches_eq23(self, random_graph):
+        """T = u·wᵀ + w·uᵀ equals the raw expansion of Eq. (23)."""
+        config = SimRankConfig(damping=0.6, iterations=10)
+        q = backward_transition_matrix(random_graph)
+        s = exact_simrank(random_graph, config)
+        q_dense = q.toarray()
+        for update in applicable_updates(random_graph)[:3]:
+            vectors = compute_update_vectors(q, s, update, random_graph, config)
+            u, v = vectors.u, vectors.v
+            w, _ = theorem2_w(q_dense, s, u, v)
+            t_folded = np.outer(u, w) + np.outer(w, u)
+            qsv = q_dense @ s @ v
+            t_raw = (
+                np.outer(u, qsv)
+                + np.outer(qsv, u)
+                + float(v @ s @ v) * np.outer(u, u)
+            )
+            np.testing.assert_allclose(t_folded, t_raw, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self, diamond_graph):
+        from repro.exceptions import DimensionError
+
+        q = backward_transition_matrix(diamond_graph)
+        with pytest.raises(DimensionError):
+            compute_gamma(
+                q, np.eye(3), EdgeUpdate.insert(3, 0), 0, SimRankConfig()
+            )
+
+
+class TestEq31And32Identities:
+    def test_postmultiplication_identity(self, cyclic_graph):
+        """Eq. (31): Q·S·[Q]ᵀ_{j,:} = (1/C)([S]_{:,j} − (1−C)e_j)."""
+        config = SimRankConfig(damping=0.6, iterations=10)
+        q = backward_transition_matrix(cyclic_graph).toarray()
+        s = exact_simrank(cyclic_graph, config)
+        c = config.damping
+        for j in range(cyclic_graph.num_nodes):
+            e_j = np.zeros(cyclic_graph.num_nodes)
+            e_j[j] = 1.0
+            left = q @ s @ q[j]
+            right = (s[:, j] - (1 - c) * e_j) / c
+            np.testing.assert_allclose(left, right, atol=1e-10)
+
+    def test_quadratic_identity(self, cyclic_graph):
+        """Eq. (32): [Q]_{j,:}·S·[Q]ᵀ_{j,:} = (1/C)([S]_{j,j} − 1) + 1."""
+        config = SimRankConfig(damping=0.6, iterations=10)
+        q = backward_transition_matrix(cyclic_graph).toarray()
+        s = exact_simrank(cyclic_graph, config)
+        c = config.damping
+        for j in range(cyclic_graph.num_nodes):
+            left = q[j] @ s @ q[j]
+            right = (s[j, j] - 1) / c + 1
+            np.testing.assert_allclose(left, right, atol=1e-10)

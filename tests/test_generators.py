@@ -1,0 +1,132 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    erdos_renyi_digraph,
+    linkage_model_digraph,
+    preferential_attachment_digraph,
+    random_deletions,
+    random_insertions,
+    random_update_batch,
+)
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi_digraph(30, 0.1, seed=42)
+        b = erdos_renyi_digraph(30, 0.1, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_digraph(30, 0.1, seed=1)
+        b = erdos_renyi_digraph(30, 0.1, seed=2)
+        assert a != b
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_digraph(25, 0.3, seed=3)
+        assert all(s != t for s, t in graph.edges())
+
+    def test_edge_count_near_expectation(self):
+        n, p = 60, 0.2
+        graph = erdos_renyi_digraph(n, p, seed=4)
+        expected = p * n * (n - 1)
+        assert 0.7 * expected < graph.num_edges < 1.3 * expected
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects_bad_probability(self, p):
+        with pytest.raises(GraphError):
+            erdos_renyi_digraph(10, p)
+
+    def test_extreme_probabilities(self):
+        assert erdos_renyi_digraph(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_digraph(10, 1.0, seed=1).num_edges == 90
+
+
+class TestPreferentialAttachment:
+    def test_is_dag_under_node_order(self):
+        graph = preferential_attachment_digraph(50, 3, seed=7)
+        assert all(s > t for s, t in graph.edges())
+
+    def test_out_degree_bounded(self):
+        graph = preferential_attachment_digraph(50, 3, seed=7)
+        assert all(graph.out_degree(v) <= 3 for v in range(50))
+
+    def test_in_degree_skew(self):
+        graph = preferential_attachment_digraph(300, 3, seed=7)
+        degrees = sorted(
+            (graph.in_degree(v) for v in range(300)), reverse=True
+        )
+        # Rich-get-richer: the hub should far exceed the median.
+        assert degrees[0] >= 5 * max(1, degrees[150])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_digraph(1, 3)
+        with pytest.raises(GraphError):
+            preferential_attachment_digraph(10, 0)
+
+
+class TestLinkageModel:
+    def test_deterministic_for_seed(self):
+        a = linkage_model_digraph(40, 3, seed=9)
+        b = linkage_model_digraph(40, 3, seed=9)
+        assert a == b
+
+    def test_edges_point_to_earlier_nodes(self):
+        graph = linkage_model_digraph(40, 3, seed=9)
+        assert all(s > t for s, t in graph.edges())
+
+    def test_locality_zero_is_pure_preferential(self):
+        graph = linkage_model_digraph(40, 3, locality=0.0, seed=9)
+        assert graph.num_edges > 0
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(GraphError):
+            linkage_model_digraph(10, 2, locality=1.5)
+
+
+class TestUpdateSamplers:
+    def test_insertions_are_new_distinct_edges(self, citation_graph):
+        batch = random_insertions(citation_graph, 15, seed=1)
+        assert len(batch) == 15
+        edges = [update.edge for update in batch]
+        assert len(set(edges)) == 15
+        for source, target in edges:
+            assert not citation_graph.has_edge(source, target)
+            assert source != target
+
+    def test_insertions_applicable(self, citation_graph):
+        batch = random_insertions(citation_graph, 10, seed=2)
+        batch.validate_against(citation_graph)
+
+    def test_deletions_are_existing_distinct_edges(self, citation_graph):
+        batch = random_deletions(citation_graph, 12, seed=3)
+        assert len(batch) == 12
+        edges = [update.edge for update in batch]
+        assert len(set(edges)) == 12
+        for source, target in edges:
+            assert citation_graph.has_edge(source, target)
+
+    def test_cannot_delete_more_than_exists(self):
+        from repro.graph.digraph import DynamicDiGraph
+
+        graph = DynamicDiGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            random_deletions(graph, 2, seed=1)
+
+    def test_mixed_batch_applicable(self, citation_graph):
+        batch = random_update_batch(citation_graph, insertions=5, deletions=5, seed=4)
+        assert batch.num_insertions == 5
+        assert batch.num_deletions == 5
+        batch.validate_against(citation_graph)
+
+    def test_insertion_sampler_exhaustion_raises(self):
+        from repro.graph.digraph import DynamicDiGraph
+
+        # Complete digraph: no room for new edges.
+        graph = erdos_renyi_digraph(4, 1.0, seed=1)
+        with pytest.raises(GraphError):
+            random_insertions(graph, 1, seed=1, max_attempts_factor=5)

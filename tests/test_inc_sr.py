@@ -1,0 +1,168 @@
+"""Tests for repro.incremental.inc_sr (Algorithm 2: pruned updates)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import (
+    erdos_renyi_digraph,
+    preferential_attachment_digraph,
+    random_deletions,
+    random_insertions,
+)
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import EdgeUpdate
+from repro.incremental.inc_sr import inc_sr_update
+from repro.incremental.inc_usr import inc_usr_update
+from repro.simrank.exact import exact_simrank, truncation_error_bound
+
+
+def both_algorithms(graph, update, config):
+    """Run Inc-SR and Inc-uSR from the same exact state."""
+    q = backward_transition_matrix(graph)
+    s_old = exact_simrank(graph, config)
+    pruned = inc_sr_update(graph, q, s_old, update, config)
+    unpruned = inc_usr_update(graph, q, s_old, update, config)
+    return pruned, unpruned
+
+
+class TestLosslessnessAgainstIncUSR:
+    """The paper's headline: pruning sacrifices no exactness."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_insertions_identical(self, seed):
+        graph = erdos_renyi_digraph(24, 0.1, seed=seed)
+        config = SimRankConfig(damping=0.6, iterations=15)
+        rng = np.random.default_rng(seed)
+        non_edges = [
+            (s, t)
+            for s in range(24)
+            for t in range(24)
+            if s != t and not graph.has_edge(s, t)
+        ]
+        s, t = non_edges[int(rng.integers(len(non_edges)))]
+        pruned, unpruned = both_algorithms(graph, EdgeUpdate.insert(s, t), config)
+        np.testing.assert_allclose(pruned.new_s, unpruned.new_s, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_deletions_identical(self, seed):
+        graph = erdos_renyi_digraph(24, 0.1, seed=seed + 50)
+        config = SimRankConfig(damping=0.6, iterations=15)
+        rng = np.random.default_rng(seed)
+        edges = sorted(graph.edge_set())
+        s, t = edges[int(rng.integers(len(edges)))]
+        pruned, unpruned = both_algorithms(graph, EdgeUpdate.delete(s, t), config)
+        np.testing.assert_allclose(pruned.new_s, unpruned.new_s, atol=1e-12)
+
+    def test_degree_branch_coverage(self, diamond_graph):
+        config = SimRankConfig(damping=0.8, iterations=20)
+        cases = [
+            EdgeUpdate.insert(3, 0),  # d_j = 0
+            EdgeUpdate.insert(0, 3),  # d_j > 0
+            EdgeUpdate.delete(0, 1),  # d_j = 1
+            EdgeUpdate.delete(1, 3),  # d_j > 1
+        ]
+        for update in cases:
+            pruned, unpruned = both_algorithms(diamond_graph, update, config)
+            np.testing.assert_allclose(
+                pruned.new_s, unpruned.new_s, atol=1e-12, err_msg=str(update)
+            )
+
+
+class TestAgainstExact:
+    def test_matches_exact_new_fixed_point(self, cyclic_graph):
+        config = SimRankConfig(damping=0.6, iterations=30)
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        update = EdgeUpdate.insert(4, 2)
+        result = inc_sr_update(cyclic_graph, q, s_old, update, config)
+        new_graph = cyclic_graph.copy()
+        update.apply_to(new_graph)
+        truth = exact_simrank(new_graph, config)
+        np.testing.assert_allclose(
+            result.new_s, truth, atol=2 * truncation_error_bound(config)
+        )
+
+
+class TestAffectedAreas:
+    def test_stats_populated(self, citation_graph, config):
+        q = backward_transition_matrix(citation_graph)
+        s_old = exact_simrank(citation_graph, config)
+        result = inc_sr_update(
+            citation_graph, q, s_old, EdgeUpdate.insert(3, 50), config
+        )
+        stats = result.affected
+        assert stats is not None
+        assert stats.iterations >= 1
+        assert 0.0 <= stats.affected_fraction() <= 1.0
+        assert stats.pruned_fraction() == pytest.approx(
+            1.0 - stats.affected_fraction()
+        )
+
+    def test_localized_update_prunes_most_pairs(self):
+        """A leaf insertion in a big sparse DAG touches few pairs."""
+        graph = preferential_attachment_digraph(120, 2, seed=3)
+        config = SimRankConfig(damping=0.6, iterations=15)
+        q = backward_transition_matrix(graph)
+        s_old = exact_simrank(graph, config)
+        result = inc_sr_update(
+            graph, q, s_old, EdgeUpdate.insert(119, 118), config
+        )
+        assert result.affected.pruned_fraction() > 0.5
+
+    def test_untouched_component_has_zero_delta(self):
+        graph = DynamicDiGraph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        config = SimRankConfig(damping=0.6, iterations=20)
+        q = backward_transition_matrix(graph)
+        s_old = exact_simrank(graph, config)
+        result = inc_sr_update(
+            graph, q, s_old, EdgeUpdate.insert(2, 0), config
+        )
+        delta = result.new_s - s_old
+        assert np.max(np.abs(delta[3:, 3:])) == 0.0
+
+    def test_tolerance_shrinks_affected_area(self, random_graph, config):
+        q = backward_transition_matrix(random_graph)
+        s_old = exact_simrank(random_graph, config)
+        update = EdgeUpdate.insert(0, 20)
+        exact_run = inc_sr_update(random_graph, q, s_old, update, config)
+        loose_run = inc_sr_update(
+            random_graph, q, s_old, update, config, tolerance=1e-4
+        )
+        assert (
+            loose_run.affected.average_area()
+            <= exact_run.affected.average_area()
+        )
+        # Aggressive pruning is approximate but bounded-ish.
+        assert np.max(np.abs(loose_run.new_s - exact_run.new_s)) < 1e-2
+
+
+class TestStateSafety:
+    def test_inputs_not_mutated(self, cyclic_graph, config):
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        snapshot = s_old.copy()
+        inc_sr_update(cyclic_graph, q, s_old, EdgeUpdate.insert(4, 2), config)
+        np.testing.assert_array_equal(s_old, snapshot)
+        assert not cyclic_graph.has_edge(4, 2)
+
+    def test_sequential_mixed_stream_stays_lossless(self, random_graph):
+        config = SimRankConfig(damping=0.6, iterations=15)
+        updates = list(random_deletions(random_graph, 3, seed=1)) + list(
+            random_insertions(random_graph, 3, seed=2)
+        )
+        q = backward_transition_matrix(random_graph)
+        s_pruned = exact_simrank(random_graph, config)
+        s_unpruned = s_pruned.copy()
+        graph = random_graph.copy()
+        from repro.graph.transition import update_transition_matrix
+
+        for update in updates:
+            s_pruned = inc_sr_update(graph, q, s_pruned, update, config).new_s
+            s_unpruned = inc_usr_update(
+                graph, q, s_unpruned, update, config
+            ).new_s
+            update.apply_to(graph)
+            q = update_transition_matrix(q, update, graph)
+        np.testing.assert_allclose(s_pruned, s_unpruned, atol=1e-10)

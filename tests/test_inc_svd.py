@@ -1,0 +1,112 @@
+"""Tests for repro.incremental.inc_svd (the Li et al. baseline, Sec. IV)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import DimensionError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import erdos_renyi_digraph, random_insertions
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.incremental.inc_svd import IncSVDSimRank, low_rank_simrank_scores
+from repro.linalg.svd_tools import lossless_rank, truncated_svd
+from repro.metrics.error import max_abs_error
+from repro.simrank.exact import exact_simrank
+
+
+class TestLowRankScores:
+    def test_exact_for_lossless_factors(self, cyclic_graph, config):
+        q = backward_transition_matrix(cyclic_graph)
+        factors = truncated_svd(q, lossless_rank(q))
+        scores = low_rank_simrank_scores(factors, config.damping)
+        truth = exact_simrank(cyclic_graph, config)
+        np.testing.assert_allclose(scores, truth, atol=1e-10)
+
+    def test_empty_rank_gives_diagonal(self):
+        from repro.linalg.svd_tools import SVDFactors
+
+        factors = SVDFactors(
+            u=np.zeros((3, 0)), sigma=np.zeros(0), v=np.zeros((3, 0))
+        )
+        scores = low_rank_simrank_scores(factors, 0.6)
+        np.testing.assert_allclose(scores, 0.4 * np.eye(3))
+
+
+class TestPaperExample3:
+    """The paper's 2x2 counterexample, end to end."""
+
+    def setup_method(self):
+        # Q = [[0, 1], [0, 0]]: graph with single edge 1 -> 0.
+        self.graph = DynamicDiGraph.from_edges(2, [(1, 0)])
+
+    def test_factor_update_misses_eigen_information(self):
+        session = IncSVDSimRank(self.graph, rank=1)
+        # Insert 0 -> 1: ΔQ = [[0, 0], [1, 0]].
+        session.apply(EdgeUpdate.insert(0, 1))
+        # Paper: ||Q̃ − Ũ·Σ̃·Ṽᵀ||₂ = 1 exactly.
+        assert session.reconstruction_residual() == pytest.approx(1.0, abs=1e-10)
+
+    def test_maintained_factors_reconstruct_old_q_not_new(self):
+        session = IncSVDSimRank(self.graph, rank=1)
+        session.apply(EdgeUpdate.insert(0, 1))
+        reconstructed = session.factors.reconstruct()
+        # Paper Example 3: Ũ·Σ̃·Ṽᵀ = [[0,1],[0,0]] != Q̃ = [[0,1],[1,0]].
+        np.testing.assert_allclose(
+            reconstructed, [[0.0, 1.0], [0.0, 0.0]], atol=1e-10
+        )
+
+
+class TestIncSVDSession:
+    def test_initial_scores_exact_at_lossless_rank(self, cyclic_graph, config):
+        q = backward_transition_matrix(cyclic_graph)
+        session = IncSVDSimRank(
+            cyclic_graph, rank=lossless_rank(q), config=config
+        )
+        truth = exact_simrank(cyclic_graph, config)
+        np.testing.assert_allclose(session.scores(), truth, atol=1e-10)
+
+    def test_update_drift_vs_exact(self, citation_graph, config):
+        """After updates Inc-SVD deviates measurably from the truth."""
+        q = backward_transition_matrix(citation_graph)
+        session = IncSVDSimRank(
+            citation_graph, rank=lossless_rank(q), config=config
+        )
+        batch = random_insertions(citation_graph, 8, seed=5)
+        session.apply_batch(batch)
+        truth = exact_simrank(batch.applied(citation_graph), config)
+        assert max_abs_error(session.scores(), truth) > 1e-4
+
+    def test_low_rank_worse_than_lossless(self, citation_graph, config):
+        batch = random_insertions(citation_graph, 5, seed=6)
+        truth = exact_simrank(batch.applied(citation_graph), config)
+        q = backward_transition_matrix(citation_graph)
+        errors = {}
+        for rank in (3, lossless_rank(q)):
+            session = IncSVDSimRank(citation_graph, rank=rank, config=config)
+            session.apply_batch(batch)
+            errors[rank] = max_abs_error(session.scores(), truth)
+        assert errors[3] >= errors[lossless_rank(q)]
+
+    def test_graph_maintained_exactly(self, cyclic_graph, config):
+        session = IncSVDSimRank(cyclic_graph, rank=3, config=config)
+        update = EdgeUpdate.insert(4, 2)
+        session.apply(update)
+        assert session.graph.has_edge(4, 2)
+        assert session.updates_applied == 1
+        assert not cyclic_graph.has_edge(4, 2)  # caller's graph untouched
+
+    def test_batch_processing(self, random_graph, config):
+        session = IncSVDSimRank(random_graph, rank=5, config=config)
+        batch = random_insertions(random_graph, 4, seed=7)
+        session.apply_batch(batch)
+        assert session.updates_applied == 4
+
+    def test_rank_validation(self, cyclic_graph):
+        with pytest.raises(DimensionError):
+            IncSVDSimRank(cyclic_graph, rank=0)
+
+    def test_intermediate_bytes_grows_with_rank(self, random_graph):
+        small = IncSVDSimRank(random_graph, rank=2).intermediate_bytes()
+        large = IncSVDSimRank(random_graph, rank=10).intermediate_bytes()
+        assert large > small

@@ -1,0 +1,131 @@
+"""Tests for repro.incremental.inc_usr (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import erdos_renyi_digraph, preferential_attachment_digraph
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import EdgeUpdate
+from repro.incremental.inc_usr import inc_usr_update
+from repro.simrank.exact import exact_simrank, truncation_error_bound
+
+
+def run_unit_update(graph, update, config, use_exact_initial=True):
+    """Helper: run Inc-uSR from exact old scores; return (new_s, truth)."""
+    q = backward_transition_matrix(graph)
+    s_old = exact_simrank(graph, config)
+    result = inc_usr_update(graph, q, s_old, update, config)
+    new_graph = graph.copy()
+    update.apply_to(new_graph)
+    truth = exact_simrank(new_graph, config)
+    return result, truth
+
+
+class TestInsertion:
+    def test_insert_positive_degree_target(self, cyclic_graph):
+        config = SimRankConfig(damping=0.6, iterations=30)
+        result, truth = run_unit_update(
+            cyclic_graph, EdgeUpdate.insert(4, 2), config
+        )
+        tolerance = 2 * truncation_error_bound(config)
+        np.testing.assert_allclose(result.new_s, truth, atol=tolerance)
+
+    def test_insert_zero_degree_target(self, diamond_graph):
+        config = SimRankConfig(damping=0.8, iterations=40)
+        result, truth = run_unit_update(
+            diamond_graph, EdgeUpdate.insert(3, 0), config
+        )
+        np.testing.assert_allclose(
+            result.new_s, truth, atol=2 * truncation_error_bound(config)
+        )
+
+    def test_delta_is_symmetric(self, cyclic_graph, config):
+        result, _ = run_unit_update(cyclic_graph, EdgeUpdate.insert(4, 2), config)
+        np.testing.assert_allclose(
+            result.delta_s, result.delta_s.T, atol=1e-12
+        )
+
+    def test_unaffected_pairs_unchanged_on_dag(self):
+        """On a disconnected union, the untouched component must not move."""
+        # Component A: 0 -> 1 -> 2; component B: 3 -> 4.
+        graph = DynamicDiGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        config = SimRankConfig(damping=0.6, iterations=20)
+        result, _ = run_unit_update(graph, EdgeUpdate.insert(2, 0), config)
+        assert np.max(np.abs(result.delta_s[3:, 3:])) < 1e-14
+
+
+class TestDeletion:
+    def test_delete_to_zero_degree(self, diamond_graph):
+        config = SimRankConfig(damping=0.8, iterations=40)
+        result, truth = run_unit_update(
+            diamond_graph, EdgeUpdate.delete(0, 1), config
+        )
+        np.testing.assert_allclose(
+            result.new_s, truth, atol=2 * truncation_error_bound(config)
+        )
+
+    def test_delete_from_degree_two(self, diamond_graph):
+        config = SimRankConfig(damping=0.8, iterations=40)
+        result, truth = run_unit_update(
+            diamond_graph, EdgeUpdate.delete(1, 3), config
+        )
+        np.testing.assert_allclose(
+            result.new_s, truth, atol=2 * truncation_error_bound(config)
+        )
+
+    def test_insert_then_delete_is_identity(self, cyclic_graph, config):
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        insert = EdgeUpdate.insert(4, 2)
+        mid = inc_usr_update(cyclic_graph, q, s_old, insert, config)
+        new_graph = cyclic_graph.copy()
+        insert.apply_to(new_graph)
+        new_q = backward_transition_matrix(new_graph)
+        back = inc_usr_update(
+            new_graph, new_q, mid.new_s, EdgeUpdate.delete(4, 2), config
+        )
+        # ΔS(+e) followed by ΔS(−e) should cancel to iteration precision.
+        np.testing.assert_allclose(
+            back.new_s, s_old, atol=4 * truncation_error_bound(config)
+        )
+
+
+class TestRandomizedAgainstExact:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_updates_match_exact(self, seed):
+        graph = erdos_renyi_digraph(22, 0.12, seed=seed)
+        config = SimRankConfig(damping=0.6, iterations=30)
+        rng = np.random.default_rng(seed + 100)
+        edges = sorted(graph.edge_set())
+        update = EdgeUpdate.delete(*edges[int(rng.integers(len(edges)))])
+        result, truth = run_unit_update(graph, update, config)
+        np.testing.assert_allclose(
+            result.new_s, truth, atol=2 * truncation_error_bound(config)
+        )
+
+    def test_dag_is_exact_to_machine_precision(self, citation_graph, config):
+        """On DAGs Q is nilpotent, so the truncated series is exact."""
+        result, truth = run_unit_update(
+            citation_graph, EdgeUpdate.insert(5, 40), config
+        )
+        np.testing.assert_allclose(result.new_s, truth, atol=1e-10)
+
+
+class TestResultStructure:
+    def test_vectors_populated(self, cyclic_graph, config):
+        result, _ = run_unit_update(cyclic_graph, EdgeUpdate.insert(4, 2), config)
+        assert result.vectors.u.shape == (cyclic_graph.num_nodes,)
+        assert result.vectors.gamma.shape == (cyclic_graph.num_nodes,)
+        assert result.affected is None  # Inc-uSR does not track pruning
+
+    def test_inputs_not_mutated(self, cyclic_graph, config):
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        s_snapshot = s_old.copy()
+        q_snapshot = q.toarray()
+        inc_usr_update(cyclic_graph, q, s_old, EdgeUpdate.insert(4, 2), config)
+        np.testing.assert_array_equal(s_old, s_snapshot)
+        np.testing.assert_array_equal(q.toarray(), q_snapshot)
+        assert not cyclic_graph.has_edge(4, 2)

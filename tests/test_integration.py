@@ -1,0 +1,121 @@
+"""End-to-end integration tests across subsystems at realistic scale.
+
+These exercise the full pipeline the way a downstream user would: build
+an evolving dataset, precompute, stream updates through every algorithm,
+persist/restore mid-stream, and validate against batch recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DynamicSimRank, SimRankConfig
+from repro.datasets.citation import dblp_like
+from repro.datasets.video import youtube_like
+from repro.graph.generators import random_deletions, random_insertions
+from repro.graph.updates import UpdateBatch
+from repro.metrics.ndcg import ndcg_at_k
+from repro.metrics.topk_tracker import TopKTracker
+from repro.simrank.matrix import matrix_simrank
+
+
+class TestCitationPipeline:
+    def test_year_replay_matches_batch(self):
+        """Replay two snapshot years incrementally; compare with batch."""
+        corpus = dblp_like(num_papers=180, num_years=6)
+        years = corpus.timestamps()
+        base_year = years[-3]
+        config = SimRankConfig(damping=0.6, iterations=15)
+        engine = DynamicSimRank(corpus.snapshot_at(base_year), config)
+        for year in years[-2:]:
+            delta = corpus.delta_between(year - 1, year)
+            engine.apply(delta)
+        final = corpus.snapshot_at(years[-1])
+        assert engine.graph == final
+        truth = matrix_simrank(final, config)
+        assert ndcg_at_k(engine.similarities(), truth, k=30) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        np.testing.assert_allclose(
+            engine.similarities(), truth, atol=5e-3
+        )
+
+    def test_consolidated_replay_agrees_with_unit_replay(self):
+        corpus = dblp_like(num_papers=150, num_years=6)
+        years = corpus.timestamps()
+        base = corpus.snapshot_at(years[-2])
+        delta = corpus.delta_between(years[-2], years[-1])
+        config = SimRankConfig(damping=0.6, iterations=15)
+        initial = matrix_simrank(base, config)
+        unit = DynamicSimRank(
+            base, config, algorithm="inc-sr", initial_scores=initial
+        )
+        unit.apply(delta)
+        consolidated = DynamicSimRank(
+            base, config, algorithm="inc-sr", initial_scores=initial
+        )
+        groups = consolidated.apply_consolidated(delta)
+        assert groups < len(delta)  # citation arrivals share targets
+        np.testing.assert_allclose(
+            unit.similarities(), consolidated.similarities(), atol=1e-3
+        )
+
+
+class TestChurnPipeline:
+    def test_cyclic_graph_mixed_churn(self):
+        """YOUTU-style cyclic graph with mixed deletions and insertions."""
+        corpus = youtube_like(num_videos=160, num_ages=4)
+        base = corpus.snapshot_at(corpus.timestamps()[-1])
+        config = SimRankConfig(damping=0.6, iterations=20)
+        churn = UpdateBatch(
+            list(random_deletions(base, 8, seed=41))
+            + list(random_insertions(base, 8, seed=42))
+        )
+        engine = DynamicSimRank(base, config, algorithm="inc-sr")
+        tracker = TopKTracker(engine, k=10)
+        engine.apply(churn)
+        tracker.refresh()
+        assert len(tracker.current()) == 10
+        truth = matrix_simrank(churn.applied(base), config)
+        np.testing.assert_allclose(engine.similarities(), truth, atol=1e-3)
+
+    def test_persist_mid_stream_and_continue(self, tmp_path):
+        """Save after half the stream, restore, finish — same endpoint."""
+        corpus = youtube_like(num_videos=120, num_ages=4)
+        base = corpus.snapshot_at(corpus.timestamps()[-1])
+        config = SimRankConfig(damping=0.6, iterations=20)
+        stream = list(random_insertions(base, 10, seed=43))
+        direct = DynamicSimRank(base, config)
+        direct.apply(UpdateBatch(stream))
+
+        staged = DynamicSimRank(base, config)
+        staged.apply(UpdateBatch(stream[:5]))
+        path = str(tmp_path / "mid.npz")
+        staged.save(path)
+        resumed = DynamicSimRank.load(path)
+        resumed.apply(UpdateBatch(stream[5:]))
+        assert resumed.graph == direct.graph
+        np.testing.assert_allclose(
+            resumed.similarities(), direct.similarities(), atol=1e-10
+        )
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_three_engines_converge_together(self):
+        corpus = dblp_like(num_papers=120, num_years=5)
+        base = corpus.snapshot_at(corpus.timestamps()[-2])
+        config = SimRankConfig(damping=0.6, iterations=25)
+        batch = UpdateBatch(
+            list(random_deletions(base, 4, seed=44))
+            + list(random_insertions(base, 6, seed=45))
+        )
+        results = {}
+        for algorithm in ("inc-sr", "inc-usr", "batch"):
+            engine = DynamicSimRank(base, config, algorithm=algorithm)
+            engine.apply(batch)
+            results[algorithm] = engine.similarities()
+        np.testing.assert_allclose(
+            results["inc-sr"], results["inc-usr"], atol=1e-10
+        )
+        np.testing.assert_allclose(
+            results["inc-sr"], results["batch"], atol=1e-4
+        )

@@ -1,0 +1,78 @@
+"""Tests for repro.graph.io."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.io import (
+    load_edge_list,
+    load_timed_edge_list,
+    save_edge_list,
+    save_timed_edge_list,
+)
+from repro.graph.snapshots import TimestampedGraph
+
+
+class TestPlainEdgeList:
+    def test_roundtrip(self, tmp_path, citation_graph):
+        path = str(tmp_path / "graph.txt")
+        save_edge_list(citation_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded == citation_graph
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n\n0 1  # trailing comment\n1 2\n")
+        graph = load_edge_list(str(path))
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1)
+
+    def test_explicit_num_nodes(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        graph = load_edge_list(str(path), num_nodes=10)
+        assert graph.num_nodes == 10
+
+    def test_too_small_num_nodes_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 5\n")
+        with pytest.raises(GraphError):
+            load_edge_list(str(path), num_nodes=3)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphError):
+            load_edge_list(str(path))
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            load_edge_list(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("")
+        graph = load_edge_list(str(path))
+        assert graph.num_nodes == 0
+
+
+class TestTimedEdgeList:
+    def test_roundtrip(self, tmp_path):
+        graph = TimestampedGraph(4)
+        graph.add_edge(0, 1, timestamp=0)
+        graph.add_edge(1, 2, timestamp=3)
+        graph.add_edge(2, 3, timestamp=5)
+        path = str(tmp_path / "timed.txt")
+        save_timed_edge_list(graph, path)
+        loaded = load_timed_edge_list(path)
+        assert loaded.num_edges == 3
+        assert loaded.timestamps() == [0, 3, 5]
+        assert loaded.snapshot_at(3).num_edges == 2
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "timed.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            load_timed_edge_list(str(path))

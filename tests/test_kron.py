@@ -1,0 +1,93 @@
+"""Tests for repro.linalg.kron."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.linalg.kron import exact_simrank_kron, solve_sylvester_kron, unvec, vec
+
+
+class TestVecUnvec:
+    def test_vec_is_column_stacking(self):
+        matrix = np.array([[1.0, 3.0], [2.0, 4.0]])
+        np.testing.assert_array_equal(vec(matrix), [1.0, 2.0, 3.0, 4.0])
+
+    def test_unvec_inverts_vec(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((3, 5))
+        np.testing.assert_array_equal(unvec(vec(matrix), 3, 5), matrix)
+
+    def test_vec_rejects_non_matrix(self):
+        with pytest.raises(DimensionError):
+            vec(np.zeros(3))
+
+    def test_unvec_rejects_bad_size(self):
+        with pytest.raises(DimensionError):
+            unvec(np.zeros(5), 2, 3)
+
+
+class TestSolveSylvesterKron:
+    def test_solution_satisfies_equation(self):
+        rng = np.random.default_rng(1)
+        n = 6
+        a = 0.3 * rng.random((n, n))  # spectral radius < 1 keeps it solvable
+        b = 0.3 * rng.random((n, n))
+        c = rng.random((n, n))
+        x = solve_sylvester_kron(a, b, c)
+        np.testing.assert_allclose(x, a @ x @ b + c, atol=1e-10)
+
+    def test_matches_truncated_series(self):
+        rng = np.random.default_rng(2)
+        n = 5
+        a = 0.2 * rng.random((n, n))
+        b = 0.2 * rng.random((n, n))
+        c = rng.random((n, n))
+        series = c.copy()
+        term = c.copy()
+        for _ in range(60):
+            term = a @ term @ b
+            series += term
+        x = solve_sylvester_kron(a, b, c)
+        np.testing.assert_allclose(x, series, atol=1e-12)
+
+    def test_accepts_sparse_inputs(self):
+        import scipy.sparse as sp
+
+        a = sp.random(5, 5, density=0.3, random_state=3) * 0.3
+        b = sp.random(5, 5, density=0.3, random_state=4) * 0.3
+        c = np.eye(5)
+        x = solve_sylvester_kron(a, b, c)
+        np.testing.assert_allclose(
+            x, (a @ x @ b) + c, atol=1e-10
+        )
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(DimensionError):
+            solve_sylvester_kron(np.zeros((2, 2)), np.zeros((3, 3)), np.zeros((2, 2)))
+        with pytest.raises(DimensionError):
+            solve_sylvester_kron(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestExactSimRankKron:
+    def test_fixed_point_property(self, diamond_graph, config):
+        from repro.graph.transition import backward_transition_matrix
+
+        q = backward_transition_matrix(diamond_graph)
+        s = exact_simrank_kron(q, config.damping)
+        expected = config.damping * (q @ s @ q.T).toarray() if hasattr(
+            q @ s @ q.T, "toarray"
+        ) else config.damping * (q @ s @ q.T)
+        expected = np.asarray(expected) + (1 - config.damping) * np.eye(4)
+        np.testing.assert_allclose(s, expected, atol=1e-12)
+
+    def test_diamond_values(self, diamond_graph):
+        # On the diamond with C=0.8: s(1,2) solves the 2x2 closed form.
+        s = exact_simrank_kron(
+            __import__(
+                "repro.graph.transition", fromlist=["backward_transition_matrix"]
+            ).backward_transition_matrix(diamond_graph),
+            0.8,
+        )
+        # I(1) = I(2) = {0}: s(1,2) = C*s(0,0); s(0,0) = 1-C (no in-links).
+        assert s[1, 2] == pytest.approx(0.8 * s[0, 0])
+        assert s[0, 0] == pytest.approx(0.2)

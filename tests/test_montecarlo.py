@@ -1,0 +1,76 @@
+"""Tests for repro.simrank.montecarlo (coalescing-walk estimation)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import NodeNotFoundError
+from repro.simrank.montecarlo import (
+    monte_carlo_simrank_pair,
+    monte_carlo_simrank_source,
+)
+from repro.simrank.naive import naive_simrank
+
+
+class TestPairEstimator:
+    def test_self_pair_is_one(self, cyclic_graph, config):
+        assert monte_carlo_simrank_pair(cyclic_graph, 2, 2, config) == 1.0
+
+    def test_deterministic_for_seed(self, cyclic_graph, config):
+        a = monte_carlo_simrank_pair(cyclic_graph, 1, 3, config, seed=7)
+        b = monte_carlo_simrank_pair(cyclic_graph, 1, 3, config, seed=7)
+        assert a == b
+
+    def test_diamond_pair_exact_structure(self, diamond_graph):
+        """s(1,2): both walk to node 0 deterministically, meeting at τ=1."""
+        config = SimRankConfig(damping=0.8, iterations=10)
+        estimate = monte_carlo_simrank_pair(
+            diamond_graph, 1, 2, config, num_walks=50, seed=1
+        )
+        assert estimate == pytest.approx(0.8)  # deterministic meeting
+
+    def test_zero_when_walks_cannot_meet(self, diamond_graph, config):
+        # Node 0 has no in-links: every walk dies immediately.
+        assert monte_carlo_simrank_pair(diamond_graph, 0, 3, config) == 0.0
+
+    def test_converges_to_iterative_form(self, random_graph):
+        config = SimRankConfig(damping=0.6, iterations=15)
+        truth = naive_simrank(random_graph, config)
+        rng = np.random.default_rng(3)
+        pairs = [(1, 2), (5, 17), (8, 30)]
+        for a, b in pairs:
+            estimate = monte_carlo_simrank_pair(
+                random_graph, a, b, config, num_walks=4000, seed=11
+            )
+            # 4000 walks: standard error <~ 0.008; allow 4 sigma.
+            assert estimate == pytest.approx(truth[a, b], abs=0.04)
+
+    def test_unknown_node_rejected(self, diamond_graph, config):
+        with pytest.raises(NodeNotFoundError):
+            monte_carlo_simrank_pair(diamond_graph, 0, 44, config)
+
+
+class TestSourceEstimator:
+    def test_self_score_one(self, cyclic_graph, config):
+        row = monte_carlo_simrank_source(cyclic_graph, 2, config, seed=5)
+        assert row[2] == 1.0
+
+    def test_deterministic_for_seed(self, cyclic_graph, config):
+        a = monte_carlo_simrank_source(cyclic_graph, 1, config, seed=9)
+        b = monte_carlo_simrank_source(cyclic_graph, 1, config, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scores_in_unit_interval(self, random_graph, config):
+        row = monte_carlo_simrank_source(
+            random_graph, 4, config, num_walks=100, seed=2
+        )
+        assert row.min() >= 0.0
+        assert row.max() <= 1.0
+
+    def test_approximates_iterative_row(self, diamond_graph):
+        config = SimRankConfig(damping=0.8, iterations=10)
+        truth = naive_simrank(diamond_graph, config)
+        row = monte_carlo_simrank_source(
+            diamond_graph, 1, config, num_walks=2000, seed=13
+        )
+        np.testing.assert_allclose(row, truth[1], atol=0.06)

@@ -1,0 +1,83 @@
+"""Tests for repro.linalg.paths (Lemma 1 / Corollary 1 / Eq. (34))."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import DimensionError
+from repro.graph.digraph import DynamicDiGraph
+from repro.linalg.paths import (
+    count_paths,
+    count_symmetric_in_link_paths,
+    simrank_from_paths,
+    symmetric_path_weight,
+    zero_weight_pairs_are_unreachable,
+)
+from repro.simrank.matrix import matrix_simrank
+
+
+class TestLemma1:
+    def test_diamond_paths(self, diamond_graph):
+        # Two length-2 paths 0 -> {1,2} -> 3 (the Lemma 1 example shape).
+        assert count_paths(diamond_graph, 0, 3, 2) == 2
+        assert count_paths(diamond_graph, 0, 1, 1) == 1
+        assert count_paths(diamond_graph, 0, 3, 1) == 0
+        assert count_paths(diamond_graph, 0, 0, 0) == 1
+
+    def test_cycle_paths(self, cyclic_graph):
+        # 0 -> 1 -> 2 -> 0: one length-3 cycle back to 0.
+        assert count_paths(cyclic_graph, 0, 0, 3) == 1
+
+    def test_negative_length_rejected(self, diamond_graph):
+        with pytest.raises(DimensionError):
+            count_paths(diamond_graph, 0, 1, -1)
+
+
+class TestCorollary1:
+    def test_symmetric_in_link_count_diamond(self, diamond_graph):
+        # Pair (1, 2): x = 0 reaches both in one step -> one path of 2k=2.
+        assert count_symmetric_in_link_paths(diamond_graph, 1, 2, 1) == 1
+        # Pair (1, 3): no common k=1 ancestor.
+        assert count_symmetric_in_link_paths(diamond_graph, 1, 3, 1) == 0
+
+    def test_weight_equals_normalized_count_on_regular_rows(self, diamond_graph):
+        # Node 1 and 2 each have in-degree 1, so the weight is exactly 1.
+        assert symmetric_path_weight(diamond_graph, 1, 2, 1) == pytest.approx(1.0)
+
+    def test_zero_weight_iff_zero_count(self, random_graph):
+        for k in (1, 2):
+            for a, b in [(0, 1), (3, 17), (8, 30)]:
+                count = count_symmetric_in_link_paths(random_graph, a, b, k)
+                weight = symmetric_path_weight(random_graph, a, b, k)
+                assert (count == 0) == (weight == 0.0)
+
+
+class TestEq34Series:
+    def test_path_series_equals_matrix_iteration(self, cyclic_graph):
+        config = SimRankConfig(damping=0.6, iterations=15)
+        from_paths = simrank_from_paths(cyclic_graph, config)
+        from_iteration = matrix_simrank(cyclic_graph, config)
+        np.testing.assert_allclose(from_paths, from_iteration, atol=1e-12)
+
+    def test_on_random_graph(self, random_graph, config):
+        np.testing.assert_allclose(
+            simrank_from_paths(random_graph, config),
+            matrix_simrank(random_graph, config),
+            atol=1e-12,
+        )
+
+
+class TestTheorem4Grounding:
+    def test_zero_weight_pairs_have_zero_offdiagonal_simrank(self):
+        """Pairs with no symmetric in-link path at any k get score 0."""
+        graph = DynamicDiGraph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        config = SimRankConfig(damping=0.6, iterations=10)
+        scores = matrix_simrank(graph, config)
+        always_zero = None
+        for k in range(1, config.iterations):
+            zero_pairs = set(zero_weight_pairs_are_unreachable(graph, k))
+            always_zero = (
+                zero_pairs if always_zero is None else always_zero & zero_pairs
+            )
+        for a, b in always_zero:
+            assert scores[a, b] == 0.0

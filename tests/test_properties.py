@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategy: generate small random digraphs and applicable update streams,
+then assert the paper's structural guarantees hold on every one:
+
+* Theorem 1 — ``ΔQ`` always factorizes as the claimed ``u·vᵀ``;
+* Inc-SR ≡ Inc-uSR (lossless pruning);
+* incremental ≡ batch recomputation (within iteration truncation);
+* similarity-matrix invariants (symmetry, range, diagonal floor);
+* update batches compose and invert correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimRankConfig
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.transition import (
+    backward_transition_matrix,
+    update_transition_matrix,
+    verify_transition_matrix,
+)
+from repro.graph.updates import EdgeUpdate, UpdateBatch, graph_delta
+from repro.incremental.inc_sr import inc_sr_update
+from repro.incremental.inc_usr import inc_usr_update
+from repro.incremental.rank_one import rank_one_decomposition
+from repro.simrank.exact import exact_simrank, truncation_error_bound
+from repro.simrank.matrix import matrix_simrank
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_digraphs(draw, min_nodes=3, max_nodes=12):
+    """A random digraph over 3..12 nodes (self-loops excluded)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=min(30, len(pairs)))
+    )
+    return DynamicDiGraph.from_edges(n, edges)
+
+
+@st.composite
+def graphs_with_update(draw):
+    """A graph plus one applicable unit update (insert or delete)."""
+    graph = draw(small_digraphs())
+    n = graph.num_nodes
+    edge_set = graph.edge_set()
+    do_delete = draw(st.booleans()) and bool(edge_set)
+    if do_delete:
+        edge = draw(st.sampled_from(sorted(edge_set)))
+        return graph, EdgeUpdate.delete(*edge)
+    non_edges = [
+        (s, t) for s in range(n) for t in range(n) if s != t and (s, t) not in edge_set
+    ]
+    if not non_edges:
+        edge = draw(st.sampled_from(sorted(edge_set)))
+        return graph, EdgeUpdate.delete(*edge)
+    edge = draw(st.sampled_from(non_edges))
+    return graph, EdgeUpdate.insert(*edge)
+
+
+@SETTINGS
+@given(graphs_with_update())
+def test_theorem1_rank_one_factorization(case):
+    """ΔQ = u·vᵀ for every applicable unit update on every graph."""
+    graph, update = case
+    u, v = rank_one_decomposition(graph, update)
+    old_q = backward_transition_matrix(graph).toarray()
+    new_graph = graph.copy()
+    update.apply_to(new_graph)
+    new_q = backward_transition_matrix(new_graph).toarray()
+    np.testing.assert_allclose(np.outer(u, v), new_q - old_q, atol=1e-12)
+
+
+@SETTINGS
+@given(graphs_with_update())
+def test_inc_sr_equals_inc_usr(case):
+    """Pruning never changes the result (Theorem 4 losslessness)."""
+    graph, update = case
+    config = SimRankConfig(damping=0.6, iterations=12)
+    q = backward_transition_matrix(graph)
+    s_old = matrix_simrank(graph, config)
+    pruned = inc_sr_update(graph, q, s_old, update, config)
+    unpruned = inc_usr_update(graph, q, s_old, update, config)
+    np.testing.assert_allclose(pruned.new_s, unpruned.new_s, atol=1e-11)
+
+
+@SETTINGS
+@given(graphs_with_update())
+def test_incremental_matches_exact_fixed_point(case):
+    """Inc-SR from the exact old S lands on the exact new S (within C^K)."""
+    graph, update = case
+    config = SimRankConfig(damping=0.6, iterations=25)
+    q = backward_transition_matrix(graph)
+    s_old = exact_simrank(graph, config)
+    result = inc_sr_update(graph, q, s_old, update, config)
+    new_graph = graph.copy()
+    update.apply_to(new_graph)
+    truth = exact_simrank(new_graph, config)
+    np.testing.assert_allclose(
+        result.new_s, truth, atol=4 * truncation_error_bound(config)
+    )
+
+
+@SETTINGS
+@given(graphs_with_update())
+def test_delta_s_symmetric(case):
+    """ΔS = M + Mᵀ is symmetric by construction."""
+    graph, update = case
+    config = SimRankConfig(damping=0.6, iterations=10)
+    q = backward_transition_matrix(graph)
+    s_old = matrix_simrank(graph, config)
+    result = inc_usr_update(graph, q, s_old, update, config)
+    np.testing.assert_allclose(result.delta_s, result.delta_s.T, atol=1e-12)
+
+
+@SETTINGS
+@given(small_digraphs())
+def test_similarity_matrix_invariants(graph):
+    """Exact S is symmetric, in [0, 1], with diagonal >= 1 - C."""
+    config = SimRankConfig(damping=0.6, iterations=15)
+    s = exact_simrank(graph, config)
+    np.testing.assert_allclose(s, s.T, atol=1e-10)
+    assert s.min() >= -1e-10
+    assert s.max() <= 1.0 + 1e-10
+    assert np.min(np.diag(s)) >= (1 - config.damping) - 1e-10
+
+
+@SETTINGS
+@given(small_digraphs())
+def test_q_row_stochasticity(graph):
+    """Rows of Q sum to 1 (in-degree > 0) or 0 (no in-links)."""
+    q = backward_transition_matrix(graph)
+    sums = np.asarray(q.sum(axis=1)).ravel()
+    for node in range(graph.num_nodes):
+        expected = 1.0 if graph.in_degree(node) > 0 else 0.0
+        assert abs(sums[node] - expected) < 1e-12
+
+
+@SETTINGS
+@given(graphs_with_update())
+def test_transition_matrix_splice_consistency(case):
+    """Incremental Q maintenance equals rebuilding from the graph."""
+    graph, update = case
+    q = backward_transition_matrix(graph)
+    update.apply_to(graph)
+    q_new = update_transition_matrix(q, update, graph)
+    assert verify_transition_matrix(q_new, graph) is None
+
+
+@SETTINGS
+@given(small_digraphs(), st.integers(0, 2**31 - 1))
+def test_graph_delta_roundtrip(graph, seed):
+    """graph_delta(a, b) applied to a always reproduces b."""
+    rng = np.random.default_rng(seed)
+    other = DynamicDiGraph(graph.num_nodes)
+    n = graph.num_nodes
+    for source in range(n):
+        for target in range(n):
+            if source != target and rng.random() < 0.2:
+                other.add_edge(source, target)
+    batch = graph_delta(graph, other)
+    assert batch.applied(graph) == other
+
+
+@SETTINGS
+@given(small_digraphs())
+def test_update_batch_inverse_roundtrip(graph):
+    """Applying a batch then its inverse restores the original graph."""
+    edges = sorted(graph.edge_set())
+    deletions = [EdgeUpdate.delete(*edge) for edge in edges[: len(edges) // 2]]
+    n = graph.num_nodes
+    insertions = [
+        EdgeUpdate.insert(s, t)
+        for s in range(n)
+        for t in range(n)
+        if s != t and not graph.has_edge(s, t)
+    ][:3]
+    batch = UpdateBatch(deletions + insertions)
+    roundtrip = batch.inverse().applied(batch.applied(graph))
+    assert roundtrip == graph
+
+
+@SETTINGS
+@given(graphs_with_update())
+def test_update_then_inverse_restores_similarities(case):
+    """Incremental +e then −e returns to the original scores."""
+    graph, update = case
+    config = SimRankConfig(damping=0.6, iterations=20)
+    q = backward_transition_matrix(graph)
+    s_old = exact_simrank(graph, config)
+    forward = inc_sr_update(graph, q, s_old, update, config)
+    new_graph = graph.copy()
+    update.apply_to(new_graph)
+    q_new = update_transition_matrix(q, update, new_graph)
+    backward = inc_sr_update(
+        new_graph, q_new, forward.new_s, update.inverse(), config
+    )
+    np.testing.assert_allclose(
+        backward.new_s, s_old, atol=8 * truncation_error_bound(config)
+    )

@@ -1,0 +1,159 @@
+"""Property-based tests for the extension modules.
+
+Covers the generalized row update (composite rank-one factorization and
+its agreement with the unit path), single-source queries against the
+full matrix, and top-k tracker consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimRankConfig
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import UpdateBatch
+from repro.incremental.row_update import (
+    apply_consolidated_batch,
+    consolidate_batch,
+    row_rank_one_vectors,
+)
+from repro.metrics.topk import top_k_pairs
+from repro.simrank.matrix import matrix_simrank
+from repro.simrank.queries import single_pair_simrank, single_source_simrank
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_digraphs(draw, min_nodes=3, max_nodes=10):
+    n = draw(st.integers(min_nodes, max_nodes))
+    pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=min(25, len(pairs)))
+    )
+    return DynamicDiGraph.from_edges(n, edges)
+
+
+@st.composite
+def graphs_with_row_update(draw):
+    """A graph plus a composite row update touching one target."""
+    graph = draw(small_digraphs())
+    n = graph.num_nodes
+    target = draw(st.integers(0, n - 1))
+    in_set = set(graph.in_neighbors(target))
+    candidates_add = sorted(set(range(n)) - in_set - {target})
+    candidates_remove = sorted(in_set)
+    added = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(candidates_add) if candidates_add else st.nothing(),
+                unique=True,
+                max_size=3,
+            )
+        )
+        if candidates_add
+        else []
+    )
+    removed = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(candidates_remove)
+                if candidates_remove
+                else st.nothing(),
+                unique=True,
+                max_size=2,
+            )
+        )
+        if candidates_remove
+        else []
+    )
+    from repro.incremental.row_update import RowUpdate
+
+    return graph, RowUpdate(target=target, added=added, removed=removed)
+
+
+@SETTINGS
+@given(graphs_with_row_update())
+def test_composite_row_update_is_rank_one(case):
+    """u·vᵀ equals the materialized composite ΔQ for any row change."""
+    graph, row_update = case
+    u, v = row_rank_one_vectors(graph, row_update)
+    old_q = backward_transition_matrix(graph).toarray()
+    new_graph = graph.copy()
+    row_update.apply_to(new_graph)
+    new_q = backward_transition_matrix(new_graph).toarray()
+    np.testing.assert_allclose(np.outer(u, v), new_q - old_q, atol=1e-12)
+
+
+@SETTINGS
+@given(small_digraphs())
+def test_consolidation_preserves_final_graph(graph):
+    """Consolidated application reaches the same graph as unit updates."""
+    n = graph.num_nodes
+    insertions = [
+        (s, t)
+        for s in range(n)
+        for t in range(n)
+        if s != t and not graph.has_edge(s, t)
+    ][:4]
+    deletions = sorted(graph.edge_set())[:2]
+    from repro.graph.updates import EdgeUpdate
+
+    batch = UpdateBatch(
+        [EdgeUpdate.delete(*e) for e in deletions]
+        + [EdgeUpdate.insert(*e) for e in insertions]
+    )
+    config = SimRankConfig(damping=0.6, iterations=8)
+    q = backward_transition_matrix(graph)
+    s_matrix = matrix_simrank(graph, config)
+    _, _, new_graph, groups = apply_consolidated_batch(
+        graph, q, s_matrix, batch, config
+    )
+    assert new_graph == batch.applied(graph)
+    assert groups == len(consolidate_batch(batch, graph))
+
+
+@SETTINGS
+@given(small_digraphs(), st.data())
+def test_single_source_equals_matrix_row(graph, data):
+    """Query path and full matrix agree on every row."""
+    config = SimRankConfig(damping=0.6, iterations=10)
+    node = data.draw(st.integers(0, graph.num_nodes - 1))
+    full = matrix_simrank(graph, config)
+    row = single_source_simrank(graph, node, config)
+    np.testing.assert_allclose(row, full[node], atol=1e-10)
+
+
+@SETTINGS
+@given(small_digraphs(), st.data())
+def test_single_pair_symmetric_and_consistent(graph, data):
+    """Pair queries are symmetric and match the matrix entry."""
+    config = SimRankConfig(damping=0.7, iterations=10)
+    a = data.draw(st.integers(0, graph.num_nodes - 1))
+    b = data.draw(st.integers(0, graph.num_nodes - 1))
+    full = matrix_simrank(graph, config)
+    forward = single_pair_simrank(graph, a, b, config)
+    backward = single_pair_simrank(graph, b, a, config)
+    assert abs(forward - backward) < 1e-12
+    assert abs(forward - full[a, b]) < 1e-10
+
+
+@SETTINGS
+@given(small_digraphs(), st.integers(1, 6))
+def test_top_k_pairs_sorted_and_unique(graph, k):
+    """Rankings are sorted, deduplicated, and canonicalized (a < b)."""
+    config = SimRankConfig(damping=0.6, iterations=8)
+    scores = matrix_simrank(graph, config)
+    top = top_k_pairs(scores, k)
+    assert len(top) == len(set((a, b) for a, b, _ in top))
+    values = [score for _, _, score in top]
+    assert values == sorted(values, reverse=True)
+    for a, b, _ in top:
+        assert a < b

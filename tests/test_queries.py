@@ -1,0 +1,74 @@
+"""Tests for repro.simrank.queries (single-source/single-pair)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import NodeNotFoundError
+from repro.simrank.matrix import matrix_simrank
+from repro.simrank.queries import (
+    single_pair_simrank,
+    single_source_simrank,
+    top_k_similar_nodes,
+)
+
+
+class TestSingleSource:
+    def test_matches_full_matrix_row(self, random_graph, config):
+        full = matrix_simrank(random_graph, config)
+        for node in (0, 7, 23, random_graph.num_nodes - 1):
+            row = single_source_simrank(random_graph, node, config)
+            np.testing.assert_allclose(row, full[node], atol=1e-10)
+
+    def test_matches_on_cyclic_graph(self, cyclic_graph):
+        config = SimRankConfig(damping=0.8, iterations=25)
+        full = matrix_simrank(cyclic_graph, config)
+        for node in range(cyclic_graph.num_nodes):
+            row = single_source_simrank(cyclic_graph, node, config)
+            np.testing.assert_allclose(row, full[node], atol=1e-10)
+
+    def test_unknown_node_rejected(self, diamond_graph, config):
+        with pytest.raises(NodeNotFoundError):
+            single_source_simrank(diamond_graph, 10, config)
+
+
+class TestSinglePair:
+    def test_matches_full_matrix_entry(self, random_graph, config):
+        full = matrix_simrank(random_graph, config)
+        pairs = [(0, 1), (5, 9), (20, 20), (3, 30)]
+        for a, b in pairs:
+            score = single_pair_simrank(random_graph, a, b, config)
+            assert score == pytest.approx(full[a, b], abs=1e-10)
+
+    def test_symmetric(self, cyclic_graph, config):
+        assert single_pair_simrank(
+            cyclic_graph, 1, 3, config
+        ) == pytest.approx(single_pair_simrank(cyclic_graph, 3, 1, config))
+
+    def test_self_pair_uses_one_stack(self, cyclic_graph, config):
+        full = matrix_simrank(cyclic_graph, config)
+        score = single_pair_simrank(cyclic_graph, 2, 2, config)
+        assert score == pytest.approx(full[2, 2], abs=1e-10)
+
+    def test_unknown_node_rejected(self, diamond_graph, config):
+        with pytest.raises(NodeNotFoundError):
+            single_pair_simrank(diamond_graph, 0, 99, config)
+
+
+class TestTopKSimilarNodes:
+    def test_matches_full_matrix_ranking(self, random_graph, config):
+        full = matrix_simrank(random_graph, config)
+        node = 5
+        top = top_k_similar_nodes(random_graph, node, 5, config)
+        assert len(top) == 5
+        assert node not in [other for other, _ in top]
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+        # Best entry matches a brute-force argmax over the full row.
+        row = full[node].copy()
+        row[node] = -np.inf
+        assert top[0][1] == pytest.approx(float(row.max()), abs=1e-10)
+
+    def test_k_exceeding_candidates(self, diamond_graph, config):
+        top = top_k_similar_nodes(diamond_graph, 0, 100, config)
+        assert len(top) == diamond_graph.num_nodes - 1

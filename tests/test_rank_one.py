@@ -1,0 +1,137 @@
+"""Tests for repro.incremental.rank_one (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EdgeExistsError, EdgeNotFoundError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import erdos_renyi_digraph
+from repro.graph.transition import backward_transition_matrix
+from repro.graph.updates import EdgeUpdate
+from repro.incremental.rank_one import (
+    delta_q_dense,
+    rank_one_decomposition,
+    target_in_degree,
+    validate_update,
+)
+
+
+def materialized_delta(graph, update):
+    """Ground truth ΔQ = Q(new) − Q(old), densely."""
+    old_q = backward_transition_matrix(graph).toarray()
+    new_graph = graph.copy()
+    update.apply_to(new_graph)
+    new_q = backward_transition_matrix(new_graph).toarray()
+    return new_q - old_q
+
+
+class TestTheorem1Insertion:
+    def test_insert_into_zero_degree_target(self, diamond_graph):
+        # Node 0 has in-degree 0; insert 3 -> 0.
+        update = EdgeUpdate.insert(3, 0)
+        u, v = rank_one_decomposition(diamond_graph, update)
+        # u = e_j, v = e_i.
+        np.testing.assert_array_equal(u, [1.0, 0, 0, 0])
+        np.testing.assert_array_equal(v, [0, 0, 0, 1.0])
+        np.testing.assert_allclose(
+            np.outer(u, v), materialized_delta(diamond_graph, update)
+        )
+
+    def test_insert_into_positive_degree_target(self, diamond_graph):
+        # Node 3 has in-degree 2; insert 0 -> 3.
+        update = EdgeUpdate.insert(0, 3)
+        u, v = rank_one_decomposition(diamond_graph, update)
+        assert u[3] == pytest.approx(1.0 / 3.0)  # 1/(d_j + 1)
+        np.testing.assert_allclose(
+            np.outer(u, v), materialized_delta(diamond_graph, update)
+        )
+
+    def test_paper_example_4_shape(self):
+        """Example 4: d_j = 2 gives u = e_j/3 and v = e_i − [Q]ᵀ_{j,:}."""
+        graph = DynamicDiGraph.from_edges(6, [(4, 5), (3, 5)])  # I(5)={3,4}
+        update = EdgeUpdate.insert(0, 5)
+        u, v = rank_one_decomposition(graph, update)
+        np.testing.assert_allclose(u, [0, 0, 0, 0, 0, 1 / 3])
+        np.testing.assert_allclose(v, [1.0, 0, 0, -0.5, -0.5, 0])
+
+
+class TestTheorem1Deletion:
+    def test_delete_last_in_edge(self, diamond_graph):
+        # Node 1 has in-degree 1; delete 0 -> 1.
+        update = EdgeUpdate.delete(0, 1)
+        u, v = rank_one_decomposition(diamond_graph, update)
+        np.testing.assert_array_equal(u, [0, 1.0, 0, 0])
+        np.testing.assert_array_equal(v, [-1.0, 0, 0, 0])
+        np.testing.assert_allclose(
+            np.outer(u, v), materialized_delta(diamond_graph, update)
+        )
+
+    def test_delete_from_higher_degree_target(self, diamond_graph):
+        # Node 3 has in-degree 2; delete 1 -> 3.
+        update = EdgeUpdate.delete(1, 3)
+        u, v = rank_one_decomposition(diamond_graph, update)
+        assert u[3] == pytest.approx(1.0)  # 1/(d_j − 1) with d_j = 2
+        np.testing.assert_allclose(
+            np.outer(u, v), materialized_delta(diamond_graph, update)
+        )
+
+
+class TestTheorem1Randomized:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_applicable_update_factorizes(self, seed):
+        graph = erdos_renyi_digraph(20, 0.15, seed=seed)
+        rng = np.random.default_rng(seed)
+        edges = sorted(graph.edge_set())
+        non_edges = [
+            (s, t)
+            for s in range(20)
+            for t in range(20)
+            if s != t and (s, t) not in graph.edge_set()
+        ]
+        updates = []
+        if edges:
+            s, t = edges[int(rng.integers(len(edges)))]
+            updates.append(EdgeUpdate.delete(s, t))
+        s, t = non_edges[int(rng.integers(len(non_edges)))]
+        updates.append(EdgeUpdate.insert(s, t))
+        for update in updates:
+            u, v = rank_one_decomposition(graph, update)
+            np.testing.assert_allclose(
+                np.outer(u, v),
+                materialized_delta(graph, update),
+                atol=1e-12,
+                err_msg=f"seed={seed}, update={update}",
+            )
+
+    def test_self_loop_updates(self):
+        graph = DynamicDiGraph.from_edges(3, [(0, 1), (1, 2)])
+        insert = EdgeUpdate.insert(2, 2)
+        u, v = rank_one_decomposition(graph, insert)
+        np.testing.assert_allclose(
+            np.outer(u, v), materialized_delta(graph, insert)
+        )
+
+
+class TestValidation:
+    def test_insert_existing_rejected(self, diamond_graph):
+        with pytest.raises(EdgeExistsError):
+            rank_one_decomposition(diamond_graph, EdgeUpdate.insert(0, 1))
+
+    def test_delete_missing_rejected(self, diamond_graph):
+        with pytest.raises(EdgeNotFoundError):
+            rank_one_decomposition(diamond_graph, EdgeUpdate.delete(3, 0))
+
+    def test_validate_update_passes_good(self, diamond_graph):
+        validate_update(diamond_graph, EdgeUpdate.insert(3, 0))
+        validate_update(diamond_graph, EdgeUpdate.delete(0, 1))
+
+    def test_target_in_degree(self, diamond_graph):
+        assert target_in_degree(diamond_graph, EdgeUpdate.insert(0, 3)) == 2
+        assert target_in_degree(diamond_graph, EdgeUpdate.insert(3, 0)) == 0
+
+    def test_delta_q_dense_helper(self, diamond_graph):
+        update = EdgeUpdate.insert(0, 3)
+        np.testing.assert_allclose(
+            delta_q_dense(diamond_graph, update),
+            materialized_delta(diamond_graph, update),
+        )

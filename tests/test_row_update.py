@@ -1,0 +1,192 @@
+"""Tests for repro.incremental.row_update (consolidated rank-one rows)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import GraphError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import (
+    erdos_renyi_digraph,
+    random_deletions,
+    random_insertions,
+)
+from repro.graph.transition import (
+    backward_transition_matrix,
+    verify_transition_matrix,
+)
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.incremental.row_update import (
+    RowUpdate,
+    apply_consolidated_batch,
+    apply_row_update,
+    consolidate_batch,
+    row_rank_one_vectors,
+)
+from repro.simrank.exact import exact_simrank, truncation_error_bound
+from repro.simrank.matrix import matrix_simrank
+
+
+class TestConsolidateBatch:
+    def test_groups_by_target(self, diamond_graph):
+        batch = UpdateBatch(
+            [
+                EdgeUpdate.insert(0, 3),
+                EdgeUpdate.insert(3, 0),
+                EdgeUpdate.delete(1, 3),
+            ]
+        )
+        rows = consolidate_batch(batch, diamond_graph)
+        assert [r.target for r in rows] == [0, 3]
+        by_target = {r.target: r for r in rows}
+        assert by_target[3].added == (0,)
+        assert by_target[3].removed == (1,)
+        assert by_target[0].added == (3,)
+
+    def test_insert_then_delete_cancels(self, diamond_graph):
+        batch = UpdateBatch(
+            [EdgeUpdate.insert(3, 0), EdgeUpdate.delete(3, 0)]
+        )
+        assert consolidate_batch(batch, diamond_graph) == []
+
+    def test_delete_then_reinsert_cancels(self, diamond_graph):
+        batch = UpdateBatch(
+            [EdgeUpdate.delete(0, 1), EdgeUpdate.insert(0, 1)]
+        )
+        assert consolidate_batch(batch, diamond_graph) == []
+
+    def test_invalid_batch_rejected(self, diamond_graph):
+        batch = UpdateBatch([EdgeUpdate.insert(0, 1)])  # already exists
+        with pytest.raises(GraphError):
+            consolidate_batch(batch, diamond_graph)
+
+    def test_row_update_unit_equivalence(self, diamond_graph):
+        row = RowUpdate(target=3, added=(0,), removed=(1,))
+        assert row.num_changes == 2
+        scratch = diamond_graph.copy()
+        row.apply_to(scratch)
+        assert scratch.has_edge(0, 3)
+        assert not scratch.has_edge(1, 3)
+
+
+class TestRowRankOneVectors:
+    def test_composite_factorization(self, diamond_graph):
+        """u·vᵀ equals the materialized composite ΔQ."""
+        row = RowUpdate(target=3, added=(0,), removed=(1,))
+        u, v = row_rank_one_vectors(diamond_graph, row)
+        old_q = backward_transition_matrix(diamond_graph).toarray()
+        new_graph = diamond_graph.copy()
+        row.apply_to(new_graph)
+        new_q = backward_transition_matrix(new_graph).toarray()
+        np.testing.assert_allclose(np.outer(u, v), new_q - old_q, atol=1e-12)
+
+    def test_matches_theorem1_for_single_edge(self, diamond_graph):
+        """A one-edge row update factors like Theorem 1 (up to scaling)."""
+        from repro.incremental.rank_one import rank_one_decomposition
+
+        row = RowUpdate(target=3, added=(0,), removed=())
+        u_row, v_row = row_rank_one_vectors(diamond_graph, row)
+        u_thm, v_thm = rank_one_decomposition(
+            diamond_graph, EdgeUpdate.insert(0, 3)
+        )
+        np.testing.assert_allclose(
+            np.outer(u_row, v_row), np.outer(u_thm, v_thm), atol=1e-12
+        )
+
+    def test_validation(self, diamond_graph):
+        with pytest.raises(GraphError):
+            row_rank_one_vectors(
+                diamond_graph, RowUpdate(target=3, added=(1,), removed=())
+            )
+        with pytest.raises(GraphError):
+            row_rank_one_vectors(
+                diamond_graph, RowUpdate(target=3, added=(), removed=(0,))
+            )
+
+    def test_emptying_a_row(self, diamond_graph):
+        """Removing every in-edge zeroes the row."""
+        row = RowUpdate(target=3, added=(), removed=(1, 2))
+        u, v = row_rank_one_vectors(diamond_graph, row)
+        old_q = backward_transition_matrix(diamond_graph).toarray()
+        new_graph = diamond_graph.copy()
+        row.apply_to(new_graph)
+        new_q = backward_transition_matrix(new_graph).toarray()
+        np.testing.assert_allclose(np.outer(u, v), new_q - old_q, atol=1e-12)
+
+
+class TestApplyRowUpdate:
+    def test_matches_exact_fixed_point(self, cyclic_graph):
+        config = SimRankConfig(damping=0.6, iterations=30)
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        row = RowUpdate(target=2, added=(4, 3), removed=(1,))
+        result = apply_row_update(cyclic_graph, q, s_old, row, config)
+        new_graph = cyclic_graph.copy()
+        row.apply_to(new_graph)
+        truth = exact_simrank(new_graph, config)
+        np.testing.assert_allclose(
+            result.new_s, truth, atol=2 * truncation_error_bound(config)
+        )
+
+    def test_single_edge_row_matches_unit_path(self, cyclic_graph):
+        from repro.incremental.inc_sr import inc_sr_update
+
+        config = SimRankConfig(damping=0.6, iterations=15)
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        row = RowUpdate(target=2, added=(4,), removed=())
+        composite = apply_row_update(cyclic_graph, q, s_old, row, config)
+        unit = inc_sr_update(
+            cyclic_graph, q, s_old, EdgeUpdate.insert(4, 2), config
+        )
+        np.testing.assert_allclose(composite.new_s, unit.new_s, atol=1e-11)
+
+
+class TestApplyConsolidatedBatch:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_exact_after_whole_batch(self, seed):
+        graph = erdos_renyi_digraph(20, 0.12, seed=seed)
+        config = SimRankConfig(damping=0.6, iterations=30)
+        batch = UpdateBatch(
+            list(random_deletions(graph, 3, seed=seed))
+            + list(random_insertions(graph, 5, seed=seed + 10))
+        )
+        q = backward_transition_matrix(graph)
+        s_old = exact_simrank(graph, config)
+        scores, new_q, new_graph, groups = apply_consolidated_batch(
+            graph, q, s_old, batch, config
+        )
+        assert groups <= len(batch)
+        assert new_graph == batch.applied(graph)
+        assert verify_transition_matrix(new_q, new_graph) is None
+        truth = exact_simrank(new_graph, config)
+        np.testing.assert_allclose(
+            scores, truth, atol=4 * truncation_error_bound(config)
+        )
+
+    def test_fewer_runs_with_repeated_targets(self):
+        """Five insertions into one node = one rank-one run."""
+        graph = DynamicDiGraph.from_edges(8, [(0, 7)])
+        config = SimRankConfig(damping=0.6, iterations=20)
+        batch = UpdateBatch(
+            [EdgeUpdate.insert(s, 7) for s in range(1, 6)]
+        )
+        q = backward_transition_matrix(graph)
+        s_old = exact_simrank(graph, config)
+        scores, _, new_graph, groups = apply_consolidated_batch(
+            graph, q, s_old, batch, config
+        )
+        assert groups == 1
+        truth = exact_simrank(new_graph, config)
+        np.testing.assert_allclose(
+            scores, truth, atol=2 * truncation_error_bound(config)
+        )
+
+    def test_inputs_not_mutated(self, cyclic_graph, config):
+        q = backward_transition_matrix(cyclic_graph)
+        s_old = exact_simrank(cyclic_graph, config)
+        snapshot = s_old.copy()
+        batch = UpdateBatch([EdgeUpdate.insert(4, 2)])
+        apply_consolidated_batch(cyclic_graph, q, s_old, batch, config)
+        np.testing.assert_array_equal(s_old, snapshot)
+        assert not cyclic_graph.has_edge(4, 2)

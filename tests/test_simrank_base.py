@@ -1,0 +1,72 @@
+"""Tests for repro.simrank.base (shared validation helpers)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.exceptions import DimensionError
+from repro.graph.transition import backward_transition_matrix
+from repro.simrank.base import check_similarity_matrix, default_config, resolve_q
+
+
+class TestResolveQ:
+    def test_accepts_graph(self, diamond_graph):
+        q = resolve_q(diamond_graph)
+        np.testing.assert_allclose(
+            q.toarray(), backward_transition_matrix(diamond_graph).toarray()
+        )
+
+    def test_accepts_dense_matrix(self):
+        dense = np.asarray([[0.0, 1.0], [0.5, 0.5]])
+        q = resolve_q(dense)
+        np.testing.assert_allclose(q.toarray(), dense)
+
+    def test_accepts_sparse_matrix(self, diamond_graph):
+        original = backward_transition_matrix(diamond_graph)
+        q = resolve_q(original)
+        np.testing.assert_allclose(q.toarray(), original.toarray())
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            resolve_q(np.zeros((2, 3)))
+
+
+class TestDefaultConfig:
+    def test_none_gives_paper_defaults(self):
+        config = default_config(None)
+        assert config.damping == 0.6
+        assert config.iterations == 15
+
+    def test_passthrough(self):
+        config = SimRankConfig(0.8, 10)
+        assert default_config(config) is config
+
+
+class TestCheckSimilarityMatrix:
+    def test_accepts_valid_matrix(self, cyclic_graph, config):
+        from repro.simrank.exact import exact_simrank
+
+        check_similarity_matrix(exact_simrank(cyclic_graph, config), config.damping)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            check_similarity_matrix(np.zeros((2, 3)), 0.6)
+
+    def test_rejects_asymmetric(self):
+        matrix = np.asarray([[0.4, 0.1], [0.3, 0.4]])
+        with pytest.raises(ValueError, match="symmetric"):
+            check_similarity_matrix(matrix, 0.6)
+
+    def test_rejects_out_of_range(self):
+        matrix = np.asarray([[1.5, 0.0], [0.0, 1.5]])
+        with pytest.raises(ValueError, match="outside"):
+            check_similarity_matrix(matrix, 0.6)
+
+    def test_rejects_low_diagonal(self):
+        matrix = np.asarray([[0.1, 0.0], [0.0, 0.4]])
+        with pytest.raises(ValueError, match="diagonal"):
+            check_similarity_matrix(matrix, 0.6)
+
+    def test_tolerance_allows_float_noise(self):
+        matrix = np.asarray([[0.4 - 1e-12, 0.0], [0.0, 0.4]])
+        check_similarity_matrix(matrix, 0.6, atol=1e-8)

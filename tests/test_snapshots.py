@@ -1,0 +1,100 @@
+"""Tests for repro.graph.snapshots."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.snapshots import TimestampedGraph
+from repro.graph.updates import UpdateKind
+
+
+@pytest.fixture
+def timeline() -> TimestampedGraph:
+    graph = TimestampedGraph(5)
+    graph.add_edge(0, 1, timestamp=0)
+    graph.add_edge(1, 2, timestamp=0)
+    graph.add_edge(2, 3, timestamp=1)
+    graph.add_edge(3, 4, timestamp=2)
+    graph.add_edge(0, 4, timestamp=2)
+    return graph
+
+
+class TestSnapshotAt:
+    def test_snapshot_filters_by_arrival(self, timeline):
+        snap0 = timeline.snapshot_at(0)
+        assert snap0.num_edges == 2
+        snap1 = timeline.snapshot_at(1)
+        assert snap1.num_edges == 3
+        snap2 = timeline.snapshot_at(2)
+        assert snap2.num_edges == 5
+
+    def test_snapshot_before_everything_is_empty(self, timeline):
+        assert timeline.snapshot_at(-1).num_edges == 0
+
+    def test_expiry_removes_edge(self, timeline):
+        timeline.expire_edge(0, 1, timestamp=2)
+        assert timeline.snapshot_at(1).has_edge(0, 1)
+        assert not timeline.snapshot_at(2).has_edge(0, 1)
+
+    def test_timestamps_sorted_unique(self, timeline):
+        assert timeline.timestamps() == [0, 1, 2]
+
+
+class TestDeltaBetween:
+    def test_delta_matches_snapshots(self, timeline):
+        delta = timeline.delta_between(0, 2)
+        reconstructed = delta.applied(timeline.snapshot_at(0))
+        assert reconstructed == timeline.snapshot_at(2)
+
+    def test_delta_with_expiry_has_deletion_first(self, timeline):
+        timeline.expire_edge(0, 1, timestamp=2)
+        delta = timeline.delta_between(1, 2)
+        kinds = [update.kind for update in delta]
+        assert kinds[0] is UpdateKind.DELETE
+        assert UpdateKind.INSERT in kinds
+        assert delta.applied(timeline.snapshot_at(1)) == timeline.snapshot_at(2)
+
+    def test_backwards_delta_rejected(self, timeline):
+        with pytest.raises(GraphError):
+            timeline.delta_between(2, 1)
+
+    def test_empty_delta_for_same_time(self, timeline):
+        assert len(timeline.delta_between(1, 1)) == 0
+
+
+class TestSnapshotSeries:
+    def test_series_chains_deltas(self, timeline):
+        series = timeline.snapshot_series([0, 1, 2])
+        assert len(series) == 3
+        current = TimestampedGraph(5).snapshot_at(0)  # empty graph
+        for snapshot, delta in series:
+            current = delta.applied(current)
+            assert current == snapshot
+
+
+class TestValidation:
+    def test_duplicate_edge_rejected(self):
+        graph = TimestampedGraph(3)
+        graph.add_edge(0, 1, timestamp=0)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, timestamp=1)
+
+    def test_out_of_range_edge_rejected(self):
+        graph = TimestampedGraph(3)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 5, timestamp=0)
+
+    def test_expire_unknown_edge_rejected(self):
+        graph = TimestampedGraph(3)
+        with pytest.raises(GraphError):
+            graph.expire_edge(0, 1, timestamp=1)
+
+    def test_expire_before_arrival_rejected(self):
+        graph = TimestampedGraph(3)
+        graph.add_edge(0, 1, timestamp=2)
+        with pytest.raises(GraphError):
+            graph.expire_edge(0, 1, timestamp=2)
+
+    def test_from_timed_edges(self):
+        graph = TimestampedGraph.from_timed_edges(3, [(0, 1, 0), (1, 2, 1)])
+        assert graph.num_edges == 2
+        assert graph.snapshot_at(0).num_edges == 1

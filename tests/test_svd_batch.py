@@ -1,0 +1,59 @@
+"""Tests for repro.simrank.svd_batch (Li et al.'s low-rank batch method)."""
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.transition import backward_transition_matrix
+from repro.linalg.svd_tools import lossless_rank
+from repro.simrank.exact import exact_simrank
+from repro.simrank.svd_batch import svd_batch_simrank
+
+
+class TestSVDBatchSimRank:
+    def test_exact_when_reconstruction_lossless(self, cyclic_graph, config):
+        """With the lossless SVD, the closed form equals exact SimRank.
+
+        (The batch closed form only needs U·Σ·Vᵀ == Q; the rank-deficiency
+        problem of Sec. IV is specific to the *incremental* factor update.)
+        """
+        scores = svd_batch_simrank(cyclic_graph, rank=None, config=config)
+        truth = exact_simrank(cyclic_graph, config)
+        np.testing.assert_allclose(scores, truth, atol=1e-10)
+
+    def test_exact_on_larger_graph(self, citation_graph, config):
+        scores = svd_batch_simrank(citation_graph, rank=None, config=config)
+        truth = exact_simrank(citation_graph, config)
+        np.testing.assert_allclose(scores, truth, atol=1e-8)
+
+    def test_low_rank_is_approximate(self, citation_graph, config):
+        truth = exact_simrank(citation_graph, config)
+        approx = svd_batch_simrank(citation_graph, rank=5, config=config)
+        error = np.max(np.abs(approx - truth))
+        assert error > 1e-6  # visibly lossy ...
+        lossless = svd_batch_simrank(citation_graph, rank=None, config=config)
+        assert np.max(np.abs(lossless - truth)) < error  # ... unlike lossless
+
+    def test_accuracy_improves_with_rank(self, citation_graph, config):
+        truth = exact_simrank(citation_graph, config)
+        q = backward_transition_matrix(citation_graph)
+        full_rank = lossless_rank(q)
+        errors = []
+        for rank in (2, full_rank // 2, full_rank):
+            approx = svd_batch_simrank(citation_graph, rank=rank, config=config)
+            errors.append(np.max(np.abs(approx - truth)))
+        assert errors[0] >= errors[-1]
+        assert errors[-1] < 1e-8
+
+    def test_symmetric_output(self, random_graph, config):
+        scores = svd_batch_simrank(random_graph, rank=8, config=config)
+        np.testing.assert_allclose(scores, scores.T, atol=1e-10)
+
+    def test_empty_graph(self, config):
+        scores = svd_batch_simrank(DynamicDiGraph(4), config=config)
+        np.testing.assert_allclose(scores, (1 - config.damping) * np.eye(4))
+
+    def test_diagonal_floor(self, random_graph, config):
+        scores = svd_batch_simrank(random_graph, rank=None, config=config)
+        assert np.min(np.diag(scores)) >= (1 - config.damping) - 1e-10

@@ -1,0 +1,97 @@
+"""Tests for repro.linalg.svd_tools."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DimensionError
+from repro.linalg.svd_tools import (
+    SVDFactors,
+    lossless_rank,
+    lossless_rank_fraction,
+    numerical_rank,
+    reconstruction_error,
+    truncated_svd,
+)
+
+
+class TestTruncatedSVD:
+    def test_lossless_reconstruction(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((8, 8))
+        factors = truncated_svd(matrix, rank=8)
+        np.testing.assert_allclose(factors.reconstruct(), matrix, atol=1e-10)
+
+    def test_singular_values_sorted(self):
+        rng = np.random.default_rng(1)
+        factors = truncated_svd(rng.random((10, 10)), rank=10)
+        assert np.all(np.diff(factors.sigma) <= 1e-12)
+
+    def test_column_orthonormality(self):
+        # The property the paper's Example 2 relies on: UᵀU = I even when
+        # U·Uᵀ != I.
+        matrix = np.array([[0.0, 1.0], [0.0, 0.0]])
+        factors = truncated_svd(matrix, rank=1)
+        np.testing.assert_allclose(factors.u.T @ factors.u, np.eye(1), atol=1e-12)
+        np.testing.assert_allclose(factors.v.T @ factors.v, np.eye(1), atol=1e-12)
+        assert not np.allclose(factors.u @ factors.u.T, np.eye(2))
+
+    def test_truncation_gives_best_low_rank(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.random((12, 12))
+        factors = truncated_svd(matrix, rank=3)
+        sigma_full = np.linalg.svd(matrix, compute_uv=False)
+        # Eckart-Young: spectral error equals sigma_{r+1}.
+        assert reconstruction_error(matrix, factors) == pytest.approx(
+            sigma_full[3], rel=1e-10
+        )
+
+    def test_accepts_sparse(self):
+        matrix = sp.random(9, 9, density=0.3, random_state=3)
+        factors = truncated_svd(matrix, rank=4)
+        assert factors.rank == 4
+
+    def test_rank_clamped_to_matrix_size(self):
+        factors = truncated_svd(np.eye(3), rank=10)
+        assert factors.rank == 3
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(DimensionError):
+            truncated_svd(np.eye(3), rank=0)
+
+    def test_factors_truncated_method(self):
+        rng = np.random.default_rng(4)
+        factors = truncated_svd(rng.random((6, 6)), rank=6)
+        smaller = factors.truncated(2)
+        assert smaller.rank == 2
+        np.testing.assert_array_equal(smaller.sigma, factors.sigma[:2])
+
+
+class TestRanks:
+    def test_numerical_rank_of_rank_deficient(self):
+        matrix = np.outer([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert numerical_rank(matrix) == 1
+
+    def test_numerical_rank_of_identity(self):
+        assert numerical_rank(np.eye(5)) == 5
+
+    def test_zero_matrix(self):
+        assert numerical_rank(np.zeros((4, 4))) == 0
+        assert lossless_rank_fraction(np.zeros((4, 4))) == 0.0
+
+    def test_lossless_rank_alias(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.random((6, 3)) @ rng.random((3, 6))
+        assert lossless_rank(matrix) == numerical_rank(matrix) == 3
+
+    def test_fraction(self):
+        matrix = np.diag([1.0, 1.0, 0.0, 0.0])
+        assert lossless_rank_fraction(matrix) == pytest.approx(0.5)
+
+    def test_transition_matrices_usually_rank_deficient(self, citation_graph):
+        # The paper's core observation: real-ish graphs have rank(Q) < n,
+        # so Li et al.'s Eq. (6) assumption fails.
+        from repro.graph.transition import backward_transition_matrix
+
+        q = backward_transition_matrix(citation_graph)
+        assert lossless_rank(q) < citation_graph.num_nodes

@@ -1,0 +1,128 @@
+"""Tests for repro.linalg.sylvester."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DimensionError
+from repro.linalg.sylvester import (
+    rank_one_sylvester_series,
+    sylvester_series,
+    updated_matvec,
+)
+
+
+class TestSylvesterSeries:
+    def test_zero_iterations_returns_constant(self):
+        c = np.arange(9.0).reshape(3, 3)
+        result = sylvester_series(np.zeros((3, 3)), np.zeros((3, 3)), c, 0)
+        np.testing.assert_array_equal(result, c)
+
+    def test_matches_manual_partial_sum(self):
+        rng = np.random.default_rng(0)
+        a = 0.4 * rng.random((4, 4))
+        b = 0.4 * rng.random((4, 4))
+        c = rng.random((4, 4))
+        expected = c + a @ c @ b + a @ a @ c @ b @ b
+        result = sylvester_series(a, b, c, iterations=2)
+        np.testing.assert_allclose(result, expected, atol=1e-12)
+
+    def test_converges_to_kron_solution(self):
+        from repro.linalg.kron import solve_sylvester_kron
+
+        rng = np.random.default_rng(1)
+        a = 0.3 * rng.random((5, 5))
+        b = 0.3 * rng.random((5, 5))
+        c = rng.random((5, 5))
+        truth = solve_sylvester_kron(a, b, c)
+        approx = sylvester_series(a, b, c, iterations=80)
+        np.testing.assert_allclose(approx, truth, atol=1e-10)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(DimensionError):
+            sylvester_series(np.eye(2), np.eye(2), np.eye(2), -1)
+
+    def test_rejects_incompatible_shapes(self):
+        with pytest.raises(DimensionError):
+            sylvester_series(np.eye(3), np.eye(3), np.eye(2), 1)
+
+
+class TestRankOneSylvesterSeries:
+    def _random_setup(self, seed=0, n=6):
+        rng = np.random.default_rng(seed)
+        q = sp.csr_matrix(0.3 * rng.random((n, n)))
+        u = rng.random(n)
+        w = rng.random(n)
+        return q, u, w
+
+    def test_matches_dense_series(self):
+        q, u, w = self._random_setup()
+        damping = 0.6
+        result = rank_one_sylvester_series(
+            lambda x: q @ x, u, w, damping, iterations=10
+        )
+        dense = sylvester_series(
+            damping * q, q.T, damping * np.outer(u, w), iterations=10
+        )
+        np.testing.assert_allclose(result.matrix, dense, atol=1e-12)
+
+    def test_factor_stack_reconstructs_matrix(self):
+        q, u, w = self._random_setup(seed=2)
+        result = rank_one_sylvester_series(
+            lambda x: q @ x, u, w, 0.7, iterations=8
+        )
+        np.testing.assert_allclose(
+            result.reconstruct(), result.matrix, atol=1e-12
+        )
+
+    def test_factors_have_expected_count(self):
+        q, u, w = self._random_setup()
+        result = rank_one_sylvester_series(lambda x: q @ x, u, w, 0.6, 5)
+        assert len(result.left_factors) == 6  # k = 0..5
+        assert len(result.right_factors) == 6
+
+    def test_materialize_false_skips_matrix(self):
+        q, u, w = self._random_setup()
+        result = rank_one_sylvester_series(
+            lambda x: q @ x, u, w, 0.6, 5, materialize=False
+        )
+        assert result.matrix is None
+        assert result.reconstruct().shape == (6, 6)
+
+    def test_solves_rank_one_sylvester_equation(self):
+        from repro.linalg.kron import solve_sylvester_kron
+
+        q, u, w = self._random_setup(seed=3)
+        damping = 0.5
+        truth = solve_sylvester_kron(
+            damping * q, q.T, damping * np.outer(u, w)
+        )
+        result = rank_one_sylvester_series(
+            lambda x: q @ x, u, w, damping, iterations=80
+        )
+        np.testing.assert_allclose(result.matrix, truth, atol=1e-10)
+
+    def test_rejects_mismatched_vectors(self):
+        with pytest.raises(DimensionError):
+            rank_one_sylvester_series(
+                lambda x: x, np.zeros(3), np.zeros(4), 0.6, 2
+            )
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(DimensionError):
+            rank_one_sylvester_series(
+                lambda x: x, np.zeros(3), np.zeros(3), 0.6, -2
+            )
+
+
+class TestUpdatedMatvec:
+    def test_equals_materialized_rank_one_update(self):
+        rng = np.random.default_rng(4)
+        n = 7
+        q = sp.csr_matrix(rng.random((n, n)))
+        u = rng.random(n)
+        v = rng.random(n)
+        x = rng.random(n)
+        apply_updated = updated_matvec(q, u, v)
+        q_tilde = q.toarray() + np.outer(u, v)
+        np.testing.assert_allclose(apply_updated(x), q_tilde @ x, atol=1e-12)

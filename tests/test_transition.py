@@ -1,0 +1,124 @@
+"""Tests for repro.graph.transition."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.transition import (
+    adjacency_matrix,
+    backward_transition_matrix,
+    transition_row,
+    update_transition_matrix,
+    verify_transition_matrix,
+)
+from repro.graph.updates import EdgeUpdate
+
+
+class TestAdjacencyMatrix:
+    def test_diamond(self, diamond_graph):
+        a = adjacency_matrix(diamond_graph).toarray()
+        expected = np.zeros((4, 4))
+        expected[0, 1] = expected[0, 2] = expected[1, 3] = expected[2, 3] = 1
+        np.testing.assert_array_equal(a, expected)
+
+    def test_path_counting_via_powers(self, diamond_graph):
+        # Lemma 1: [A^2]_{0,3} counts length-2 paths 0->*->3 (there are 2).
+        a = adjacency_matrix(diamond_graph)
+        a2 = (a @ a).toarray()
+        assert a2[0, 3] == 2
+
+
+class TestBackwardTransitionMatrix:
+    def test_rows_normalized_over_in_neighbors(self, diamond_graph):
+        q = backward_transition_matrix(diamond_graph).toarray()
+        # Row 3 averages over in-neighbors {1, 2}.
+        assert q[3, 1] == pytest.approx(0.5)
+        assert q[3, 2] == pytest.approx(0.5)
+        # Row 1 has single in-neighbor 0.
+        assert q[1, 0] == pytest.approx(1.0)
+        # Row 0 (no in-links) is all zero.
+        assert np.all(q[0] == 0.0)
+
+    def test_row_sums_are_zero_or_one(self, random_graph):
+        q = backward_transition_matrix(random_graph)
+        sums = np.asarray(q.sum(axis=1)).ravel()
+        for node in range(random_graph.num_nodes):
+            expected = 1.0 if random_graph.in_degree(node) > 0 else 0.0
+            assert sums[node] == pytest.approx(expected)
+
+    def test_matches_row_normalized_adjacency_transpose(self, citation_graph):
+        a = adjacency_matrix(citation_graph).toarray()
+        q = backward_transition_matrix(citation_graph).toarray()
+        at = a.T
+        degrees = at.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore"):
+            expected = np.where(degrees > 0, at / degrees, 0.0)
+        np.testing.assert_allclose(q, expected)
+
+
+class TestTransitionRow:
+    def test_single_row_matches_full_matrix(self, citation_graph):
+        q = backward_transition_matrix(citation_graph).toarray()
+        for node in (0, 7, 33, citation_graph.num_nodes - 1):
+            row = transition_row(citation_graph, node).toarray().ravel()
+            np.testing.assert_allclose(row, q[node])
+
+    def test_isolated_node_row_empty(self):
+        graph = DynamicDiGraph(3)
+        row = transition_row(graph, 1)
+        assert row.nnz == 0
+
+
+class TestUpdateTransitionMatrix:
+    @pytest.mark.parametrize(
+        "update",
+        [
+            EdgeUpdate.insert(0, 3),  # target with in-degree 2
+            EdgeUpdate.insert(3, 0),  # target with in-degree 0
+            EdgeUpdate.delete(1, 3),  # target drops to in-degree 1
+            EdgeUpdate.delete(0, 1),  # target drops to in-degree 0
+        ],
+    )
+    def test_single_row_rewrite_matches_rebuild(self, diamond_graph, update):
+        old_q = backward_transition_matrix(diamond_graph)
+        new_graph = diamond_graph.copy()
+        update.apply_to(new_graph)
+        spliced = update_transition_matrix(old_q, update, new_graph)
+        rebuilt = backward_transition_matrix(new_graph)
+        np.testing.assert_allclose(spliced.toarray(), rebuilt.toarray())
+
+    def test_many_sequential_updates_stay_consistent(self, random_graph):
+        from repro.graph.generators import random_insertions, random_deletions
+
+        q = backward_transition_matrix(random_graph)
+        graph = random_graph.copy()
+        updates = list(random_deletions(graph, 5, seed=1)) + list(
+            random_insertions(graph, 5, seed=2)
+        )
+        for update in updates:
+            update.apply_to(graph)
+            q = update_transition_matrix(q, update, graph)
+        assert verify_transition_matrix(q, graph) is None
+
+    def test_shape_mismatch_rejected(self, diamond_graph):
+        import scipy.sparse as sp
+
+        bad_q = sp.csr_matrix((3, 3))
+        new_graph = diamond_graph.copy()
+        new_graph.add_edge(0, 3)
+        with pytest.raises(DimensionError):
+            update_transition_matrix(bad_q, EdgeUpdate.insert(0, 3), new_graph)
+
+
+class TestVerifyTransitionMatrix:
+    def test_reports_discrepancy(self, diamond_graph):
+        q = backward_transition_matrix(diamond_graph).tolil()
+        q[3, 1] = 0.9
+        message = verify_transition_matrix(q.tocsr(), diamond_graph)
+        assert message is not None
+        assert "(3, 1)" in message
+
+    def test_accepts_consistent_matrix(self, diamond_graph):
+        q = backward_transition_matrix(diamond_graph)
+        assert verify_transition_matrix(q, diamond_graph) is None
