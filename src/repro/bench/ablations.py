@@ -23,10 +23,11 @@ from ..graph.generators import (
     random_deletions,
     random_insertions,
 )
-from ..graph.transition import backward_transition_matrix, update_transition_matrix
 from ..graph.updates import UpdateBatch
 from ..incremental.inc_sr import inc_sr_update
 from ..incremental.engine import DynamicSimRank
+from ..incremental.workspace import UpdateWorkspace
+from ..linalg.qstore import TransitionStore
 from ..metrics.error import max_abs_error
 from ..simrank.exact import exact_simrank
 from ..simrank.matrix import matrix_simrank
@@ -54,21 +55,30 @@ def ablation_tolerance(scale: str = "tiny") -> Table:
     )
     baseline = None
     for tolerance in (0.0, 1e-10, 1e-6, 1e-4, 1e-3):
-        q = backward_transition_matrix(graph)
+        # Same hot path as the engine: a live store plus pooled scratch,
+        # maintained with row-granular surgery between updates.
+        store = TransitionStore.from_graph(graph)
+        workspace = UpdateWorkspace(graph.num_nodes)
         scores = initial.copy()
         live = graph.copy()
         areas = []
 
         def run():
-            nonlocal q, scores
+            nonlocal scores
             for update in batch:
                 result = inc_sr_update(
-                    live, q, scores, update, config, tolerance=tolerance
+                    live,
+                    store,
+                    scores,
+                    update,
+                    config,
+                    tolerance=tolerance,
+                    workspace=workspace,
                 )
                 scores = result.new_s
                 areas.append(result.affected.affected_fraction())
                 update.apply_to(live)
-                q = update_transition_matrix(q, update, live)
+                store.apply_update(update)
 
         _, seconds = timed(run)
         if baseline is None:

@@ -1,0 +1,212 @@
+"""Frozen PR-1 baseline: the *seed* Inc-SR unit-update hot path.
+
+This module is a faithful copy of the update pipeline as it existed
+before the :class:`~repro.linalg.qstore.TransitionStore` rework, kept so
+the perf gate (:mod:`repro.bench.perf_gate`) can measure the speedup of
+the live engine against a fixed reference on the same machine and the
+same workload — trajectory numbers in ``BENCH_pr*.json`` stay
+comparable across future PRs.
+
+Baseline characteristics being measured (all removed from the live
+engine):
+
+* ``Q.tocsc()`` scipy conversion **per update** before the pruned core;
+* a full-array ``np.concatenate`` CSR rebuild **per update** to splice
+  one row;
+* the duplicated ``w = Q·[S]_{:,i}`` mat-vec and λ computation in the
+  Theorem 2–3 precomputation;
+* two dense ``n``-vectors materialized per pruned iteration (plus the
+  O(n) support re-extraction scans), and fresh scratch vectors on every
+  update.
+
+Do **not** modernize this module; it is intentionally frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import SimRankConfig
+from ..graph.digraph import DynamicDiGraph
+from ..graph.transition import transition_row
+from ..graph.updates import EdgeUpdate
+from ..incremental.rank_one import validate_update
+
+
+def _legacy_old_row_dense(graph: DynamicDiGraph, node: int) -> np.ndarray:
+    """Seed's dense ``[Q]_{node,:}`` (python loop over in-neighbors)."""
+    n = graph.num_nodes
+    row = np.zeros(n)
+    in_list = graph.in_neighbors(node)
+    if in_list:
+        weight = 1.0 / len(in_list)
+        for neighbor in in_list:
+            row[neighbor] = weight
+    return row
+
+
+def _legacy_rank_one_decomposition(graph, update):
+    """Seed's Theorem-1 factors, frozen (pre-vectorization copy)."""
+    validate_update(graph, update)
+    n = graph.num_nodes
+    source, target = update.edge
+    degree = graph.in_degree(target)
+    u_vector = np.zeros(n)
+    v_vector = np.zeros(n)
+    if update.is_insert:
+        if degree == 0:
+            u_vector[target] = 1.0
+            v_vector[source] = 1.0
+        else:
+            u_vector[target] = 1.0 / (degree + 1)
+            v_vector = -_legacy_old_row_dense(graph, target)
+            v_vector[source] += 1.0
+    else:
+        if degree == 1:
+            u_vector[target] = 1.0
+            v_vector[source] = -1.0
+        else:
+            u_vector[target] = 1.0 / (degree - 1)
+            v_vector = _legacy_old_row_dense(graph, target)
+            v_vector[source] -= 1.0
+    return u_vector, v_vector
+
+
+def _legacy_compute_gamma(q_matrix, s_matrix, update, target_degree, config):
+    """Seed's γ of Eqs. (27)–(28), frozen (own mat-vec, fresh arrays)."""
+    damping = config.damping
+    n = q_matrix.shape[0]
+    source, target = update.edge
+    w_vector = q_matrix @ s_matrix[:, source]
+    lam = (
+        s_matrix[source, source]
+        + s_matrix[target, target] / damping
+        - 2.0 * w_vector[target]
+        - 1.0 / damping
+        + 1.0
+    )
+    e_target = np.zeros(n)
+    e_target[target] = 1.0
+    if update.is_insert:
+        if target_degree == 0:
+            return w_vector + 0.5 * s_matrix[source, source] * e_target
+        scale = 1.0 / (target_degree + 1)
+        coefficient = lam * scale / 2.0 + 1.0 / damping - 1.0
+        return scale * (
+            w_vector
+            - s_matrix[:, target] / damping
+            + coefficient * e_target
+        )
+    if target_degree == 1:
+        return 0.5 * s_matrix[source, source] * e_target - w_vector
+    scale = 1.0 / (target_degree - 1)
+    coefficient = lam * scale / 2.0 - 1.0 / damping + 1.0
+    return scale * (
+        s_matrix[:, target] / damping - w_vector + coefficient * e_target
+    )
+
+
+def _legacy_gather_matvec(
+    csc: sp.csc_matrix,
+    indices: np.ndarray,
+    values: np.ndarray,
+    num_rows: int,
+) -> np.ndarray:
+    """Seed's dense ``Q @ x`` for sparse ``x`` (bincount scatter-add)."""
+    if indices.size == 0:
+        return np.zeros(num_rows)
+    starts = csc.indptr[indices]
+    ends = csc.indptr[indices + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(num_rows)
+    head = np.repeat(
+        starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    positions = head + np.arange(total)
+    rows = csc.indices[positions]
+    contributions = csc.data[positions] * np.repeat(values, counts)
+    return np.bincount(rows, weights=contributions, minlength=num_rows)
+
+
+def _legacy_to_support(dense: np.ndarray, tolerance: float):
+    indices = np.nonzero(np.abs(dense) > tolerance)[0]
+    return indices, dense[indices]
+
+
+def legacy_inc_sr_unit_update(
+    graph: DynamicDiGraph,
+    q_matrix: sp.csr_matrix,
+    s_matrix: np.ndarray,
+    update: EdgeUpdate,
+    config: SimRankConfig,
+) -> sp.csr_matrix:
+    """One seed-style Inc-SR unit update, mutating ``graph``/``s_matrix``.
+
+    Returns the rebuilt ``Q`` (the seed reconstructed the CSR arrays
+    wholesale per update); the caller threads it into the next call.
+    """
+    damping = config.damping
+    n = q_matrix.shape[0]
+    source, target = update.edge
+
+    # Seed precompute: γ via one mat-vec inside the frozen compute_gamma
+    # copy, then λ recomputed with a second, identical mat-vec (the
+    # duplication the live code removed).
+    degree = graph.in_degree(update.target)
+    u_vector, v_vector = _legacy_rank_one_decomposition(graph, update)
+    gamma = _legacy_compute_gamma(q_matrix, s_matrix, update, degree, config)
+    w_vector = q_matrix @ s_matrix[:, source]
+    _lam = (
+        s_matrix[source, source]
+        + s_matrix[target, target] / damping
+        - 2.0 * w_vector[target]
+        - 1.0 / damping
+        + 1.0
+    )
+
+    update.apply_to(graph)
+
+    # Seed core: per-update CSC conversion + dense-vector iteration.
+    csc = q_matrix.tocsc()
+    u_scale = float(u_vector[target])
+    xi_idx = np.asarray([target], dtype=np.int64)
+    xi_val = np.asarray([damping])
+    eta_idx, eta_val = _legacy_to_support(gamma, 0.0)
+
+    def accumulate(rows, row_vals, cols, col_vals):
+        if rows.size == 0 or cols.size == 0:
+            return
+        block = np.outer(row_vals, col_vals)
+        s_matrix[np.ix_(rows, cols)] += block
+        s_matrix[np.ix_(cols, rows)] += block.T
+
+    accumulate(xi_idx, xi_val, eta_idx, eta_val)
+    for _ in range(config.iterations):
+        if xi_idx.size == 0 or eta_idx.size == 0:
+            break
+        delta_xi = float(v_vector[xi_idx] @ xi_val) * u_scale
+        delta_eta = float(v_vector[eta_idx] @ eta_val) * u_scale
+        xi_dense = _legacy_gather_matvec(csc, xi_idx, xi_val, n)
+        xi_dense[target] += delta_xi
+        xi_dense *= damping
+        eta_dense = _legacy_gather_matvec(csc, eta_idx, eta_val, n)
+        eta_dense[target] += delta_eta
+        xi_idx, xi_val = _legacy_to_support(xi_dense, 0.0)
+        eta_idx, eta_val = _legacy_to_support(eta_dense, 0.0)
+        accumulate(xi_idx, xi_val, eta_idx, eta_val)
+
+    # Seed maintenance: full-array CSR rebuild to splice one row.
+    new_row = transition_row(graph, target)
+    start, end = int(q_matrix.indptr[target]), int(q_matrix.indptr[target + 1])
+    data = np.concatenate(
+        (q_matrix.data[:start], new_row.data, q_matrix.data[end:])
+    )
+    indices = np.concatenate(
+        (q_matrix.indices[:start], new_row.indices, q_matrix.indices[end:])
+    )
+    indptr = q_matrix.indptr.copy()
+    indptr[target + 1 :] += new_row.nnz - (end - start)
+    return sp.csr_matrix((data, indices, indptr), shape=(n, n))

@@ -1,0 +1,216 @@
+"""Smoke perf gate: per-update latency of the live engine vs the seed.
+
+A Fig. 2a-style microbenchmark following the paper's protocol: a
+CITH-like citation network (one of the Fig. 2a dataset families) is
+snapshot mid-evolution, ``S`` is precomputed once, and the next edge
+arrivals are applied as unit updates (a) through the live
+:class:`~repro.incremental.engine.DynamicSimRank` zero-rebuild pipeline
+and (b) through the frozen seed hot path in :mod:`repro.bench.legacy`.
+Both pipelines start from identical state and apply the identical
+update sequence, and their final scores are asserted equal, so the
+wall-clock ratio isolates the update-pipeline rework.  Each pipeline is
+timed over two alternating rounds and the faster round is kept,
+suppressing cold-cache/ordering bias.
+
+Writes a JSON report (``BENCH_pr1.json`` at the repo root by CI
+convention) so future PRs have a latency trajectory to compare against::
+
+    python -m repro.bench.perf_gate --out BENCH_pr1.json
+    python -m repro.bench.perf_gate --nodes 500 --updates 20 --min-speedup 1.5
+
+The gate exits non-zero when the measured mean speedup falls below
+``--min-speedup`` (default 3.0, the PR-1 acceptance bar; CI's smoke run
+uses a smaller graph and a softer bar to stay noise-tolerant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import SimRankConfig
+from ..datasets.citation import citation_network
+from ..graph.transition import backward_transition_matrix
+from ..graph.updates import UpdateBatch
+from ..incremental.engine import DynamicSimRank
+from ..simrank.matrix import matrix_simrank
+from .legacy import legacy_inc_sr_unit_update
+
+
+def _workload(
+    num_nodes: int,
+    num_updates: int,
+    references: int,
+    recency: float,
+    seed: int,
+):
+    """Fig. 2a protocol: mid-evolution citation snapshot + next arrivals.
+
+    A citation network (CITH-like by default: ~12 refs/paper, strong
+    recency bias — see :func:`repro.datasets.citation.cith_like`) is
+    evolved over yearly cohorts; the graph is snapshot mid-evolution,
+    SimRank is precomputed once, and the next ``num_updates`` edge
+    arrivals (the delta toward the following snapshots) form the
+    unit-update stream — exactly how the paper feeds its link-evolving
+    experiments.
+    """
+    timestamped = citation_network(
+        num_nodes,
+        num_years=10,
+        references_per_paper=references,
+        recency_bias=recency,
+        seed=seed,
+    )
+    times = timestamped.timestamps()
+    middle = times[len(times) // 2]
+    base = timestamped.snapshot_at(middle)
+    delta = timestamped.delta_between(middle, times[-1])
+    updates = list(delta)[:num_updates]
+    config = SimRankConfig(damping=0.6, iterations=15)
+    initial = matrix_simrank(base, config)
+    return base, config, initial, updates
+
+
+def _time_live(graph, config, initial, updates):
+    engine = DynamicSimRank(
+        graph, config, algorithm="inc-sr", initial_scores=initial
+    )
+    engine.apply(UpdateBatch(updates))
+    return [stats.seconds for stats in engine.history], engine.similarities()
+
+
+def _time_legacy(graph, config, initial, updates):
+    live_graph = graph.copy()
+    q_matrix = backward_transition_matrix(live_graph)
+    scores = initial.copy()
+    seconds: List[float] = []
+    for update in updates:
+        started = time.perf_counter()
+        q_matrix = legacy_inc_sr_unit_update(
+            live_graph, q_matrix, scores, update, config
+        )
+        seconds.append(time.perf_counter() - started)
+    return seconds, scores
+
+
+def run_perf_gate(
+    num_nodes: int = 2000,
+    num_updates: int = 100,
+    references: int = 12,
+    recency: float = 0.7,
+    seed: int = 7,
+    check_equivalence: bool = True,
+) -> Dict:
+    """Run both pipelines; return the JSON-serializable report dict."""
+    graph, config, initial, updates = _workload(
+        num_nodes, num_updates, references, recency, seed
+    )
+
+    # Two alternating rounds per pipeline; keep each pipeline's faster
+    # round so neither side is charged for cold caches or run order.
+    legacy_seconds, legacy_scores = _time_legacy(graph, config, initial, updates)
+    live_seconds, live_scores = _time_live(graph, config, initial, updates)
+    legacy_again, _ = _time_legacy(graph, config, initial, updates)
+    live_again, _ = _time_live(graph, config, initial, updates)
+    legacy_seconds = min(legacy_seconds, legacy_again, key=sum)
+    live_seconds = min(live_seconds, live_again, key=sum)
+
+    report = {
+        "benchmark": "pr1-unit-update-latency",
+        "workload": {
+            "graph": "cith-like citation snapshot (fig2a protocol)",
+            "num_nodes": num_nodes,
+            "num_edges": graph.num_edges,
+            "references_per_paper": references,
+            "recency_bias": recency,
+            "num_updates": len(updates),
+            "damping": config.damping,
+            "iterations": config.iterations,
+            "seed": seed,
+        },
+        "live": _summary(live_seconds),
+        "legacy_seed": _summary(legacy_seconds),
+        "mean_speedup": statistics.fmean(legacy_seconds)
+        / statistics.fmean(live_seconds),
+        "median_speedup": statistics.median(legacy_seconds)
+        / statistics.median(live_seconds),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    if check_equivalence:
+        # The two pipelines must produce the same scores (sanity guard
+        # that the speedup is not bought with a wrong answer).
+        drift = float(np.max(np.abs(live_scores - legacy_scores)))
+        report["max_score_drift_vs_seed"] = drift
+        if drift > 1e-9:
+            raise AssertionError(
+                f"live pipeline drifted from seed scores by {drift:.3e}"
+            )
+    return report
+
+
+def _summary(seconds: List[float]) -> Dict[str, float]:
+    return {
+        "mean_seconds": statistics.fmean(seconds),
+        "median_seconds": statistics.median(seconds),
+        "p95_seconds": sorted(seconds)[max(0, int(0.95 * len(seconds)) - 1)],
+        "total_seconds": sum(seconds),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf_gate",
+        description="Per-update latency gate vs the frozen seed pipeline.",
+    )
+    parser.add_argument("--nodes", type=int, default=2000)
+    parser.add_argument("--updates", type=int, default=100)
+    parser.add_argument("--references", type=int, default=12)
+    parser.add_argument("--recency", type=float, default=0.7)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=None, help="JSON report path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="fail when mean speedup vs seed drops below this",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_perf_gate(
+        num_nodes=args.nodes,
+        num_updates=args.updates,
+        references=args.references,
+        recency=args.recency,
+        seed=args.seed,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+
+    if report["mean_speedup"] < args.min_speedup:
+        print(
+            f"PERF GATE FAIL: mean speedup {report['mean_speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf gate ok: {report['mean_speedup']:.2f}x mean per-update "
+        f"speedup vs seed (gate {args.min_speedup:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,13 @@
 zero, so ``Q`` is row-substochastic in general.
 
 The incremental algorithms never rebuild ``Q`` from scratch: a unit update
-``(i, j)`` only rewrites row ``j``.  :func:`update_transition_matrix`
-performs that single-row rewrite on a CSR matrix via a LIL intermediate,
-and :func:`transition_row` builds one row directly from the graph.
+``(i, j)`` only rewrites row ``j``.  The *engine's* hot path keeps ``Q``
+in a :class:`~repro.linalg.qstore.TransitionStore` (persistent dual
+CSR/CSC slabs with O(row) surgery and no scipy object churn);
+:func:`update_transition_matrix` remains the reference single-row rewrite
+on plain scipy CSR arrays — used by tests, ablations, and the frozen
+seed baseline in :mod:`repro.bench.legacy` — and :func:`transition_row`
+builds one row directly from the graph.
 """
 
 from __future__ import annotations

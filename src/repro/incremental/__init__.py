@@ -11,20 +11,24 @@
   incremental update in ``O(K·(n·d + |AFF|))``.
 * :mod:`repro.incremental.inc_svd` — the Inc-SVD baseline of Li et
   al. [1], including its inherent approximation (Sec. IV).
+* :mod:`repro.incremental.workspace` — :class:`UpdateWorkspace`, the
+  pooled per-update scratch vectors shared by the hot paths.
 * :mod:`repro.incremental.engine` — :class:`DynamicSimRank`, the
   user-facing session object keeping graph, ``Q`` and ``S`` in sync.
 """
 
 from .rank_one import rank_one_decomposition
-from .gamma import compute_update_vectors, UpdateVectors
+from .gamma import compute_gamma_lambda, compute_update_vectors, UpdateVectors
 from .inc_usr import inc_usr_update, UnitUpdateResult
 from .inc_sr import inc_sr_update
 from .affected import AffectedAreaStats
 from .inc_svd import IncSVDSimRank
+from .workspace import UpdateWorkspace
 from .engine import DynamicSimRank, UpdateStats
 
 __all__ = [
     "rank_one_decomposition",
+    "compute_gamma_lambda",
     "compute_update_vectors",
     "UpdateVectors",
     "inc_usr_update",
@@ -32,6 +36,7 @@ __all__ = [
     "UnitUpdateResult",
     "AffectedAreaStats",
     "IncSVDSimRank",
+    "UpdateWorkspace",
     "DynamicSimRank",
     "UpdateStats",
 ]

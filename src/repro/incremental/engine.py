@@ -8,6 +8,20 @@ across unit updates and batches, dispatching to the configured algorithm:
 * ``"batch"``   — full recomputation via the matrix-form batch iteration
   (the paper's Batch comparator, used for crossover studies).
 
+Hot-path architecture
+---------------------
+``Q`` lives in a :class:`~repro.linalg.qstore.TransitionStore` — a
+persistent dual CSR/CSC slab store with per-row slack — so a unit update
+performs *row-granular surgery only*: no ``tocsc()`` conversion, no
+full-array CSR rebuild, no scipy object churn.  Dense per-update scratch
+(``u``, ``v``, ``w``, ``γ``) comes from a pooled
+:class:`~repro.incremental.workspace.UpdateWorkspace` owned by the
+session, and the pruned Inc-SR core iterates on sparse supports gathered
+straight from the store's CSC slabs.  The net effect is that per-update
+maintenance cost is O(row) instead of the O(nnz) the seed implementation
+paid, which is what lets update cost track the affected area rather than
+the graph size (the paper's headline claim).
+
 Every update is timed and its affected-area statistics recorded in
 :class:`UpdateStats`, which the benchmark harness aggregates into the
 paper's figures.
@@ -25,17 +39,14 @@ import scipy.sparse as sp
 from ..config import SimRankConfig
 from ..exceptions import ConfigError, GraphError
 from ..graph.digraph import DynamicDiGraph
-from ..graph.transition import (
-    backward_transition_matrix,
-    update_transition_matrix,
-    verify_transition_matrix,
-)
+from ..graph.transition import verify_transition_matrix
 from ..graph.updates import EdgeUpdate, UpdateBatch
+from ..linalg.qstore import TransitionStore
 from ..simrank.base import default_config
 from ..simrank.matrix import matrix_simrank
 from .affected import AffectedAreaStats
-from .inc_sr import inc_sr_update
 from .inc_usr import inc_usr_update
+from .workspace import UpdateWorkspace
 
 ALGORITHMS = ("inc-sr", "inc-usr", "batch")
 
@@ -93,9 +104,10 @@ class DynamicSimRank:
         self._graph = graph.copy()
         self._algorithm = algorithm
         self._paranoid = bool(paranoid)
-        self._q_matrix = backward_transition_matrix(self._graph)
+        self._store = TransitionStore.from_graph(self._graph)
+        self._workspace = UpdateWorkspace(self._graph.num_nodes)
         if initial_scores is None:
-            self._s_matrix = matrix_simrank(self._q_matrix, self._config)
+            self._s_matrix = matrix_simrank(self._store.csr_matrix(), self._config)
         else:
             scores = np.asarray(initial_scores, dtype=np.float64)
             n = self._graph.num_nodes
@@ -104,6 +116,9 @@ class DynamicSimRank:
                     f"initial_scores shape {scores.shape} != ({n}, {n})"
                 )
             self._s_matrix = scores.copy()
+        # Capacity-doubled backing buffer for S; allocated lazily on the
+        # first node arrival (see add_node).
+        self._s_buffer: Optional[np.ndarray] = None
         self._history: List[UpdateStats] = []
 
     # ------------------------------------------------------------------ #
@@ -127,8 +142,18 @@ class DynamicSimRank:
 
     @property
     def transition_matrix(self) -> sp.csr_matrix:
-        """The live backward transition matrix ``Q``."""
-        return self._q_matrix
+        """The live backward transition matrix ``Q`` as scipy CSR.
+
+        A packed view served from the store's cache: repeated reads
+        between updates return the same object without copying; the view
+        is rebuilt lazily after a mutation.  Treat it as read-only.
+        """
+        return self._store.csr_matrix()
+
+    @property
+    def transition_store(self) -> TransitionStore:
+        """The live dual-layout ``Q`` store (the update hot path)."""
+        return self._store
 
     @property
     def history(self) -> List[UpdateStats]:
@@ -169,49 +194,56 @@ class DynamicSimRank:
 
         if self._algorithm == "batch":
             update.apply_to(self._graph)
-            self._q_matrix = backward_transition_matrix(self._graph)
-            self._s_matrix = matrix_simrank(self._q_matrix, self._config)
+            self._store.replace_from_graph(self._graph)
+            self._s_matrix = matrix_simrank(
+                self._store.csr_matrix(), self._config
+            )
         elif self._algorithm == "inc-sr":
             # Fast path: Theorem 1-3 quantities need only the old state,
-            # so precompute them, mutate the graph in place, and apply
-            # the pruned iteration directly into S (no copies).
+            # so precompute them into pooled buffers, mutate the graph in
+            # place, apply the pruned iteration directly into S, and
+            # finish with row-granular surgery on the dual Q store — no
+            # copies, no format conversions, no array rebuilds.
             from .gamma import compute_update_vectors
             from .inc_sr import inc_sr_core
 
             vectors = compute_update_vectors(
-                self._q_matrix, self._s_matrix, update, self._graph, self._config
+                self._store,
+                self._s_matrix,
+                update,
+                self._graph,
+                self._config,
+                workspace=self._workspace,
             )
             update.apply_to(self._graph)
             result = inc_sr_core(
-                self._q_matrix,
+                self._store,
                 self._s_matrix,
                 update.target,
                 vectors,
                 self._config,
                 in_place=True,
-                q_csc=self._q_matrix.tocsc(),
             )
             affected = result.affected
             self._s_matrix = result.new_s
-            self._q_matrix = update_transition_matrix(
-                self._q_matrix, update, self._graph
-            )
+            self._store.apply_update(update)
         else:
             result = inc_usr_update(
                 self._graph,
-                self._q_matrix,
+                self._store,
                 self._s_matrix,
                 update,
                 self._config,
+                workspace=self._workspace,
             )
             self._s_matrix = result.new_s
             update.apply_to(self._graph)
-            self._q_matrix = update_transition_matrix(
-                self._q_matrix, update, self._graph
-            )
+            self._store.apply_update(update)
 
         if self._paranoid:
-            problem = verify_transition_matrix(self._q_matrix, self._graph)
+            problem = verify_transition_matrix(
+                self._store.csr_matrix(), self._graph
+            )
             if problem is not None:
                 raise GraphError(f"paranoid check failed: {problem}")
 
@@ -231,7 +263,9 @@ class DynamicSimRank:
         processes each group as a *single* generalized rank-one update —
         see :mod:`repro.incremental.row_update`.  Returns the number of
         row groups processed.  Only available with the ``inc-sr``
-        algorithm (the pruned core is reused for each group).
+        algorithm (the pruned core is reused for each group).  Runs on
+        the engine's live store/workspace, so the whole batch performs
+        only row-granular surgery.
         """
         if self._algorithm != "inc-sr":
             raise ConfigError(
@@ -241,12 +275,17 @@ class DynamicSimRank:
         from .row_update import apply_consolidated_batch
 
         started = time.perf_counter()
-        scores, q_matrix, graph, groups = apply_consolidated_batch(
-            self._graph, self._q_matrix, self._s_matrix, batch, self._config
+        scores, _, _, groups = apply_consolidated_batch(
+            self._graph,
+            None,
+            self._s_matrix,
+            batch,
+            self._config,
+            store=self._store,
+            workspace=self._workspace,
+            in_place=True,
         )
         self._s_matrix = scores
-        self._q_matrix = q_matrix
-        self._graph = graph
         elapsed = time.perf_counter() - started
         for update in batch:
             self._history.append(
@@ -257,7 +296,9 @@ class DynamicSimRank:
                 )
             )
         if self._paranoid:
-            problem = verify_transition_matrix(self._q_matrix, self._graph)
+            problem = verify_transition_matrix(
+                self._store.csr_matrix(), self._graph
+            )
             if problem is not None:
                 raise GraphError(f"paranoid check failed: {problem}")
         return groups
@@ -266,32 +307,40 @@ class DynamicSimRank:
         """Grow the node universe by one isolated node; return its id.
 
         Node arrival is the paper's other update type (handled in [8] by
-        He et al.); here it is exact and O(n): an isolated node has an
-        all-zero ``Q`` row/column, and its only nonzero similarity is the
-        matrix-form self-score ``1 − C``.  Subsequent edges to/from the
-        node flow through the normal incremental path.
+        He et al.); here it is exact and amortized O(n): an isolated
+        node has an all-zero ``Q`` row/column (one empty segment appended
+        to each store layout), and its only nonzero similarity is the
+        matrix-form self-score ``1 − C``.  ``S`` grows inside a
+        capacity-doubled backing buffer, so a stream of arrivals costs
+        one O(n²) copy per *doubling* rather than per node.  Subsequent
+        edges to/from the node flow through the normal incremental path.
         """
         node = self._graph.add_node()
         n = self._graph.num_nodes
-        self._q_matrix = sp.csr_matrix(
-            (
-                self._q_matrix.data,
-                self._q_matrix.indices,
-                np.concatenate(
-                    (self._q_matrix.indptr, [self._q_matrix.indptr[-1]])
-                ),
-            ),
-            shape=(n, n),
-        )
-        expanded = np.zeros((n, n))
-        expanded[: n - 1, : n - 1] = self._s_matrix
-        expanded[node, node] = 1.0 - self._config.damping
-        self._s_matrix = expanded
+        self._store.add_node()
+        self._workspace.ensure_capacity(n)
+        self._grow_scores(n)
+        self._s_matrix[node, node] = 1.0 - self._config.damping
         return node
 
-    # ------------------------------------------------------------------ #
-    # Aggregates
-    # ------------------------------------------------------------------ #
+    def _grow_scores(self, n: int) -> None:
+        """Extend ``S`` to ``(n, n)``, reusing the doubling buffer."""
+        old = self._s_matrix
+        old_n = old.shape[0]
+        buffer = self._s_buffer
+        in_buffer = buffer is not None and old.base is buffer
+        if in_buffer and n <= buffer.shape[0]:
+            view = buffer[:n, :n]
+            view[old_n:, :] = 0.0
+            view[:, old_n:] = 0.0
+            self._s_matrix = view
+            return
+        capacity = buffer.shape[0] if in_buffer else old_n
+        new_capacity = max(n, 2 * capacity)
+        fresh = np.zeros((new_capacity, new_capacity), dtype=old.dtype)
+        fresh[:old_n, :old_n] = old
+        self._s_buffer = fresh
+        self._s_matrix = fresh[:n, :n]
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -335,6 +384,10 @@ class DynamicSimRank:
             initial_scores=payload["scores"],
         )
 
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
     def total_update_seconds(self) -> float:
         """Sum of wall-clock seconds over all applied updates."""
         return sum(stats.seconds for stats in self._history)
@@ -355,16 +408,9 @@ class DynamicSimRank:
     def intermediate_bytes(self) -> int:
         """Rough bytes held by the engine beyond the S output (Fig. 3).
 
-        Counts ``Q`` (CSR arrays) and the per-update vector workspace;
-        the ``n²`` output matrix is excluded, mirroring the paper's
-        "intermediate space" definition.
+        Counts the dual-layout ``Q`` store (both CSR and CSC slabs,
+        *including* their per-row slack and relocation holes) plus the
+        pooled per-update vector workspace; the ``n²`` output matrix is
+        excluded, mirroring the paper's "intermediate space" definition.
         """
-        q_bytes = (
-            self._q_matrix.data.nbytes
-            + self._q_matrix.indices.nbytes
-            + self._q_matrix.indptr.nbytes
-        )
-        n = self._graph.num_nodes
-        # ξ, η, γ, w, u, v dense scratch vectors.
-        vector_bytes = 8 * 6 * n
-        return q_bytes + vector_bytes
+        return self._store.buffer_bytes() + self._workspace.nbytes()

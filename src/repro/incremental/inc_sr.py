@@ -1,13 +1,17 @@
 """Algorithm 2 — **Inc-SR**: incremental SimRank with affected-area pruning.
 
 Inc-SR is Inc-uSR restricted, at every step, to the affected areas of
-Theorem 4.  This implementation realizes the pruning with *sparse vector*
-arithmetic over the raw CSC arrays of ``Q``: the product ``Q·ξ_k`` is a
-gather over exactly the columns in ``supp(ξ_k)`` — whose touched rows are
-precisely the out-neighbor closure ``A_k`` of Theorem 4's Eq. (40) — and
-the outer-product accumulation touches exactly ``A_k × B_k`` entries.
-Per-iteration cost is ``O(nnz(Q[:, supp]) + |A_k|·|B_k|)`` instead of the
-unpruned ``O(n·d + n²)``.
+Theorem 4.  This implementation realizes the pruning with *sparse
+vector* arithmetic over the CSC slabs of a
+:class:`~repro.linalg.qstore.TransitionStore`: the product ``Q·ξ_k`` is
+a gather over exactly the columns in ``supp(ξ_k)`` — whose touched rows
+are precisely the out-neighbor closure ``A_k`` of Theorem 4's Eq. (40)
+— and the outer-product accumulation touches exactly ``A_k × B_k``
+entries.  The gather returns its result *sparse* (sorted indices +
+sums), so a whole iteration costs
+``O(nnz(Q[:, supp])·log + |A_k|·|B_k|)`` with **no O(n) dense-vector
+pass at all** — the seed implementation materialized two dense
+``n``-vectors per iteration just to re-extract their supports.
 
 The pruning is *lossless*: every skipped entry is provably zero
 (Theorem 4), so Inc-SR and Inc-uSR return identical matrices up to float
@@ -29,42 +33,14 @@ import scipy.sparse as sp
 from ..config import SimRankConfig
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate
+from ..linalg.qstore import TransitionStore
 from ..simrank.base import default_config
 from .affected import AffectedAreaStats
 from .gamma import UpdateVectors, compute_update_vectors
 from .inc_usr import UnitUpdateResult
+from .workspace import UpdateWorkspace
 
 SparseVector = Tuple[np.ndarray, np.ndarray]  # (indices, values)
-
-
-def _gather_matvec(
-    csc: sp.csc_matrix,
-    indices: np.ndarray,
-    values: np.ndarray,
-    num_rows: int,
-) -> np.ndarray:
-    """Dense ``Q @ x`` for a sparse ``x = (indices, values)``.
-
-    Gathers the CSC columns in ``supp(x)`` (a fully vectorized
-    range-concatenation) and scatter-adds with ``np.bincount``; cost is
-    ``O(nnz(Q[:, supp]) + n)`` with no scipy object churn.
-    """
-    if indices.size == 0:
-        return np.zeros(num_rows)
-    starts = csc.indptr[indices]
-    ends = csc.indptr[indices + 1]
-    counts = ends - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(num_rows)
-    # Positions of all gathered nnz entries inside csc.data/indices.
-    head = np.repeat(
-        starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
-    )
-    positions = head + np.arange(total)
-    rows = csc.indices[positions]
-    contributions = csc.data[positions] * np.repeat(values, counts)
-    return np.bincount(rows, weights=contributions, minlength=num_rows)
 
 
 def _to_support(dense: np.ndarray, tolerance: float) -> SparseVector:
@@ -73,8 +49,87 @@ def _to_support(dense: np.ndarray, tolerance: float) -> SparseVector:
     return indices, dense[indices]
 
 
+def _filter_support(
+    indices: np.ndarray, values: np.ndarray, tolerance: float
+) -> SparseVector:
+    """Drop sparse entries at or below the magnitude tolerance."""
+    keep = np.abs(values) > tolerance
+    if keep.all():
+        return indices, values
+    return indices[keep], values[keep]
+
+
+def _add_entry(
+    indices: np.ndarray, values: np.ndarray, position: int, delta: float
+) -> SparseVector:
+    """Add ``delta`` at ``position`` of a sorted sparse vector."""
+    if delta == 0.0:
+        return indices, values
+    at = int(np.searchsorted(indices, position))
+    if at < indices.size and indices[at] == position:
+        values[at] += delta
+        return indices, values
+    return (
+        np.insert(indices, at, position),
+        np.insert(values, at, delta),
+    )
+
+
+def _sorted_union(index_arrays) -> np.ndarray:
+    """Union of sorted index arrays (sort + run-length dedup beats hashing)."""
+    if len(index_arrays) == 1:
+        return index_arrays[0]
+    merged = np.concatenate(index_arrays)
+    merged.sort(kind="stable")
+    keep = np.empty(merged.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    return merged[keep]
+
+
+def _scatter_series(
+    new_s: np.ndarray,
+    xi_stack,
+    eta_stack,
+) -> None:
+    """Add ``Σ_k ξ_k·η_kᵀ`` (and its transpose) into ``new_s``.
+
+    The per-iteration factor pairs are batched into two dense panels
+    over the *union* supports and combined with one BLAS GEMM, so the
+    score matrix is scatter-updated twice per update instead of twice
+    per iteration — the fancy-indexed scatter-add is the slow part, the
+    GEMM is nearly free.
+    """
+    if not xi_stack:
+        return
+    rows_union = _sorted_union([idx for idx, _ in xi_stack])
+    cols_union = _sorted_union([idx for idx, _ in eta_stack])
+    terms = len(xi_stack)
+    left = np.zeros((rows_union.size, terms))
+    right = np.zeros((cols_union.size, terms))
+    for term, (idx, val) in enumerate(xi_stack):
+        left[np.searchsorted(rows_union, idx), term] = val
+    for term, (idx, val) in enumerate(eta_stack):
+        right[np.searchsorted(cols_union, idx), term] = val
+    block = left @ right.T
+    new_s[np.ix_(rows_union, cols_union)] += block
+    new_s[np.ix_(cols_union, rows_union)] += block.T
+
+
+def _resolve_store(q_matrix, q_csc) -> TransitionStore:
+    """Accept a live :class:`TransitionStore` or build one from CSR.
+
+    ``q_csc`` (the scipy-era cache hint) still pays off here: it skips
+    the transpose pass when a throwaway store must be built for a
+    plain-CSR caller.
+    """
+    if isinstance(q_matrix, TransitionStore):
+        return q_matrix
+    return TransitionStore.from_csr(q_matrix, csc_hint=q_csc)
+
+
 def inc_sr_core(
-    q_matrix: sp.csr_matrix,
+    q_matrix,
     s_matrix: np.ndarray,
     target: int,
     vectors: UpdateVectors,
@@ -82,20 +137,25 @@ def inc_sr_core(
     tolerance: float = 0.0,
     in_place: bool = False,
     q_csc: Optional[sp.csc_matrix] = None,
+    workspace: Optional[UpdateWorkspace] = None,
 ) -> UnitUpdateResult:
     """The pruned iteration (lines 13–20 of Algorithm 2).
 
     ``q_matrix``/``s_matrix`` describe the *old* graph and ``vectors``
     must already hold the Theorem 1–3 quantities for a rank-one update
-    of row ``target`` (``vectors.u`` supported on ``{target}``).  With
-    ``in_place=True`` the update is written directly into ``s_matrix``
-    (the engine's fast path); otherwise ``s_matrix`` is copied first.
-    ``q_csc`` may supply a cached CSC view of ``q_matrix`` to skip the
-    conversion.
+    of row ``target`` (``vectors.u`` supported on ``{target}``).
+    ``q_matrix`` may be a scipy CSR matrix or — on the engine's zero-
+    rebuild fast path — a live :class:`TransitionStore`, whose CSC slabs
+    are gathered directly.  With ``in_place=True`` the update is written
+    directly into ``s_matrix`` (the engine's fast path); otherwise
+    ``s_matrix`` is copied first.  For plain-CSR callers ``q_csc`` may
+    supply a cached CSC view, sparing the throwaway store a transpose
+    pass.  ``workspace`` is accepted for interface symmetry; the core
+    itself works on sparse supports and needs no dense scratch.
     """
     damping = config.damping
-    n = q_matrix.shape[0]
-    csc = q_matrix.tocsc() if q_csc is None else q_csc
+    store = _resolve_store(q_matrix, q_csc)
+    n = store.shape[0]
 
     u_scale = float(vectors.u[target])  # the only nonzero of u
     v_dense = vectors.v
@@ -110,16 +170,11 @@ def inc_sr_core(
 
     new_s = s_matrix if in_place else s_matrix.copy()
 
-    def accumulate(
-        rows: np.ndarray, row_vals: np.ndarray, cols: np.ndarray, col_vals: np.ndarray
-    ) -> None:
-        if rows.size == 0 or cols.size == 0:
-            return
-        block = np.outer(row_vals, col_vals)
-        new_s[np.ix_(rows, cols)] += block
-        new_s[np.ix_(cols, rows)] += block.T
-
-    accumulate(xi_idx, xi_val, eta_idx, eta_val)
+    xi_stack = []
+    eta_stack = []
+    if xi_idx.size and eta_idx.size:
+        xi_stack.append((xi_idx, xi_val))
+        eta_stack.append((eta_idx, eta_val))
 
     for _ in range(config.iterations):
         if xi_idx.size == 0 or eta_idx.size == 0:
@@ -128,16 +183,21 @@ def inc_sr_core(
         # u's support is {j}, so the correction lands on one entry.
         delta_xi = float(v_dense[xi_idx] @ xi_val) * u_scale
         delta_eta = float(v_dense[eta_idx] @ eta_val) * u_scale
-        xi_dense = _gather_matvec(csc, xi_idx, xi_val, n)
-        xi_dense[target] += delta_xi
-        xi_dense *= damping
-        eta_dense = _gather_matvec(csc, eta_idx, eta_val, n)
-        eta_dense[target] += delta_eta
+        (xi_idx, xi_val), (eta_idx, eta_val) = store.gather_columns_pair(
+            xi_idx, xi_val, eta_idx, eta_val
+        )
+        xi_idx, xi_val = _add_entry(xi_idx, xi_val, target, delta_xi)
+        xi_val *= damping
+        eta_idx, eta_val = _add_entry(eta_idx, eta_val, target, delta_eta)
 
-        xi_idx, xi_val = _to_support(xi_dense, tolerance)
-        eta_idx, eta_val = _to_support(eta_dense, tolerance)
+        xi_idx, xi_val = _filter_support(xi_idx, xi_val, tolerance)
+        eta_idx, eta_val = _filter_support(eta_idx, eta_val, tolerance)
         stats.record(xi_idx.size, eta_idx.size)
-        accumulate(xi_idx, xi_val, eta_idx, eta_val)
+        if xi_idx.size and eta_idx.size:
+            xi_stack.append((xi_idx, xi_val))
+            eta_stack.append((eta_idx, eta_val))
+
+    _scatter_series(new_s, xi_stack, eta_stack)
 
     return UnitUpdateResult(
         new_s=new_s,
@@ -149,19 +209,21 @@ def inc_sr_core(
 
 def inc_sr_update(
     graph: DynamicDiGraph,
-    q_matrix: sp.csr_matrix,
+    q_matrix,
     s_matrix: np.ndarray,
     update: EdgeUpdate,
     config: SimRankConfig = None,
     new_graph: Optional[DynamicDiGraph] = None,
     tolerance: float = 0.0,
+    workspace: Optional[UpdateWorkspace] = None,
 ) -> UnitUpdateResult:
     """Apply one unit update with Algorithm 2 (pruned, exact).
 
     Parameters
     ----------
     graph, q_matrix, s_matrix:
-        State of the *old* graph (none of them is mutated).
+        State of the *old* graph (none of them is mutated);
+        ``q_matrix`` may be CSR or a :class:`TransitionStore`.
     update:
         The unit update on edge ``(i, j)``.
     new_graph:
@@ -171,6 +233,8 @@ def inc_sr_update(
         Support threshold: entries with ``|x| <= tolerance`` are treated
         as zero when growing affected areas.  ``0.0`` (default) keeps the
         pruning lossless.
+    workspace:
+        Optional pooled scratch for the Theorem 1–3 precomputation.
 
     Returns
     -------
@@ -179,7 +243,9 @@ def inc_sr_update(
         populated; ``delta_s`` is filled in as ``new_s − s_matrix``.
     """
     cfg = default_config(config)
-    vectors = compute_update_vectors(q_matrix, s_matrix, update, graph, cfg)
+    vectors = compute_update_vectors(
+        q_matrix, s_matrix, update, graph, cfg, workspace=workspace
+    )
     result = inc_sr_core(
         q_matrix, s_matrix, update.target, vectors, cfg, tolerance=tolerance
     )

@@ -34,6 +34,7 @@ from ..linalg.sylvester import rank_one_sylvester_series, updated_matvec
 from ..simrank.base import default_config
 from .affected import AffectedAreaStats
 from .gamma import UpdateVectors, compute_update_vectors
+from .workspace import UpdateWorkspace
 
 
 @dataclass
@@ -61,23 +62,31 @@ class UnitUpdateResult:
 
 def inc_usr_update(
     graph: DynamicDiGraph,
-    q_matrix: sp.csr_matrix,
+    q_matrix,
     s_matrix: np.ndarray,
     update: EdgeUpdate,
     config: SimRankConfig = None,
+    workspace: "UpdateWorkspace" = None,
 ) -> UnitUpdateResult:
     """Apply one unit update to ``S`` with Algorithm 1 (no pruning).
 
     ``graph``, ``q_matrix`` and ``s_matrix`` all describe the graph
-    *before* the update; the caller is responsible for mutating the graph
-    and ``Q`` afterwards (the :class:`~repro.incremental.engine.DynamicSimRank`
-    engine does this).
+    *before* the update; ``q_matrix`` may be a scipy CSR matrix or a
+    :class:`~repro.linalg.qstore.TransitionStore` (anything supporting
+    ``@`` with a dense vector).  The caller is responsible for mutating
+    the graph and ``Q`` afterwards (the
+    :class:`~repro.incremental.engine.DynamicSimRank` engine does this).
+    ``workspace`` optionally pools the Theorem 1–3 scratch vectors.
     """
     cfg = default_config(config)
-    vectors = compute_update_vectors(q_matrix, s_matrix, update, graph, cfg)
+    vectors = compute_update_vectors(
+        q_matrix, s_matrix, update, graph, cfg, workspace=workspace
+    )
 
     n = q_matrix.shape[0]
-    e_target = np.zeros(n)
+    e_target = (
+        np.zeros(n) if workspace is None else workspace.zeros("scratch", n)
+    )
     e_target[update.target] = 1.0
 
     matvec = updated_matvec(q_matrix, vectors.u, vectors.v)

@@ -19,13 +19,14 @@ The decomposition is validated end-to-end by tests that materialize
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import EdgeExistsError, EdgeNotFoundError, GraphError
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate
+from .workspace import UpdateWorkspace
 
 
 def validate_update(graph: DynamicDiGraph, update: EdgeUpdate) -> None:
@@ -51,20 +52,28 @@ def old_transition_row_dense(graph: DynamicDiGraph, node: int) -> np.ndarray:
 
 
 def rank_one_decomposition(
-    graph: DynamicDiGraph, update: EdgeUpdate
+    graph: DynamicDiGraph,
+    update: EdgeUpdate,
+    workspace: Optional[UpdateWorkspace] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Return dense ``(u, v)`` with ``Q̃ − Q = u·vᵀ`` (Theorem 1).
 
     ``graph`` must be the graph *before* the update; the update must be
     applicable (inserting a missing edge / deleting an existing one).
+    With a ``workspace``, ``u`` and ``v`` alias pooled buffers (valid
+    until the next update); otherwise they are freshly allocated.
     """
     validate_update(graph, update)
     n = graph.num_nodes
     source, target = update.edge
     degree = graph.in_degree(target)
 
-    u_vector = np.zeros(n)
-    v_vector = np.zeros(n)
+    if workspace is None:
+        u_vector = np.zeros(n)
+        v_vector = np.zeros(n)
+    else:
+        u_vector = workspace.zeros("u", n)
+        v_vector = workspace.zeros("v", n)
 
     if update.is_insert:
         if degree == 0:
@@ -72,7 +81,10 @@ def rank_one_decomposition(
             v_vector[source] = 1.0
         else:
             u_vector[target] = 1.0 / (degree + 1)
-            v_vector = -old_transition_row_dense(graph, target)
+            neighbors = np.fromiter(
+                graph.in_neighbors(target), dtype=np.int64, count=degree
+            )
+            v_vector[neighbors] = -(1.0 / degree)
             v_vector[source] += 1.0
     else:
         if degree == 1:
@@ -80,7 +92,10 @@ def rank_one_decomposition(
             v_vector[source] = -1.0
         else:
             u_vector[target] = 1.0 / (degree - 1)
-            v_vector = old_transition_row_dense(graph, target)
+            neighbors = np.fromiter(
+                graph.in_neighbors(target), dtype=np.int64, count=degree
+            )
+            v_vector[neighbors] = 1.0 / degree
             v_vector[source] -= 1.0
     return u_vector, v_vector
 

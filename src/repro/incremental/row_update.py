@@ -34,10 +34,12 @@ from ..config import SimRankConfig
 from ..exceptions import GraphError
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate, UpdateBatch
+from ..linalg.qstore import TransitionStore
 from ..simrank.base import default_config
 from .gamma import UpdateVectors
 from .inc_sr import inc_sr_core
 from .inc_usr import UnitUpdateResult
+from .workspace import UpdateWorkspace
 
 
 @dataclass(frozen=True)
@@ -149,24 +151,38 @@ def row_rank_one_vectors(
 
 
 def general_update_vectors(
-    q_matrix: sp.csr_matrix,
+    q_matrix,
     s_matrix: np.ndarray,
     u_vector: np.ndarray,
     v_vector: np.ndarray,
     target: int,
     config: SimRankConfig,
+    workspace: UpdateWorkspace = None,
 ) -> UpdateVectors:
     """Theorem 2 for an arbitrary rank-one ``ΔQ = u·vᵀ`` with ``u = e_j``.
 
     Computes ``z = S·v``, ``y = Q·z``, ``λ = vᵀ·z`` and folds
     ``w = y + (λ/2)·u`` into the γ vector consumed by the Inc-SR core.
     This is the generic path the degree-specialized closed forms of
-    Eqs. (27)–(28) shortcut.
+    Eqs. (27)–(28) shortcut.  ``q_matrix`` may be CSR or a
+    :class:`TransitionStore`; a ``workspace`` pools the dense scratch.
     """
-    z_vector = s_matrix @ v_vector
-    y_vector = q_matrix @ z_vector
-    lam = float(v_vector @ z_vector)
-    gamma = y_vector + 0.5 * lam * u_vector
+    if workspace is None:
+        z_vector = s_matrix @ v_vector
+        y_vector = q_matrix @ z_vector
+        lam = float(v_vector @ z_vector)
+        gamma = y_vector + 0.5 * lam * u_vector
+    else:
+        n = s_matrix.shape[0]
+        z_vector = np.dot(s_matrix, v_vector, out=workspace.vector("scratch", n))
+        if hasattr(q_matrix, "matvec"):
+            y_vector = q_matrix.matvec(z_vector, out=workspace.vector("w", n))
+        else:
+            y_vector = q_matrix @ z_vector
+        lam = float(v_vector @ z_vector)
+        gamma = workspace.vector("gamma", n)
+        np.multiply(u_vector, 0.5 * lam, out=gamma)
+        gamma += y_vector
     return UpdateVectors(
         u=u_vector,
         v=v_vector,
@@ -178,22 +194,32 @@ def general_update_vectors(
 
 def apply_row_update(
     graph: DynamicDiGraph,
-    q_matrix: sp.csr_matrix,
+    q_matrix,
     s_matrix: np.ndarray,
     row_update: RowUpdate,
     config: SimRankConfig = None,
     tolerance: float = 0.0,
+    workspace: UpdateWorkspace = None,
+    in_place: bool = False,
 ) -> UnitUpdateResult:
     """Apply one composite row update with the pruned Inc-SR core.
 
     ``graph``/``q_matrix``/``s_matrix`` describe the state *before* the
-    row update; nothing is mutated.  Returns the usual
-    :class:`~repro.incremental.inc_usr.UnitUpdateResult`.
+    row update (``q_matrix`` may be CSR or a :class:`TransitionStore`).
+    By default nothing is mutated and ``delta_s`` is filled in; with
+    ``in_place=True`` the update is written straight into ``s_matrix``
+    and ``delta_s`` stays ``None`` (the consolidated-batch hot path).
     """
     cfg = default_config(config)
     u_vector, v_vector = row_rank_one_vectors(graph, row_update)
     vectors = general_update_vectors(
-        q_matrix, s_matrix, u_vector, v_vector, row_update.target, cfg
+        q_matrix,
+        s_matrix,
+        u_vector,
+        v_vector,
+        row_update.target,
+        cfg,
+        workspace=workspace,
     )
     result = inc_sr_core(
         q_matrix,
@@ -202,53 +228,55 @@ def apply_row_update(
         vectors,
         cfg,
         tolerance=tolerance,
+        in_place=in_place,
     )
-    result.delta_s = result.new_s - s_matrix
+    if not in_place:
+        result.delta_s = result.new_s - s_matrix
     return result
 
 
 def apply_consolidated_batch(
     graph: DynamicDiGraph,
-    q_matrix: sp.csr_matrix,
+    q_matrix,
     s_matrix: np.ndarray,
     batch: UpdateBatch,
     config: SimRankConfig = None,
     tolerance: float = 0.0,
+    store: TransitionStore = None,
+    workspace: UpdateWorkspace = None,
+    in_place: bool = False,
 ) -> Tuple[np.ndarray, sp.csr_matrix, DynamicDiGraph, int]:
     """Process a whole batch as consolidated row updates.
 
-    Returns ``(new_s, new_q, new_graph, num_row_updates)``; inputs are
-    not mutated.  Each row group is one rank-one Sylvester run, so a
-    batch with ``g`` distinct targets costs ``g`` runs instead of
-    ``len(batch)``.
-    """
-    from ..graph.transition import transition_row
+    Returns ``(new_s, new_q, new_graph, num_row_updates)``.  Each row
+    group is one rank-one Sylvester run, so a batch with ``g`` distinct
+    targets costs ``g`` runs instead of ``len(batch)``.
 
+    By default nothing is mutated (the graph and scores are copied and a
+    private :class:`TransitionStore` is built from ``q_matrix``).  The
+    engine's zero-rebuild path passes its live ``store``/``workspace``
+    with ``in_place=True``: the graph, scores, and store are then
+    mutated directly and only row-granular surgery happens — no CSR
+    rebuild anywhere.
+    """
     cfg = default_config(config)
     row_updates = consolidate_batch(batch, graph)
-    live_graph = graph.copy()
-    live_q = q_matrix
-    scores = s_matrix.copy()
+    live_graph = graph if in_place else graph.copy()
+    if store is None:
+        store = TransitionStore.from_csr(q_matrix)
+    scores = s_matrix if in_place else s_matrix.copy()
     for row_update in row_updates:
-        result = apply_row_update(
-            live_graph, live_q, scores, row_update, cfg, tolerance=tolerance
+        apply_row_update(
+            live_graph,
+            store,
+            scores,
+            row_update,
+            cfg,
+            tolerance=tolerance,
+            workspace=workspace,
+            in_place=True,
         )
-        scores = result.new_s
         row_update.apply_to(live_graph)
-        # Splice the rebuilt row into Q (same trick as the unit path).
-        target = row_update.target
-        new_row = transition_row(live_graph, target)
-        start = int(live_q.indptr[target])
-        end = int(live_q.indptr[target + 1])
-        data = np.concatenate(
-            (live_q.data[:start], new_row.data, live_q.data[end:])
-        )
-        indices = np.concatenate(
-            (live_q.indices[:start], new_row.indices, live_q.indices[end:])
-        )
-        indptr = live_q.indptr.copy()
-        indptr[target + 1 :] += new_row.nnz - (end - start)
-        live_q = sp.csr_matrix(
-            (data, indices, indptr), shape=live_q.shape
-        )
-    return scores, live_q, live_graph, len(row_updates)
+        # Row-granular surgery on the dual store (no CSR rebuild).
+        store.set_row_from_graph(live_graph, row_update.target)
+    return scores, store.csr_matrix(), live_graph, len(row_updates)

@@ -1,0 +1,85 @@
+"""Pooled per-update scratch vectors — :class:`UpdateWorkspace`.
+
+Every unit update needs a handful of dense ``n``-vectors: the rank-one
+factors ``u``/``v`` (Theorem 1), the mat-vec result ``w = Q·[S]_{:,i}``
+and the folded ``γ`` (Theorems 2–3), plus transient arithmetic scratch.
+The seed implementation allocated all of them fresh on every update —
+thousands of short-lived ``n``-vectors per second under heavy update
+traffic, all churned through the allocator.
+
+:class:`UpdateWorkspace` owns one buffer per named role and hands out
+views, growing by capacity doubling when the node universe expands.
+
+Lifecycle contract
+------------------
+A buffer named ``x`` stays valid from the moment it is requested until
+the *next* request for the same name — i.e. for the duration of one
+update.  :class:`~repro.incremental.gamma.UpdateVectors` produced with a
+workspace therefore alias workspace memory and are clobbered by the
+following update; the engine consumes them within the same update, which
+is the intended pattern.  Callers that need the vectors to outlive the
+update (tests, offline analysis) simply omit the workspace and get
+freshly allocated arrays, as before.
+
+The workspace is *not* thread-safe: one workspace per engine/session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Buffer roles handed out by the workspace.  ``u``/``v``: rank-one
+#: factors; ``w``: the ``Q·[S]_{:,i}`` mat-vec; ``gamma``: Theorem 3's
+#: folded vector; ``scratch``: transient arithmetic temporary; ``xcol``:
+#: contiguous staging for strided matrix columns fed to mat-vecs.
+BUFFER_NAMES = ("u", "v", "w", "gamma", "scratch", "xcol")
+
+
+class UpdateWorkspace:
+    """A pool of reusable dense ``n``-vectors for the update hot path."""
+
+    def __init__(self, num_nodes: int = 0) -> None:
+        self._capacity = 0
+        self._buffers: Dict[str, np.ndarray] = {}
+        if num_nodes > 0:
+            self.ensure_capacity(num_nodes)
+
+    @property
+    def capacity(self) -> int:
+        """Current buffer length (>= every ``n`` seen so far)."""
+        return self._capacity
+
+    def ensure_capacity(self, num_nodes: int) -> None:
+        """Grow all buffers to hold ``num_nodes`` entries (doubling)."""
+        if num_nodes <= self._capacity:
+            return
+        new_capacity = max(num_nodes, 2 * self._capacity, 16)
+        self._buffers = {
+            name: np.zeros(new_capacity, dtype=np.float64)
+            for name in BUFFER_NAMES
+        }
+        self._capacity = new_capacity
+
+    def vector(self, name: str, num_nodes: int) -> np.ndarray:
+        """A length-``num_nodes`` view of buffer ``name`` (stale contents).
+
+        The view's contents are whatever the previous user left behind;
+        use :meth:`zeros` when a cleared buffer is needed.
+        """
+        self.ensure_capacity(num_nodes)
+        return self._buffers[name][:num_nodes]
+
+    def zeros(self, name: str, num_nodes: int) -> np.ndarray:
+        """Like :meth:`vector` but zero-filled."""
+        view = self.vector(name, num_nodes)
+        view[:] = 0.0
+        return view
+
+    def nbytes(self) -> int:
+        """Total bytes held by the pooled buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def __repr__(self) -> str:
+        return f"UpdateWorkspace(capacity={self._capacity})"

@@ -6,9 +6,12 @@
   the rank-one specialization at the heart of the paper (Sec. V-A).
 * :mod:`repro.linalg.svd_tools` — truncated/lossless SVD utilities used by
   the Inc-SVD baseline and the Fig. 2b rank study.
+* :mod:`repro.linalg.qstore` — :class:`TransitionStore`, the persistent
+  dual CSR/CSC ``Q`` store behind the engine's zero-rebuild update path.
 """
 
 from .kron import unvec, vec, solve_sylvester_kron
+from .qstore import TransitionStore
 from .sylvester import (
     rank_one_sylvester_series,
     sylvester_series,
@@ -23,4 +26,5 @@ __all__ = [
     "rank_one_sylvester_series",
     "truncated_svd",
     "lossless_rank",
+    "TransitionStore",
 ]

@@ -14,22 +14,42 @@ from __future__ import annotations
 import tracemalloc
 from typing import Callable, Tuple, TypeVar
 
+from ..linalg.qstore import DEFAULT_SLACK
+
 T = TypeVar("T")
 
 _FLOAT_BYTES = 8
 _INDEX_BYTES = 8
 
 
+def transition_store_bytes(num_nodes: int, num_edges: int) -> int:
+    """Working set of the dual CSR/CSC :class:`TransitionStore`.
+
+    Both layouts hold the ``nnz`` entries (value + index) plus
+    :data:`~repro.linalg.qstore.DEFAULT_SLACK` spare slots per segment
+    and three per-segment metadata vectors (start/length/capacity) —
+    the price of O(row) update surgery instead of O(nnz) rebuilds.
+    """
+    entries = (num_edges + DEFAULT_SLACK * num_nodes) * (
+        _FLOAT_BYTES + _INDEX_BYTES
+    )
+    metadata = 3 * num_nodes * _INDEX_BYTES
+    row_weights = num_nodes * _FLOAT_BYTES
+    return 2 * (entries + metadata) + row_weights
+
+
 def inc_usr_intermediate_bytes(num_nodes: int, num_edges: int, iterations: int) -> int:
     """Working set of Algorithm 1 (Inc-uSR), excluding ``S`` itself.
 
-    Counts the sparse ``Q`` (data+indices+indptr), the six dense scratch
-    vectors (ξ, η, γ, w, u, v), the factor stack of ``K + 1`` vector
-    pairs, and — dominating everything — the dense ``n x n`` accumulator
-    ``M_k`` plus the transient ``n x n`` outer-product block this
-    implementation allocates each iteration (line 17 of Algorithm 1).
+    Counts the dual-layout ``Q`` store, the six pooled workspace
+    vectors (u, v, w, γ, scratch, xcol — see
+    :class:`~repro.incremental.workspace.UpdateWorkspace`), the factor
+    stack of ``K + 1`` vector pairs, and — dominating everything — the
+    dense ``n x n`` accumulator ``M_k`` plus the transient ``n x n``
+    outer-product block this implementation allocates each iteration
+    (line 17 of Algorithm 1).
     """
-    q_bytes = num_edges * (_FLOAT_BYTES + _INDEX_BYTES) + (num_nodes + 1) * _INDEX_BYTES
+    q_bytes = transition_store_bytes(num_nodes, num_edges)
     scratch = 6 * num_nodes * _FLOAT_BYTES
     factor_stack = 2 * (iterations + 1) * num_nodes * _FLOAT_BYTES
     dense_accumulator = 2 * num_nodes * num_nodes * _FLOAT_BYTES
@@ -51,7 +71,7 @@ def inc_sr_intermediate_bytes(
     into the score matrix, which — like the paper's accounting — is
     excluded as output space.
     """
-    q_bytes = num_edges * (_FLOAT_BYTES + _INDEX_BYTES) + (num_nodes + 1) * _INDEX_BYTES
+    q_bytes = transition_store_bytes(num_nodes, num_edges)
     scratch = 6 * num_nodes * _FLOAT_BYTES
     support = int(average_row_support)
     factor_stack = 2 * (iterations + 1) * support * (_FLOAT_BYTES + _INDEX_BYTES)
