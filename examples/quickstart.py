@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import DynamicSimRank, EdgeUpdate, SimRankConfig, matrix_simrank
+from repro import DynamicSimRank, SimRankConfig, matrix_simrank
 from repro.graph.generators import preferential_attachment_digraph, random_insertions
 
 

@@ -43,14 +43,17 @@ from .graph import (
     backward_transition_matrix,
     graph_delta,
 )
+from .executor import ScoreSnapshot, ScoreStore
 from .incremental import (
     DynamicSimRank,
     IncSVDSimRank,
     UnitUpdateResult,
+    UpdatePlan,
     inc_sr_update,
     inc_usr_update,
     rank_one_decomposition,
 )
+from .serving import SimRankService, SnapshotView, UpdateScheduler
 from .simrank import (
     batch_simrank,
     exact_simrank,
@@ -104,4 +107,12 @@ __all__ = [
     "inc_usr_update",
     "rank_one_decomposition",
     "UnitUpdateResult",
+    "UpdatePlan",
+    # executor layer
+    "ScoreStore",
+    "ScoreSnapshot",
+    # serving layer
+    "SimRankService",
+    "SnapshotView",
+    "UpdateScheduler",
 ]

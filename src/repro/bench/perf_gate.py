@@ -12,21 +12,27 @@ wall-clock ratio isolates the update-pipeline rework.  Each pipeline is
 timed over two alternating rounds and the faster round is kept,
 suppressing cold-cache/ordering bias.
 
-Writes a JSON report (``BENCH_pr1.json`` at the repo root by CI
-convention) so future PRs have a latency trajectory to compare against::
+Writes a JSON report whose name (and CI artifact name) derive from
+``--out`` — each PR records its own trajectory point (``BENCH_pr1.json``,
+``BENCH_pr2.json``, …) at the repo root::
 
-    python -m repro.bench.perf_gate --out BENCH_pr1.json
+    python -m repro.bench.perf_gate --out BENCH_pr2.json --baseline BENCH_pr1.json
     python -m repro.bench.perf_gate --nodes 500 --updates 20 --min-speedup 1.5
 
-The gate exits non-zero when the measured mean speedup falls below
-``--min-speedup`` (default 3.0, the PR-1 acceptance bar; CI's smoke run
-uses a smaller graph and a softer bar to stay noise-tolerant).
+``--baseline`` points at a previous report: the gate then also records
+the per-update latency trajectory (baseline → current live mean) and,
+with ``--max-baseline-ratio``, fails when the live mean regresses past
+that factor of the baseline's live mean.  The gate always exits
+non-zero when the measured mean speedup vs the frozen seed pipeline
+falls below ``--min-speedup`` (default 3.0; CI's smoke run uses a
+smaller graph and a softer bar to stay noise-tolerant).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -123,7 +129,7 @@ def run_perf_gate(
     live_seconds = min(live_seconds, live_again, key=sum)
 
     report = {
-        "benchmark": "pr1-unit-update-latency",
+        "benchmark": "unit-update-latency",
         "workload": {
             "graph": "cith-like citation snapshot (fig2a protocol)",
             "num_nodes": num_nodes,
@@ -166,6 +172,28 @@ def _summary(seconds: List[float]) -> Dict[str, float]:
     }
 
 
+def attach_baseline(report: Dict, baseline_path: str) -> Dict:
+    """Record the latency trajectory from a previous gate report.
+
+    Adds a ``baseline`` section (who we compared against, its live
+    mean) and ``latency_ratio_vs_baseline`` — current live mean divided
+    by baseline live mean, so 1.0 means "as fast as the previous PR"
+    and values below 1.0 are improvements.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_mean = baseline["live"]["mean_seconds"]
+    report["baseline"] = {
+        "report": os.path.basename(baseline_path),
+        "mean_seconds": baseline_mean,
+        "mean_speedup_vs_seed": baseline.get("mean_speedup"),
+    }
+    report["latency_ratio_vs_baseline"] = (
+        report["live"]["mean_seconds"] / baseline_mean
+    )
+    return report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.perf_gate",
@@ -178,10 +206,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", default=None, help="JSON report path")
     parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous gate report to record a latency trajectory against",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=3.0,
         help="fail when mean speedup vs seed drops below this",
+    )
+    parser.add_argument(
+        "--max-baseline-ratio",
+        type=float,
+        default=None,
+        help="fail when live mean latency exceeds baseline mean times this",
     )
     args = parser.parse_args(argv)
 
@@ -192,6 +231,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         recency=args.recency,
         seed=args.seed,
     )
+    if args.out:
+        # The artifact/report identity is derived from --out, not
+        # hardcoded per PR.
+        report["report"] = os.path.basename(args.out)
+    if args.baseline:
+        if os.path.exists(args.baseline):
+            attach_baseline(report, args.baseline)
+        else:
+            # A requested-but-missing baseline must not silently disable
+            # the regression gate.
+            print(
+                f"PERF GATE FAIL: baseline report {args.baseline!r} not found",
+                file=sys.stderr,
+            )
+            return 1
     rendered = json.dumps(report, indent=2, sort_keys=True)
     print(rendered)
     if args.out:
@@ -205,6 +259,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    ratio = report.get("latency_ratio_vs_baseline")
+    if ratio is not None:
+        trajectory = (
+            f"{report['baseline']['report']} -> "
+            f"{report.get('report', 'current')}: "
+            f"{report['baseline']['mean_seconds'] * 1e3:.2f} ms -> "
+            f"{report['live']['mean_seconds'] * 1e3:.2f} ms per update "
+            f"({ratio:.2f}x)"
+        )
+        print(f"latency trajectory: {trajectory}")
+        if args.max_baseline_ratio is not None and ratio > args.max_baseline_ratio:
+            print(
+                f"PERF GATE FAIL: live mean latency is {ratio:.2f}x the "
+                f"baseline (max {args.max_baseline_ratio:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
     print(
         f"perf gate ok: {report['mean_speedup']:.2f}x mean per-update "
         f"speedup vs seed (gate {args.min_speedup:.2f}x)"

@@ -1,0 +1,223 @@
+"""Serving benchmark: pinned-snapshot reads under a live update stream.
+
+The scenario the serving layer exists for: a reader pins a
+:class:`~repro.serving.snapshot.SnapshotView`, then the single writer
+drains ≥100 queued edge updates through the coalescing scheduler while
+the reader keeps querying.  The benchmark measures both sides and —
+crucially — *verifies* snapshot isolation: every reader query after the
+drain must return the bit-identical frozen-version answer it returned
+before the drain.
+
+Workload: the same fig2a-style mid-evolution citation snapshot as the
+perf gate (precompute ``S`` once, stream the next edge arrivals)::
+
+    python -m repro.bench.serving --out BENCH_serving.json
+    python -m repro.bench.serving --nodes 800 --updates 150
+
+Exits non-zero if isolation is violated or fewer than ``--min-updates``
+updates were applied.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..serving import SimRankService
+from .perf_gate import _workload
+
+
+def _time_queries(view, pairs, sources) -> Dict:
+    """Run the read workload on a view; return answers and latencies."""
+    pair_seconds: List[float] = []
+    pair_answers: List[float] = []
+    for a, b in pairs:
+        started = time.perf_counter()
+        pair_answers.append(view.similarity(a, b))
+        pair_seconds.append(time.perf_counter() - started)
+    source_seconds: List[float] = []
+    source_answers: List[np.ndarray] = []
+    for node in sources:
+        started = time.perf_counter()
+        source_answers.append(view.single_source(node))
+        source_seconds.append(time.perf_counter() - started)
+    return {
+        "pair_answers": pair_answers,
+        "source_answers": source_answers,
+        "pair_mean_seconds": statistics.fmean(pair_seconds),
+        "source_mean_seconds": statistics.fmean(source_seconds),
+    }
+
+
+def run_serving_bench(
+    num_nodes: int = 1000,
+    num_updates: int = 120,
+    num_pair_queries: int = 200,
+    num_source_queries: int = 20,
+    references: int = 12,
+    recency: float = 0.7,
+    seed: int = 7,
+    shard_rows: int = 128,
+) -> Dict:
+    """Run the pinned-reader / draining-writer scenario; return a report."""
+    graph, config, initial, updates = _workload(
+        num_nodes, num_updates, references, recency, seed
+    )
+    if len(updates) < num_updates:
+        raise RuntimeError(
+            f"workload produced only {len(updates)} updates; "
+            f"lower --updates or raise --nodes"
+        )
+    service = SimRankService(
+        graph, config, initial_scores=initial, shard_rows=shard_rows
+    )
+
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (int(rng.integers(num_nodes)), int(rng.integers(num_nodes)))
+        for _ in range(num_pair_queries)
+    ]
+    sources = [int(rng.integers(num_nodes)) for _ in range(num_source_queries)]
+
+    # Reader pins a view and runs its query mix at the frozen version.
+    view = service.snapshot()
+    frozen_matrix = view.similarities()
+    before = _time_queries(view, pairs, sources)
+
+    # Writer: queue everything, then one coalesced drain.
+    service.submit_many(updates)
+    queued = service.pending
+    started = time.perf_counter()
+    groups = service.drain()
+    drain_seconds = time.perf_counter() - started
+
+    # Reader again, same pinned view: answers must be bit-identical.
+    after = _time_queries(view, pairs, sources)
+    pairs_frozen = before["pair_answers"] == after["pair_answers"]
+    sources_frozen = all(
+        np.array_equal(a, b)
+        for a, b in zip(before["source_answers"], after["source_answers"])
+    )
+    matrix_frozen = bool(np.array_equal(view.similarities(), frozen_matrix))
+
+    # A fresh pin sees the post-drain world.
+    fresh = service.snapshot()
+    advanced = fresh.version > view.version and not np.array_equal(
+        fresh.similarities(), view.similarities()
+    )
+
+    engine = service.engine
+    memory = service.memory_report()
+    report = {
+        "benchmark": "serving-snapshot-isolation",
+        "workload": {
+            "graph": "cith-like citation snapshot (fig2a protocol)",
+            "num_nodes": num_nodes,
+            "num_edges": engine.graph.num_edges,
+            "num_updates": len(updates),
+            "num_pair_queries": num_pair_queries,
+            "num_source_queries": num_source_queries,
+            "damping": config.damping,
+            "iterations": config.iterations,
+            "shard_rows": shard_rows,
+            "seed": seed,
+        },
+        "writer": {
+            "queued_updates": queued,
+            "applied_updates": len(updates),
+            "row_groups": groups,
+            "coalescing_ratio": service.scheduler.stats.coalescing_ratio(),
+            "drain_seconds": drain_seconds,
+            "updates_per_second": len(updates) / drain_seconds,
+        },
+        "reader": {
+            "pinned_version": view.version,
+            "fresh_version": fresh.version,
+            "pair_query_mean_seconds_before_drain": before["pair_mean_seconds"],
+            "pair_query_mean_seconds_after_drain": after["pair_mean_seconds"],
+            "single_source_mean_seconds_before_drain": before[
+                "source_mean_seconds"
+            ],
+            "single_source_mean_seconds_after_drain": after[
+                "source_mean_seconds"
+            ],
+        },
+        "isolation": {
+            "pair_queries_frozen": pairs_frozen,
+            "single_source_frozen": sources_frozen,
+            "matrix_read_stable": matrix_frozen,
+            "fresh_snapshot_advanced": advanced,
+        },
+        "memory": {
+            "score_buffer_bytes": memory["score_buffer_bytes"],
+            "score_cow_copies": memory["score_cow_copies"],
+            "snapshot_pinned_bytes": view.nbytes(),
+            "transition_store_bytes": memory["transition_store_bytes"],
+        },
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.serving",
+        description="Pinned-snapshot reads while the writer drains updates.",
+    )
+    parser.add_argument("--nodes", type=int, default=1000)
+    parser.add_argument("--updates", type=int, default=120)
+    parser.add_argument("--pair-queries", type=int, default=200)
+    parser.add_argument("--source-queries", type=int, default=20)
+    parser.add_argument("--shard-rows", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=None, help="JSON report path")
+    parser.add_argument(
+        "--min-updates",
+        type=int,
+        default=100,
+        help="fail unless at least this many updates were applied",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_serving_bench(
+        num_nodes=args.nodes,
+        num_updates=args.updates,
+        num_pair_queries=args.pair_queries,
+        num_source_queries=args.source_queries,
+        seed=args.seed,
+        shard_rows=args.shard_rows,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+
+    isolation = report["isolation"]
+    violations = [key for key, ok in isolation.items() if not ok]
+    if violations:
+        print(f"SERVING GATE FAIL: {violations}", file=sys.stderr)
+        return 1
+    if report["writer"]["applied_updates"] < args.min_updates:
+        print(
+            f"SERVING GATE FAIL: only {report['writer']['applied_updates']} "
+            f"updates applied (< {args.min_updates})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"serving gate ok: {report['writer']['applied_updates']} updates "
+        f"drained as {report['writer']['row_groups']} row groups in "
+        f"{report['writer']['drain_seconds'] * 1e3:.0f} ms while a pinned "
+        f"snapshot stayed bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

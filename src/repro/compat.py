@@ -7,7 +7,7 @@ node labels, plus an incremental session wrapper.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable
 
 from .config import SimRankConfig
 from .graph.digraph import DynamicDiGraph

@@ -12,8 +12,6 @@ simulators, which matters for exercising the algorithms on cyclic ``Q``.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import GraphError

@@ -1,0 +1,15 @@
+"""Executor layer — score storage that applies kernel update plans.
+
+The kernel layer (:mod:`repro.incremental.plan`) turns edge updates into
+explicit :class:`~repro.incremental.plan.UpdatePlan` objects; this
+package owns the similarity matrix ``S`` and knows how to apply them:
+
+* :mod:`repro.executor.score_store` — :class:`ScoreStore`, ``S`` held in
+  independently growable row-block shards with per-shard plan
+  application and copy-on-write :class:`ScoreSnapshot` views for the
+  serving layer.
+"""
+
+from .score_store import DEFAULT_SHARD_ROWS, ScoreSnapshot, ScoreStore
+
+__all__ = ["ScoreStore", "ScoreSnapshot", "DEFAULT_SHARD_ROWS"]

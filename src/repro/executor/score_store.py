@@ -1,0 +1,439 @@
+"""Row-sharded similarity-score store with copy-on-write snapshots.
+
+``S`` is dense (the paper's algorithms maintain all-pairs scores), but a
+single monolithic ``n × n`` ndarray couples every reader to every
+writer: a snapshot costs a full O(n²) copy and any update invalidates
+all concurrent views.  :class:`ScoreStore` instead holds ``S`` in
+**row-block shards** — each shard an independently growable 2-D buffer
+covering ``shard_rows`` consecutive rows — which buys three things:
+
+* **per-shard plan application**: a kernel
+  :class:`~repro.incremental.plan.UpdatePlan` touches only the shards
+  overlapping its union supports; each overlapping shard receives its
+  row slice of the one union-support GEMM block (bit-identical to the
+  dense scatter, each score entry still gets exactly one add);
+* **independent growth**: node arrival grows at most the tail shard's
+  rows and each shard's column capacity (amortized by doubling), never
+  reallocating ``S`` wholesale; and
+* **copy-on-write snapshots**: :meth:`snapshot` marks every shard
+  shared and hands out read-only views.  The next write to a shared
+  shard first clones *that shard only*, so a pinned
+  :class:`ScoreSnapshot` keeps serving the frozen version while the
+  writer advances — snapshot cost is O(#shards), and memory overhead is
+  one shard per shard actually diverged, not O(n²) per version.
+
+The store also quacks like the score matrix for the kernel's read
+patterns (``store[:, j]``, ``store[i, j]``, ``store @ v``,
+``store.matvec``), so the Theorem 1–3 precomputation runs against it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError
+
+#: Default rows per shard.  Small enough that copy-on-write divergence
+#: and per-shard growth stay cheap, large enough that per-shard scatter
+#: overhead is negligible against the union-support GEMM.
+DEFAULT_SHARD_ROWS = 512
+
+_FLOAT_DTYPE = np.float64
+
+
+class _Shard:
+    """One row block of ``S``: a growable buffer plus sharing state."""
+
+    __slots__ = ("base", "rows", "buffer", "shared")
+
+    def __init__(self, base: int, rows: int, buffer: np.ndarray) -> None:
+        self.base = int(base)
+        self.rows = int(rows)
+        self.buffer = buffer
+        #: True while any snapshot may still reference ``buffer``; the
+        #: next write clones the buffer and clears the flag.
+        self.shared = False
+
+
+class ScoreSnapshot:
+    """An immutable view of ``S`` frozen at one store version.
+
+    Holds read-only row-block views into the shard buffers that were
+    live at :meth:`ScoreStore.snapshot` time.  Copy-on-write in the
+    store guarantees those buffers are never written again once the
+    writer diverges, so every read from this snapshot is bit-identical
+    to the state at pin time, forever.
+    """
+
+    __slots__ = ("num_nodes", "version", "shard_rows", "_views")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        version: int,
+        shard_rows: int,
+        views: Sequence[np.ndarray],
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.version = int(version)
+        self.shard_rows = int(shard_rows)
+        self._views = tuple(views)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_nodes, self.num_nodes)
+
+    def entry(self, row: int, col: int) -> float:
+        """One frozen score ``[S]_{row,col}``."""
+        view = self._views[row // self.shard_rows]
+        return float(view[row % self.shard_rows, col])
+
+    def row(self, row: int) -> np.ndarray:
+        """A copy of frozen row ``row``."""
+        view = self._views[row // self.shard_rows]
+        return np.array(view[row % self.shard_rows], dtype=_FLOAT_DTYPE)
+
+    def column(self, col: int) -> np.ndarray:
+        """A copy of frozen column ``col``."""
+        out = np.empty(self.num_nodes, dtype=_FLOAT_DTYPE)
+        cursor = 0
+        for view in self._views:
+            out[cursor : cursor + view.shape[0]] = view[:, col]
+            cursor += view.shape[0]
+        return out
+
+    def to_array(self) -> np.ndarray:
+        """Materialize the full frozen matrix (a fresh copy)."""
+        if not self._views:
+            return np.zeros((0, 0), dtype=_FLOAT_DTYPE)
+        return np.concatenate(self._views, axis=0)
+
+    def nbytes(self) -> int:
+        """Logical bytes pinned by this snapshot (the viewed rows)."""
+        return sum(view.nbytes for view in self._views)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoreSnapshot(n={self.num_nodes}, version={self.version}, "
+            f"shards={len(self._views)})"
+        )
+
+
+class ScoreStore:
+    """The executor-side owner of ``S``; applies kernel update plans."""
+
+    def __init__(
+        self, scores: np.ndarray, shard_rows: int = DEFAULT_SHARD_ROWS
+    ) -> None:
+        scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
+        if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
+            raise DimensionError(
+                f"scores must be square, got shape {scores.shape}"
+            )
+        if shard_rows <= 0:
+            raise DimensionError(f"shard_rows must be positive: {shard_rows}")
+        self._n = scores.shape[0]
+        self._shard_rows = int(shard_rows)
+        self._shards: List[_Shard] = []
+        #: Monotone counter bumped by every mutation (mirrors
+        #: :attr:`TransitionStore.version`).
+        self.version = 0
+        #: Shard buffers cloned by copy-on-write since construction.
+        self.cow_copies = 0
+        for base in range(0, self._n, self._shard_rows):
+            rows = min(self._shard_rows, self._n - base)
+            # order="C" is load-bearing: np.array's default order="K"
+            # would inherit an F-ordered source (BLAS results often
+            # are), and the row-block scatter path is several times
+            # slower on F-ordered shards.
+            buffer = np.array(
+                scores[base : base + rows], dtype=_FLOAT_DTYPE, order="C"
+            )
+            self._shards.append(_Shard(base, rows, buffer))
+
+    @classmethod
+    def from_dense(
+        cls, scores: np.ndarray, shard_rows: int = DEFAULT_SHARD_ROWS
+    ) -> "ScoreStore":
+        """Shard a dense score matrix (the initial batch precomputation)."""
+        return cls(scores, shard_rows=shard_rows)
+
+    # -------------------------------------------------------------- #
+    # Shape / reads
+    # -------------------------------------------------------------- #
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n, self._n)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shard_rows(self) -> int:
+        """Rows per shard (all shards but the last are full)."""
+        return self._shard_rows
+
+    def _live(self, shard: _Shard) -> np.ndarray:
+        """The shard's live ``rows × n`` window (read-only by contract)."""
+        return shard.buffer[: shard.rows, : self._n]
+
+    def entry(self, row: int, col: int) -> float:
+        """One score ``[S]_{row,col}``."""
+        shard = self._shards[row // self._shard_rows]
+        return float(shard.buffer[row - shard.base, col])
+
+    def row(self, row: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """A copy of row ``row`` (into ``out`` when given)."""
+        shard = self._shards[row // self._shard_rows]
+        if out is None:
+            out = np.empty(self._n, dtype=_FLOAT_DTYPE)
+        np.copyto(out, shard.buffer[row - shard.base, : self._n])
+        return out
+
+    def column(self, col: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """A copy of column ``col`` — a contiguous gather across shards."""
+        if out is None:
+            out = np.empty(self._n, dtype=_FLOAT_DTYPE)
+        for shard in self._shards:
+            out[shard.base : shard.base + shard.rows] = shard.buffer[
+                : shard.rows, col
+            ]
+        return out
+
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``S @ x``, one GEMV per shard."""
+        if out is None:
+            out = np.empty(self._n, dtype=_FLOAT_DTYPE)
+        for shard in self._shards:
+            np.dot(
+                self._live(shard),
+                x,
+                out=out[shard.base : shard.base + shard.rows],
+            )
+        return out
+
+    def __matmul__(self, x):
+        if isinstance(x, np.ndarray) and x.ndim == 1:
+            return self.matvec(x)
+        return self.to_array() @ x
+
+    def __getitem__(self, key):
+        """Score-matrix duck typing for the kernel's read patterns.
+
+        Supports exactly the accesses the Theorem 1–3 precomputation
+        performs: ``store[i, j]`` (scalar), ``store[:, j]`` (column
+        copy), and ``store[i, :]`` (row copy).
+        """
+        if isinstance(key, tuple) and len(key) == 2:
+            row_key, col_key = key
+            row_is_index = isinstance(row_key, (int, np.integer))
+            col_is_index = isinstance(col_key, (int, np.integer))
+            if row_is_index and col_is_index:
+                return self.entry(int(row_key), int(col_key))
+            if row_key == slice(None) and col_is_index:
+                return self.column(int(col_key))
+            if row_is_index and col_key == slice(None):
+                return self.row(int(row_key))
+        raise TypeError(
+            f"ScoreStore supports [i, j], [:, j] and [i, :] reads; got {key!r}"
+        )
+
+    def to_array(self) -> np.ndarray:
+        """Materialize the full matrix as one fresh dense copy."""
+        if not self._shards:
+            return np.zeros((0, 0), dtype=_FLOAT_DTYPE)
+        return np.concatenate(
+            [self._live(shard) for shard in self._shards], axis=0
+        )
+
+    # -------------------------------------------------------------- #
+    # Writes (all funnel through the copy-on-write gate)
+    # -------------------------------------------------------------- #
+
+    def _writable(self, shard: _Shard) -> np.ndarray:
+        """The shard buffer, cloned first if a snapshot may reference it."""
+        if shard.shared:
+            shard.buffer = shard.buffer.copy()
+            shard.shared = False
+            self.cow_copies += 1
+        return shard.buffer
+
+    def apply_plan(self, plan) -> None:
+        """Apply a kernel :class:`UpdatePlan`: union-support GEMM + scatter.
+
+        Densifies the plan's factors over the union supports once, runs
+        the single GEMM, and scatter-adds the block (and its transpose)
+        shard by shard.  Only shards overlapping the supports are
+        touched — and only those pay a copy-on-write clone.
+        """
+        if plan.is_noop:
+            return
+        left, right = plan.panels()
+        block = left @ right.T
+        self._scatter_add(plan.rows_union, plan.cols_union, block)
+        self._scatter_add(plan.cols_union, plan.rows_union, block.T)
+        self.version += 1
+
+    def _scatter_add(
+        self, rows: np.ndarray, cols: np.ndarray, block: np.ndarray
+    ) -> None:
+        """``S[rows × cols] += block`` with ``rows`` sorted ascending."""
+        if rows.size == 0 or cols.size == 0:
+            return
+        first = int(rows[0]) // self._shard_rows
+        last = int(rows[-1]) // self._shard_rows
+        if first == last:
+            shard = self._shards[first]
+            buffer = self._writable(shard)
+            buffer[np.ix_(rows - shard.base, cols)] += block
+            return
+        bounds = np.searchsorted(
+            rows,
+            np.arange(first + 1, last + 1, dtype=np.int64) * self._shard_rows,
+        )
+        segments = np.concatenate(([0], bounds, [rows.size]))
+        for offset, shard_id in enumerate(range(first, last + 1)):
+            lo, hi = int(segments[offset]), int(segments[offset + 1])
+            if lo == hi:
+                continue
+            shard = self._shards[shard_id]
+            buffer = self._writable(shard)
+            buffer[np.ix_(rows[lo:hi] - shard.base, cols)] += block[lo:hi]
+
+    def add_dense(self, delta: np.ndarray) -> None:
+        """``S += delta`` shard by shard (the unpruned Inc-uSR path)."""
+        if delta.shape != self.shape:
+            raise DimensionError(
+                f"delta shape {delta.shape} != {self.shape}"
+            )
+        for shard in self._shards:
+            buffer = self._writable(shard)
+            buffer[: shard.rows, : self._n] += delta[
+                shard.base : shard.base + shard.rows
+            ]
+        self.version += 1
+
+    def replace_dense(self, scores: np.ndarray) -> None:
+        """Overwrite all scores (batch recomputation path)."""
+        scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
+        if scores.shape != self.shape:
+            raise DimensionError(
+                f"scores shape {scores.shape} != {self.shape}"
+            )
+        for shard in self._shards:
+            buffer = self._writable(shard)
+            buffer[: shard.rows, : self._n] = scores[
+                shard.base : shard.base + shard.rows
+            ]
+        self.version += 1
+
+    def set_entry(self, row: int, col: int, value: float) -> None:
+        """Write one score (node-arrival self-score)."""
+        shard = self._shards[row // self._shard_rows]
+        buffer = self._writable(shard)
+        buffer[row - shard.base, col] = value
+        self.version += 1
+
+    def add_node(self) -> int:
+        """Grow to ``n + 1`` nodes; returns the new (all-zero) row id.
+
+        The tail shard's row window grows (doubling its buffer rows up
+        to ``shard_rows``) or a fresh shard is opened; every shard's
+        column capacity grows by doubling when ``n`` outruns it.  The
+        new row and column read as zeros by construction: buffers are
+        zero-allocated and writes never exceed the live window.
+        """
+        node = self._n
+        self._n += 1
+        # Column capacity first (all shards must span the new column).
+        for shard in self._shards:
+            if self._n > shard.buffer.shape[1]:
+                grown = np.zeros(
+                    (shard.buffer.shape[0], max(2 * shard.buffer.shape[1], self._n)),
+                    dtype=_FLOAT_DTYPE,
+                )
+                grown[:, : shard.buffer.shape[1]] = shard.buffer
+                shard.buffer = grown
+                shard.shared = False  # fresh allocation, provably private
+        tail = self._shards[-1] if self._shards else None
+        if tail is not None and tail.rows < self._shard_rows:
+            if tail.rows + 1 > tail.buffer.shape[0]:
+                rows_cap = min(
+                    self._shard_rows, max(2 * tail.buffer.shape[0], 1)
+                )
+                grown = np.zeros(
+                    (rows_cap, tail.buffer.shape[1]), dtype=_FLOAT_DTYPE
+                )
+                grown[: tail.rows] = tail.buffer[: tail.rows]
+                tail.buffer = grown
+                tail.shared = False
+            tail.rows += 1
+        else:
+            base = node
+            buffer = np.zeros((1, max(self._n, 1)), dtype=_FLOAT_DTYPE)
+            self._shards.append(_Shard(base, 1, buffer))
+        self.version += 1
+        return node
+
+    # -------------------------------------------------------------- #
+    # Snapshots
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> ScoreSnapshot:
+        """Pin the current version as an immutable :class:`ScoreSnapshot`.
+
+        O(#shards): marks every shard shared and returns read-only
+        views of the live windows.  Later writes clone the affected
+        shard buffers first, so the snapshot stays bit-identical to the
+        pinned version no matter what the writer does next.
+        """
+        views = []
+        for shard in self._shards:
+            shard.shared = True
+            view = self._live(shard)
+            view.flags.writeable = False
+            views.append(view)
+        return ScoreSnapshot(self._n, self.version, self._shard_rows, views)
+
+    # -------------------------------------------------------------- #
+    # Accounting
+    # -------------------------------------------------------------- #
+
+    def nbytes(self) -> int:
+        """Logical bytes of the live ``n × n`` scores."""
+        return self._n * self._n * np.dtype(_FLOAT_DTYPE).itemsize
+
+    def buffer_bytes(self) -> int:
+        """Allocated bytes across all shard buffers (slack included)."""
+        return sum(shard.buffer.nbytes for shard in self._shards)
+
+    def shard_report(self) -> List[dict]:
+        """Per-shard accounting (rows, allocation, sharing state)."""
+        return [
+            {
+                "base": shard.base,
+                "rows": shard.rows,
+                "buffer_bytes": shard.buffer.nbytes,
+                "shared": shard.shared,
+            }
+            for shard in self._shards
+        ]
+
+    def shared_shard_count(self) -> int:
+        """Shards currently marked copy-on-write (pinned by snapshots)."""
+        return sum(1 for shard in self._shards if shard.shared)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoreStore(n={self._n}, shards={len(self._shards)}, "
+            f"shard_rows={self._shard_rows}, version={self.version})"
+        )

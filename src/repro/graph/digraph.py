@@ -14,7 +14,7 @@ are integers; higher layers may maintain their own label mapping (see
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from ..exceptions import (
     EdgeExistsError,

@@ -18,7 +18,7 @@ seed, which the benchmarks rely on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

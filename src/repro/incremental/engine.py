@@ -1,30 +1,37 @@
 """High-level incremental SimRank session: :class:`DynamicSimRank`.
 
-The engine owns the triple ``(graph, Q, S)`` and keeps it consistent
-across unit updates and batches, dispatching to the configured algorithm:
+The engine is now a thin **facade** over a three-layer architecture:
 
-* ``"inc-sr"``  — Algorithm 2 (pruned, default);
-* ``"inc-usr"`` — Algorithm 1 (no pruning);
-* ``"batch"``   — full recomputation via the matrix-form batch iteration
-  (the paper's Batch comparator, used for crossover studies).
+* **kernel** (:mod:`repro.incremental.plan`, :mod:`~repro.incremental.gamma`,
+  :mod:`~repro.incremental.row_update`) — pure functions that read the
+  old ``(Q, S)`` state and emit explicit
+  :class:`~repro.incremental.plan.UpdatePlan` objects: a factored
+  low-rank delta (the per-iteration ``ξ_k``/``η_k`` factor pairs of
+  Algorithm 2) plus the affected support sets of Theorem 4.  Nothing is
+  mutated at this layer.
+* **executor** (:mod:`repro.executor.score_store`,
+  :mod:`repro.linalg.qstore`) — the state owners.  ``Q`` lives in a
+  :class:`~repro.linalg.qstore.TransitionStore` (persistent dual
+  CSR/CSC slab store, O(row) surgery); ``S`` lives in a
+  :class:`~repro.executor.score_store.ScoreStore` (row-block shards,
+  per-shard application of a plan's union-support GEMM, copy-on-write
+  snapshots).  Dense per-update scratch comes from a pooled
+  :class:`~repro.incremental.workspace.UpdateWorkspace`.
+* **service** (:mod:`repro.serving`) — versioned reads and coalesced
+  writes on top of the engine: readers pin
+  :class:`~repro.serving.snapshot.SnapshotView` objects at a frozen
+  version while a single writer drains an
+  :class:`~repro.serving.scheduler.UpdateScheduler`.
 
-Hot-path architecture
----------------------
-``Q`` lives in a :class:`~repro.linalg.qstore.TransitionStore` — a
-persistent dual CSR/CSC slab store with per-row slack — so a unit update
-performs *row-granular surgery only*: no ``tocsc()`` conversion, no
-full-array CSR rebuild, no scipy object churn.  Dense per-update scratch
-(``u``, ``v``, ``w``, ``γ``) comes from a pooled
-:class:`~repro.incremental.workspace.UpdateWorkspace` owned by the
-session, and the pruned Inc-SR core iterates on sparse supports gathered
-straight from the store's CSC slabs.  The net effect is that per-update
-maintenance cost is O(row) instead of the O(nnz) the seed implementation
-paid, which is what lets update cost track the affected area rather than
-the graph size (the paper's headline claim).
-
-Every update is timed and its affected-area statistics recorded in
-:class:`UpdateStats`, which the benchmark harness aggregates into the
-paper's figures.
+The facade keeps the original public API: ``apply`` dispatches to the
+configured algorithm (``"inc-sr"`` — Algorithm 2, pruned, default;
+``"inc-usr"`` — Algorithm 1; ``"batch"`` — full recomputation),
+``apply_consolidated`` groups a batch into per-target rank-one row
+updates, and every update is timed into :class:`UpdateStats`.  Per-update
+maintenance stays O(row) on ``Q`` and affected-area-sized on ``S`` —
+update cost tracks the affected area rather than the graph size (the
+paper's headline claim) — while the plan/apply split is what lets the
+serving layer keep readers on frozen versions for free.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ import scipy.sparse as sp
 
 from ..config import SimRankConfig
 from ..exceptions import ConfigError, GraphError
+from ..executor.score_store import DEFAULT_SHARD_ROWS, ScoreStore
 from ..graph.digraph import DynamicDiGraph
 from ..graph.transition import verify_transition_matrix
 from ..graph.updates import EdgeUpdate, UpdateBatch
@@ -45,7 +53,6 @@ from ..linalg.qstore import TransitionStore
 from ..simrank.base import default_config
 from ..simrank.matrix import matrix_simrank
 from .affected import AffectedAreaStats
-from .inc_usr import inc_usr_update
 from .workspace import UpdateWorkspace
 
 ALGORITHMS = ("inc-sr", "inc-usr", "batch")
@@ -86,6 +93,9 @@ class DynamicSimRank:
     paranoid:
         When True, re-derive ``Q`` from the graph after every update and
         assert consistency (slow; for tests/debugging).
+    shard_rows:
+        Row-block size of the sharded score store (default
+        :data:`~repro.executor.score_store.DEFAULT_SHARD_ROWS`).
     """
 
     def __init__(
@@ -95,6 +105,7 @@ class DynamicSimRank:
         algorithm: str = "inc-sr",
         initial_scores: Optional[np.ndarray] = None,
         paranoid: bool = False,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigError(
@@ -107,7 +118,7 @@ class DynamicSimRank:
         self._store = TransitionStore.from_graph(self._graph)
         self._workspace = UpdateWorkspace(self._graph.num_nodes)
         if initial_scores is None:
-            self._s_matrix = matrix_simrank(self._store.csr_matrix(), self._config)
+            scores = matrix_simrank(self._store.csr_matrix(), self._config)
         else:
             scores = np.asarray(initial_scores, dtype=np.float64)
             n = self._graph.num_nodes
@@ -115,11 +126,9 @@ class DynamicSimRank:
                 raise GraphError(
                     f"initial_scores shape {scores.shape} != ({n}, {n})"
                 )
-            self._s_matrix = scores.copy()
-        # Capacity-doubled backing buffer for S; allocated lazily on the
-        # first node arrival (see add_node).
-        self._s_buffer: Optional[np.ndarray] = None
+        self._scores = ScoreStore(scores, shard_rows=shard_rows)
         self._history: List[UpdateStats] = []
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Read API
@@ -141,6 +150,11 @@ class DynamicSimRank:
         return self._graph
 
     @property
+    def version(self) -> int:
+        """Monotone state version; bumped once per applied update/batch."""
+        return self._version
+
+    @property
     def transition_matrix(self) -> sp.csr_matrix:
         """The live backward transition matrix ``Q`` as scipy CSR.
 
@@ -156,23 +170,28 @@ class DynamicSimRank:
         return self._store
 
     @property
+    def score_store(self) -> ScoreStore:
+        """The live sharded ``S`` store (the executor layer)."""
+        return self._scores
+
+    @property
     def history(self) -> List[UpdateStats]:
         """Per-update statistics in application order."""
         return list(self._history)
 
     def similarities(self) -> np.ndarray:
         """A copy of the full similarity matrix ``S``."""
-        return self._s_matrix.copy()
+        return self._scores.to_array()
 
     def similarity(self, node_a: int, node_b: int) -> float:
         """The SimRank score of one node pair."""
-        return float(self._s_matrix[node_a, node_b])
+        return self._scores.entry(node_a, node_b)
 
     def top_k(self, k: int, include_self: bool = False):
         """Top-``k`` most similar node pairs (delegates to metrics.topk)."""
         from ..metrics.topk import top_k_pairs
 
-        return top_k_pairs(self._s_matrix, k, include_self=include_self)
+        return top_k_pairs(self._scores.to_array(), k, include_self=include_self)
 
     # ------------------------------------------------------------------ #
     # Update API
@@ -195,48 +214,45 @@ class DynamicSimRank:
         if self._algorithm == "batch":
             update.apply_to(self._graph)
             self._store.replace_from_graph(self._graph)
-            self._s_matrix = matrix_simrank(
-                self._store.csr_matrix(), self._config
+            self._scores.replace_dense(
+                matrix_simrank(self._store.csr_matrix(), self._config)
             )
         elif self._algorithm == "inc-sr":
-            # Fast path: Theorem 1-3 quantities need only the old state,
-            # so precompute them into pooled buffers, mutate the graph in
-            # place, apply the pruned iteration directly into S, and
-            # finish with row-granular surgery on the dual Q store — no
-            # copies, no format conversions, no array rebuilds.
+            # Fast path: the kernel plans the factored delta from the
+            # old state (Theorems 1-4), then the executor applies it —
+            # per-shard union-support GEMM on S, row-granular surgery
+            # on the dual Q store.  No copies, no format conversions,
+            # no array rebuilds.
             from .gamma import compute_update_vectors
-            from .inc_sr import inc_sr_core
+            from .plan import plan_rank_one
 
             vectors = compute_update_vectors(
                 self._store,
-                self._s_matrix,
+                self._scores,
                 update,
                 self._graph,
                 self._config,
                 workspace=self._workspace,
             )
             update.apply_to(self._graph)
-            result = inc_sr_core(
-                self._store,
-                self._s_matrix,
-                update.target,
-                vectors,
-                self._config,
-                in_place=True,
+            plan = plan_rank_one(
+                self._store, update.target, vectors, self._config
             )
-            affected = result.affected
-            self._s_matrix = result.new_s
+            affected = plan.affected
+            self._scores.apply_plan(plan)
             self._store.apply_update(update)
         else:
-            result = inc_usr_update(
+            from .inc_usr import inc_usr_delta
+
+            delta_s, _ = inc_usr_delta(
                 self._graph,
                 self._store,
-                self._s_matrix,
+                self._scores,
                 update,
                 self._config,
                 workspace=self._workspace,
             )
-            self._s_matrix = result.new_s
+            self._scores.add_dense(delta_s)
             update.apply_to(self._graph)
             self._store.apply_update(update)
 
@@ -247,6 +263,7 @@ class DynamicSimRank:
             if problem is not None:
                 raise GraphError(f"paranoid check failed: {problem}")
 
+        self._version += 1
         stats = UpdateStats(
             update=update,
             seconds=time.perf_counter() - started,
@@ -263,30 +280,35 @@ class DynamicSimRank:
         processes each group as a *single* generalized rank-one update —
         see :mod:`repro.incremental.row_update`.  Returns the number of
         row groups processed.  Only available with the ``inc-sr``
-        algorithm (the pruned core is reused for each group).  Runs on
-        the engine's live store/workspace, so the whole batch performs
-        only row-granular surgery.
+        algorithm (the pruned kernel is reused for each group).  Each
+        group is planned from the live state and applied through the
+        sharded score store, so the whole batch performs only
+        row-granular surgery.
         """
         if self._algorithm != "inc-sr":
             raise ConfigError(
                 "apply_consolidated requires the 'inc-sr' algorithm, "
                 f"engine uses {self._algorithm!r}"
             )
-        from .row_update import apply_consolidated_batch
+        from .row_update import consolidate_batch, plan_composite_row_update
 
         started = time.perf_counter()
-        scores, _, _, groups = apply_consolidated_batch(
-            self._graph,
-            None,
-            self._s_matrix,
-            batch,
-            self._config,
-            store=self._store,
-            workspace=self._workspace,
-            in_place=True,
-        )
-        self._s_matrix = scores
+        row_updates = consolidate_batch(batch, self._graph)
+        for row_update in row_updates:
+            plan = plan_composite_row_update(
+                self._graph,
+                self._store,
+                self._scores,
+                row_update,
+                self._config,
+                workspace=self._workspace,
+            )
+            self._scores.apply_plan(plan)
+            row_update.apply_to(self._graph)
+            # Row-granular surgery on the dual store (no CSR rebuild).
+            self._store.set_row_from_graph(self._graph, row_update.target)
         elapsed = time.perf_counter() - started
+        self._version += 1
         for update in batch:
             self._history.append(
                 UpdateStats(
@@ -301,7 +323,7 @@ class DynamicSimRank:
             )
             if problem is not None:
                 raise GraphError(f"paranoid check failed: {problem}")
-        return groups
+        return len(row_updates)
 
     def add_node(self) -> int:
         """Grow the node universe by one isolated node; return its id.
@@ -310,37 +332,20 @@ class DynamicSimRank:
         He et al.); here it is exact and amortized O(n): an isolated
         node has an all-zero ``Q`` row/column (one empty segment appended
         to each store layout), and its only nonzero similarity is the
-        matrix-form self-score ``1 − C``.  ``S`` grows inside a
-        capacity-doubled backing buffer, so a stream of arrivals costs
-        one O(n²) copy per *doubling* rather than per node.  Subsequent
-        edges to/from the node flow through the normal incremental path.
+        matrix-form self-score ``1 − C``.  ``S`` grows inside the
+        sharded store — at most the tail shard's rows and each shard's
+        column capacity (doubling), never a wholesale ``n²`` copy.
+        Subsequent edges to/from the node flow through the normal
+        incremental path.
         """
         node = self._graph.add_node()
         n = self._graph.num_nodes
         self._store.add_node()
         self._workspace.ensure_capacity(n)
-        self._grow_scores(n)
-        self._s_matrix[node, node] = 1.0 - self._config.damping
+        self._scores.add_node()
+        self._scores.set_entry(node, node, 1.0 - self._config.damping)
+        self._version += 1
         return node
-
-    def _grow_scores(self, n: int) -> None:
-        """Extend ``S`` to ``(n, n)``, reusing the doubling buffer."""
-        old = self._s_matrix
-        old_n = old.shape[0]
-        buffer = self._s_buffer
-        in_buffer = buffer is not None and old.base is buffer
-        if in_buffer and n <= buffer.shape[0]:
-            view = buffer[:n, :n]
-            view[old_n:, :] = 0.0
-            view[:, old_n:] = 0.0
-            self._s_matrix = view
-            return
-        capacity = buffer.shape[0] if in_buffer else old_n
-        new_capacity = max(n, 2 * capacity)
-        fresh = np.zeros((new_capacity, new_capacity), dtype=old.dtype)
-        fresh[:old_n, :old_n] = old
-        self._s_buffer = fresh
-        self._s_matrix = fresh[:n, :n]
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -359,7 +364,7 @@ class DynamicSimRank:
             path,
             num_nodes=np.asarray([self._graph.num_nodes], dtype=np.int64),
             edges=edges.reshape(-1, 2),
-            scores=self._s_matrix,
+            scores=self._scores.to_array(),
             damping=np.asarray([self._config.damping]),
             iterations=np.asarray([self._config.iterations], dtype=np.int64),
             algorithm=np.asarray([self._algorithm]),
@@ -410,7 +415,20 @@ class DynamicSimRank:
 
         Counts the dual-layout ``Q`` store (both CSR and CSC slabs,
         *including* their per-row slack and relocation holes) plus the
-        pooled per-update vector workspace; the ``n²`` output matrix is
+        pooled per-update vector workspace; the ``n²`` score store is
         excluded, mirroring the paper's "intermediate space" definition.
         """
         return self._store.buffer_bytes() + self._workspace.nbytes()
+
+    def memory_report(self) -> dict:
+        """Layered memory accounting: Q store, workspace, score shards."""
+        return {
+            "transition_store_bytes": self._store.buffer_bytes(),
+            "transition_slack_bytes": self._store.slack_bytes(),
+            "workspace_bytes": self._workspace.nbytes(),
+            "score_buffer_bytes": self._scores.buffer_bytes(),
+            "score_logical_bytes": self._scores.nbytes(),
+            "score_shards": self._scores.shard_report(),
+            "score_shared_shards": self._scores.shared_shard_count(),
+            "score_cow_copies": self._scores.cow_copies,
+        }

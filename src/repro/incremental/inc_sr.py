@@ -1,17 +1,19 @@
 """Algorithm 2 — **Inc-SR**: incremental SimRank with affected-area pruning.
 
 Inc-SR is Inc-uSR restricted, at every step, to the affected areas of
-Theorem 4.  This implementation realizes the pruning with *sparse
-vector* arithmetic over the CSC slabs of a
-:class:`~repro.linalg.qstore.TransitionStore`: the product ``Q·ξ_k`` is
-a gather over exactly the columns in ``supp(ξ_k)`` — whose touched rows
+Theorem 4.  The pruned iteration itself lives in the kernel layer
+(:func:`repro.incremental.plan.plan_rank_one`): it realizes the pruning
+with *sparse vector* arithmetic over the CSC slabs of a
+:class:`~repro.linalg.qstore.TransitionStore` — the product ``Q·ξ_k`` is
+a gather over exactly the columns in ``supp(ξ_k)``, whose touched rows
 are precisely the out-neighbor closure ``A_k`` of Theorem 4's Eq. (40)
-— and the outer-product accumulation touches exactly ``A_k × B_k``
-entries.  The gather returns its result *sparse* (sorted indices +
-sums), so a whole iteration costs
-``O(nnz(Q[:, supp])·log + |A_k|·|B_k|)`` with **no O(n) dense-vector
-pass at all** — the seed implementation materialized two dense
-``n``-vectors per iteration just to re-extract their supports.
+— and returns an explicit :class:`~repro.incremental.plan.UpdatePlan`
+(factored low-rank delta + affected support sets) instead of mutating
+``S``.  This module is the dense-matrix convenience wrapper: it plans
+and then applies the plan to a plain ndarray, which is what the
+standalone-function API and the test-suite equivalence checks consume.
+A whole update costs ``O(nnz(Q[:, supp])·log + |A_k|·|B_k|)`` with no
+O(n) dense-vector pass at all.
 
 The pruning is *lossless*: every skipped entry is provably zero
 (Theorem 4), so Inc-SR and Inc-uSR return identical matrices up to float
@@ -25,7 +27,7 @@ numerical cancellation), i.e. the affected area actually computed.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -35,85 +37,10 @@ from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate
 from ..linalg.qstore import TransitionStore
 from ..simrank.base import default_config
-from .affected import AffectedAreaStats
 from .gamma import UpdateVectors, compute_update_vectors
 from .inc_usr import UnitUpdateResult
+from .plan import apply_plan_dense, plan_rank_one
 from .workspace import UpdateWorkspace
-
-SparseVector = Tuple[np.ndarray, np.ndarray]  # (indices, values)
-
-
-def _to_support(dense: np.ndarray, tolerance: float) -> SparseVector:
-    """Dense vector -> (indices, values) above the magnitude tolerance."""
-    indices = np.nonzero(np.abs(dense) > tolerance)[0]
-    return indices, dense[indices]
-
-
-def _filter_support(
-    indices: np.ndarray, values: np.ndarray, tolerance: float
-) -> SparseVector:
-    """Drop sparse entries at or below the magnitude tolerance."""
-    keep = np.abs(values) > tolerance
-    if keep.all():
-        return indices, values
-    return indices[keep], values[keep]
-
-
-def _add_entry(
-    indices: np.ndarray, values: np.ndarray, position: int, delta: float
-) -> SparseVector:
-    """Add ``delta`` at ``position`` of a sorted sparse vector."""
-    if delta == 0.0:
-        return indices, values
-    at = int(np.searchsorted(indices, position))
-    if at < indices.size and indices[at] == position:
-        values[at] += delta
-        return indices, values
-    return (
-        np.insert(indices, at, position),
-        np.insert(values, at, delta),
-    )
-
-
-def _sorted_union(index_arrays) -> np.ndarray:
-    """Union of sorted index arrays (sort + run-length dedup beats hashing)."""
-    if len(index_arrays) == 1:
-        return index_arrays[0]
-    merged = np.concatenate(index_arrays)
-    merged.sort(kind="stable")
-    keep = np.empty(merged.size, dtype=bool)
-    keep[0] = True
-    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
-    return merged[keep]
-
-
-def _scatter_series(
-    new_s: np.ndarray,
-    xi_stack,
-    eta_stack,
-) -> None:
-    """Add ``Σ_k ξ_k·η_kᵀ`` (and its transpose) into ``new_s``.
-
-    The per-iteration factor pairs are batched into two dense panels
-    over the *union* supports and combined with one BLAS GEMM, so the
-    score matrix is scatter-updated twice per update instead of twice
-    per iteration — the fancy-indexed scatter-add is the slow part, the
-    GEMM is nearly free.
-    """
-    if not xi_stack:
-        return
-    rows_union = _sorted_union([idx for idx, _ in xi_stack])
-    cols_union = _sorted_union([idx for idx, _ in eta_stack])
-    terms = len(xi_stack)
-    left = np.zeros((rows_union.size, terms))
-    right = np.zeros((cols_union.size, terms))
-    for term, (idx, val) in enumerate(xi_stack):
-        left[np.searchsorted(rows_union, idx), term] = val
-    for term, (idx, val) in enumerate(eta_stack):
-        right[np.searchsorted(cols_union, idx), term] = val
-    block = left @ right.T
-    new_s[np.ix_(rows_union, cols_union)] += block
-    new_s[np.ix_(cols_union, rows_union)] += block.T
 
 
 def _resolve_store(q_matrix, q_csc) -> TransitionStore:
@@ -139,71 +66,34 @@ def inc_sr_core(
     q_csc: Optional[sp.csc_matrix] = None,
     workspace: Optional[UpdateWorkspace] = None,
 ) -> UnitUpdateResult:
-    """The pruned iteration (lines 13–20 of Algorithm 2).
+    """The pruned iteration (lines 13–20 of Algorithm 2), dense-applied.
 
     ``q_matrix``/``s_matrix`` describe the *old* graph and ``vectors``
     must already hold the Theorem 1–3 quantities for a rank-one update
     of row ``target`` (``vectors.u`` supported on ``{target}``).
-    ``q_matrix`` may be a scipy CSR matrix or — on the engine's zero-
-    rebuild fast path — a live :class:`TransitionStore`, whose CSC slabs
-    are gathered directly.  With ``in_place=True`` the update is written
-    directly into ``s_matrix`` (the engine's fast path); otherwise
-    ``s_matrix`` is copied first.  For plain-CSR callers ``q_csc`` may
-    supply a cached CSC view, sparing the throwaway store a transpose
-    pass.  ``workspace`` is accepted for interface symmetry; the core
-    itself works on sparse supports and needs no dense scratch.
+    ``q_matrix`` may be a scipy CSR matrix or a live
+    :class:`TransitionStore`, whose CSC slabs are gathered directly.
+    With ``in_place=True`` the update is written directly into
+    ``s_matrix``; otherwise ``s_matrix`` is copied first.  For plain-CSR
+    callers ``q_csc`` may supply a cached CSC view, sparing the
+    throwaway store a transpose pass.  ``workspace`` is accepted for
+    interface symmetry; the kernel works on sparse supports and needs no
+    dense scratch.
+
+    This is equivalent to :func:`~repro.incremental.plan.plan_rank_one`
+    followed by :func:`~repro.incremental.plan.apply_plan_dense`; the
+    engine's sharded path applies the same plan through a
+    :class:`~repro.executor.score_store.ScoreStore` instead.
     """
-    damping = config.damping
     store = _resolve_store(q_matrix, q_csc)
-    n = store.shape[0]
-
-    u_scale = float(vectors.u[target])  # the only nonzero of u
-    v_dense = vectors.v
-
-    # ξ_0 = C·e_j, η_0 = γ (support = B_0 of Theorem 4).
-    xi_idx = np.asarray([target], dtype=np.int64)
-    xi_val = np.asarray([damping])
-    eta_idx, eta_val = _to_support(vectors.gamma, tolerance)
-
-    stats = AffectedAreaStats(num_nodes=n)
-    stats.record(xi_idx.size, eta_idx.size)
-
+    plan = plan_rank_one(store, target, vectors, config, tolerance=tolerance)
     new_s = s_matrix if in_place else s_matrix.copy()
-
-    xi_stack = []
-    eta_stack = []
-    if xi_idx.size and eta_idx.size:
-        xi_stack.append((xi_idx, xi_val))
-        eta_stack.append((eta_idx, eta_val))
-
-    for _ in range(config.iterations):
-        if xi_idx.size == 0 or eta_idx.size == 0:
-            break
-        # Q̃·x = Q·x + (vᵀ·x)·u without materializing Q̃ (Theorem 1);
-        # u's support is {j}, so the correction lands on one entry.
-        delta_xi = float(v_dense[xi_idx] @ xi_val) * u_scale
-        delta_eta = float(v_dense[eta_idx] @ eta_val) * u_scale
-        (xi_idx, xi_val), (eta_idx, eta_val) = store.gather_columns_pair(
-            xi_idx, xi_val, eta_idx, eta_val
-        )
-        xi_idx, xi_val = _add_entry(xi_idx, xi_val, target, delta_xi)
-        xi_val *= damping
-        eta_idx, eta_val = _add_entry(eta_idx, eta_val, target, delta_eta)
-
-        xi_idx, xi_val = _filter_support(xi_idx, xi_val, tolerance)
-        eta_idx, eta_val = _filter_support(eta_idx, eta_val, tolerance)
-        stats.record(xi_idx.size, eta_idx.size)
-        if xi_idx.size and eta_idx.size:
-            xi_stack.append((xi_idx, xi_val))
-            eta_stack.append((eta_idx, eta_val))
-
-    _scatter_series(new_s, xi_stack, eta_stack)
-
+    apply_plan_dense(new_s, plan)
     return UnitUpdateResult(
         new_s=new_s,
         delta_s=None,
         vectors=vectors,
-        affected=stats,
+        affected=plan.affected,
     )
 
 

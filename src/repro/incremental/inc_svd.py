@@ -23,10 +23,7 @@ criticizes once the ``U·M·Uᵀ`` densification is included).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
-import scipy.sparse as sp
 
 from ..config import SimRankConfig
 from ..exceptions import DimensionError

@@ -25,7 +25,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..config import SimRankConfig
 from ..graph.digraph import DynamicDiGraph
@@ -60,27 +59,26 @@ class UnitUpdateResult:
     affected: Optional[AffectedAreaStats] = field(default=None)
 
 
-def inc_usr_update(
+def inc_usr_delta(
     graph: DynamicDiGraph,
     q_matrix,
-    s_matrix: np.ndarray,
+    scores,
     update: EdgeUpdate,
     config: SimRankConfig = None,
     workspace: "UpdateWorkspace" = None,
-) -> UnitUpdateResult:
-    """Apply one unit update to ``S`` with Algorithm 1 (no pruning).
+):
+    """The dense Algorithm 1 delta ``ΔS = M_K + M_Kᵀ`` and its vectors.
 
-    ``graph``, ``q_matrix`` and ``s_matrix`` all describe the graph
-    *before* the update; ``q_matrix`` may be a scipy CSR matrix or a
-    :class:`~repro.linalg.qstore.TransitionStore` (anything supporting
-    ``@`` with a dense vector).  The caller is responsible for mutating
-    the graph and ``Q`` afterwards (the
-    :class:`~repro.incremental.engine.DynamicSimRank` engine does this).
-    ``workspace`` optionally pools the Theorem 1–3 scratch vectors.
+    Kernel form of the unpruned update: reads the old state only and
+    returns ``(delta_s, vectors)`` without forming ``S̃``, so executors
+    that do not hold ``S`` as one ndarray (the sharded
+    :class:`~repro.executor.score_store.ScoreStore`) can add the delta
+    shard by shard.  ``scores`` may be a dense matrix or any score
+    source supporting ``[:, i]`` / ``[i, j]`` reads.
     """
     cfg = default_config(config)
     vectors = compute_update_vectors(
-        q_matrix, s_matrix, update, graph, cfg, workspace=workspace
+        q_matrix, scores, update, graph, cfg, workspace=workspace
     )
 
     n = q_matrix.shape[0]
@@ -99,7 +97,30 @@ def inc_usr_update(
         materialize=True,
     )
     m_matrix = series.matrix
-    delta_s = m_matrix + m_matrix.T
+    return m_matrix + m_matrix.T, vectors
+
+
+def inc_usr_update(
+    graph: DynamicDiGraph,
+    q_matrix,
+    s_matrix: np.ndarray,
+    update: EdgeUpdate,
+    config: SimRankConfig = None,
+    workspace: "UpdateWorkspace" = None,
+) -> UnitUpdateResult:
+    """Apply one unit update to ``S`` with Algorithm 1 (no pruning).
+
+    ``graph``, ``q_matrix`` and ``s_matrix`` all describe the graph
+    *before* the update; ``q_matrix`` may be a scipy CSR matrix or a
+    :class:`~repro.linalg.qstore.TransitionStore` (anything supporting
+    ``@`` with a dense vector).  The caller is responsible for mutating
+    the graph and ``Q`` afterwards (the
+    :class:`~repro.incremental.engine.DynamicSimRank` engine does this).
+    ``workspace`` optionally pools the Theorem 1–3 scratch vectors.
+    """
+    delta_s, vectors = inc_usr_delta(
+        graph, q_matrix, s_matrix, update, config, workspace=workspace
+    )
     return UnitUpdateResult(
         new_s=s_matrix + delta_s,
         delta_s=delta_s,

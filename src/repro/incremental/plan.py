@@ -1,0 +1,285 @@
+"""Kernel layer — explicit :class:`UpdatePlan` objects.
+
+The incremental kernels (Inc-SR / Inc-uSR / generalized row updates) are
+pure functions here: they read the *old* ``(Q, S)`` state and return an
+:class:`UpdatePlan` describing the score change as a **factored low-rank
+delta** instead of mutating ``S`` in place:
+
+    ΔS = L·Rᵀ  scattered at  rows_union × cols_union,  plus its transpose,
+
+where the columns of ``L``/``R`` are the per-iteration affected-support
+factor pairs ``(ξ_k, η_k)`` of Algorithm 2 (each stored sparse).  This is
+the same shape as a factored ``R·C`` low-rank update of a weight matrix:
+the plan is tiny relative to ``S`` (its footprint tracks the affected
+area, not ``n²``), so it can be shipped to whichever executor owns the
+score rows — the dense helper :func:`apply_plan_dense` for a plain
+ndarray, or the row-sharded
+:class:`~repro.executor.score_store.ScoreStore`, which applies the
+union-support GEMM shard by shard.
+
+Separating *planning* (read-only on old state) from *application*
+(a scatter-add against the score store) is what enables the service
+layer's copy-on-write snapshots: readers keep serving the old shards
+while the writer applies plans to private copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SimRankConfig
+from .affected import AffectedAreaStats
+from .gamma import UpdateVectors
+
+SparseVector = Tuple[np.ndarray, np.ndarray]  # (sorted indices, values)
+
+_EMPTY_IDX = np.zeros(0, dtype=np.int64)
+_EMPTY_VAL = np.zeros(0, dtype=np.float64)
+
+
+def to_support(dense: np.ndarray, tolerance: float) -> SparseVector:
+    """Dense vector -> (indices, values) above the magnitude tolerance."""
+    indices = np.nonzero(np.abs(dense) > tolerance)[0]
+    return indices, dense[indices]
+
+
+def filter_support(
+    indices: np.ndarray, values: np.ndarray, tolerance: float
+) -> SparseVector:
+    """Drop sparse entries at or below the magnitude tolerance."""
+    keep = np.abs(values) > tolerance
+    if keep.all():
+        return indices, values
+    return indices[keep], values[keep]
+
+
+def add_entry(
+    indices: np.ndarray, values: np.ndarray, position: int, delta: float
+) -> SparseVector:
+    """Add ``delta`` at ``position`` of a sorted sparse vector."""
+    if delta == 0.0:
+        return indices, values
+    at = int(np.searchsorted(indices, position))
+    if at < indices.size and indices[at] == position:
+        values[at] += delta
+        return indices, values
+    return (
+        np.insert(indices, at, position),
+        np.insert(values, at, delta),
+    )
+
+
+def sorted_union(index_arrays) -> np.ndarray:
+    """Union of sorted index arrays (sort + run-length dedup beats hashing)."""
+    if len(index_arrays) == 1:
+        return index_arrays[0]
+    merged = np.concatenate(index_arrays)
+    merged.sort(kind="stable")
+    keep = np.empty(merged.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    return merged[keep]
+
+
+@dataclass
+class UpdatePlan:
+    """A factored low-rank score delta plus its affected support sets.
+
+    The plan is the kernel→executor contract: it fully determines the
+    score change ``ΔS = Σ_k ξ_k·η_kᵀ + (Σ_k ξ_k·η_kᵀ)ᵀ`` without
+    referencing the score store it will be applied to.
+
+    Attributes
+    ----------
+    target:
+        The updated ``Q`` row (the ``j`` of the paper's unit update).
+    left_factors, right_factors:
+        The per-iteration sparse factor pairs ``(ξ_k, η_k)``; equal
+        length.  An empty list encodes a no-op plan (e.g. a fully
+        pruned update).
+    rows_union, cols_union:
+        Sorted unions of the left/right factor supports — exactly the
+        rows/columns of ``S`` the plan will touch.
+    affected:
+        Theorem 4 affected-area statistics recorded while planning.
+    vectors:
+        The Theorem 1–3 precomputation the plan was built from (kept
+        for diagnostics; may alias pooled workspace buffers, in which
+        case it is only valid until the next update is planned).
+    """
+
+    target: int
+    left_factors: List[SparseVector]
+    right_factors: List[SparseVector]
+    rows_union: np.ndarray
+    cols_union: np.ndarray
+    affected: AffectedAreaStats
+    vectors: Optional[UpdateVectors] = field(default=None, repr=False)
+
+    @property
+    def rank(self) -> int:
+        """Number of factor pairs (the K of the truncated series)."""
+        return len(self.left_factors)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when applying the plan would change nothing."""
+        return not self.left_factors
+
+    def support_size(self) -> int:
+        """Entries of the (untransposed) scatter block, ``|rows|·|cols|``."""
+        return int(self.rows_union.size) * int(self.cols_union.size)
+
+    def panels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Densify the factors over the union supports: ``(L, R)``.
+
+        ``L`` is ``|rows_union| × rank`` and ``R`` is
+        ``|cols_union| × rank`` so the scatter block is one GEMM
+        ``L @ R.T`` — the fancy-indexed scatter-add is the slow part,
+        the GEMM is nearly free.
+        """
+        terms = len(self.left_factors)
+        left = np.zeros((self.rows_union.size, terms))
+        right = np.zeros((self.cols_union.size, terms))
+        for term, (idx, val) in enumerate(self.left_factors):
+            left[np.searchsorted(self.rows_union, idx), term] = val
+        for term, (idx, val) in enumerate(self.right_factors):
+            right[np.searchsorted(self.cols_union, idx), term] = val
+        return left, right
+
+    def delta_matrix(self, num_nodes: int) -> np.ndarray:
+        """Materialize the dense ``ΔS`` (tests / offline analysis only)."""
+        delta = np.zeros((num_nodes, num_nodes))
+        apply_plan_dense(delta, self)
+        return delta
+
+    def nbytes(self) -> int:
+        """Approximate plan footprint (tracks the affected area)."""
+        total = self.rows_union.nbytes + self.cols_union.nbytes
+        for idx, val in self.left_factors:
+            total += idx.nbytes + val.nbytes
+        for idx, val in self.right_factors:
+            total += idx.nbytes + val.nbytes
+        return total
+
+
+def plan_rank_one(
+    store,
+    target: int,
+    vectors: UpdateVectors,
+    config: SimRankConfig,
+    tolerance: float = 0.0,
+) -> UpdatePlan:
+    """Plan the pruned Inc-SR iteration (lines 13–20 of Algorithm 2).
+
+    ``store`` is the **old** :class:`~repro.linalg.qstore.TransitionStore`
+    and ``vectors`` the Theorem 1–3 quantities for a rank-one update of
+    row ``target`` (``vectors.u`` supported on ``{target}``).  Pure
+    read-only planning: neither the store nor any score state is
+    touched, and the returned plan's factor supports are exactly the
+    realized affected areas of Theorem 4.
+    """
+    damping = config.damping
+    n = store.shape[0]
+
+    u_scale = float(vectors.u[target])  # the only nonzero of u
+    v_dense = vectors.v
+
+    # ξ_0 = C·e_j, η_0 = γ (support = B_0 of Theorem 4).
+    xi_idx = np.asarray([target], dtype=np.int64)
+    xi_val = np.asarray([damping])
+    eta_idx, eta_val = to_support(vectors.gamma, tolerance)
+
+    stats = AffectedAreaStats(num_nodes=n)
+    stats.record(xi_idx.size, eta_idx.size)
+
+    left: List[SparseVector] = []
+    right: List[SparseVector] = []
+    if xi_idx.size and eta_idx.size:
+        left.append((xi_idx, xi_val))
+        right.append((eta_idx, eta_val))
+
+    for _ in range(config.iterations):
+        if xi_idx.size == 0 or eta_idx.size == 0:
+            break
+        # Q̃·x = Q·x + (vᵀ·x)·u without materializing Q̃ (Theorem 1);
+        # u's support is {j}, so the correction lands on one entry.
+        delta_xi = float(v_dense[xi_idx] @ xi_val) * u_scale
+        delta_eta = float(v_dense[eta_idx] @ eta_val) * u_scale
+        (xi_idx, xi_val), (eta_idx, eta_val) = store.gather_columns_pair(
+            xi_idx, xi_val, eta_idx, eta_val
+        )
+        xi_idx, xi_val = add_entry(xi_idx, xi_val, target, delta_xi)
+        xi_val *= damping
+        eta_idx, eta_val = add_entry(eta_idx, eta_val, target, delta_eta)
+
+        xi_idx, xi_val = filter_support(xi_idx, xi_val, tolerance)
+        eta_idx, eta_val = filter_support(eta_idx, eta_val, tolerance)
+        stats.record(xi_idx.size, eta_idx.size)
+        if xi_idx.size and eta_idx.size:
+            left.append((xi_idx, xi_val))
+            right.append((eta_idx, eta_val))
+
+    rows_union = (
+        sorted_union([idx for idx, _ in left]) if left else _EMPTY_IDX
+    )
+    cols_union = (
+        sorted_union([idx for idx, _ in right]) if right else _EMPTY_IDX
+    )
+    return UpdatePlan(
+        target=target,
+        left_factors=left,
+        right_factors=right,
+        rows_union=rows_union,
+        cols_union=cols_union,
+        affected=stats,
+        vectors=vectors,
+    )
+
+
+def plan_unit_update(
+    store,
+    scores,
+    update,
+    graph,
+    config: SimRankConfig,
+    workspace=None,
+    tolerance: float = 0.0,
+) -> UpdatePlan:
+    """Plan one unit edge update end to end (Theorems 1–4).
+
+    Runs the Theorem 1–3 precomputation against the old ``(Q, S)`` state
+    — ``scores`` may be a dense matrix or any score source supporting
+    ``[:, i]`` / ``[i, j]`` reads, e.g. a
+    :class:`~repro.executor.score_store.ScoreStore` — then the pruned
+    planner.  Nothing is mutated; apply the returned plan through the
+    executor of your choice.
+    """
+    from .gamma import compute_update_vectors
+
+    vectors = compute_update_vectors(
+        store, scores, update, graph, config, workspace=workspace
+    )
+    return plan_rank_one(
+        store, update.target, vectors, config, tolerance=tolerance
+    )
+
+
+def apply_plan_dense(s_matrix: np.ndarray, plan: UpdatePlan) -> np.ndarray:
+    """Apply a plan to a plain dense score matrix, in place.
+
+    The reference executor: one union-support GEMM followed by two
+    fancy-indexed scatter-adds (block and transpose).  The sharded
+    :class:`~repro.executor.score_store.ScoreStore` applies the same
+    block row-slice by row-slice, so both executors are bit-identical.
+    """
+    if plan.is_noop:
+        return s_matrix
+    left, right = plan.panels()
+    block = left @ right.T
+    s_matrix[np.ix_(plan.rows_union, plan.cols_union)] += block
+    s_matrix[np.ix_(plan.cols_union, plan.rows_union)] += block.T
+    return s_matrix

@@ -23,7 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import EdgeExistsError, EdgeNotFoundError, GraphError
+from ..exceptions import EdgeExistsError, EdgeNotFoundError
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate
 from .workspace import UpdateWorkspace

@@ -174,7 +174,15 @@ def general_update_vectors(
         gamma = y_vector + 0.5 * lam * u_vector
     else:
         n = s_matrix.shape[0]
-        z_vector = np.dot(s_matrix, v_vector, out=workspace.vector("scratch", n))
+        if hasattr(s_matrix, "matvec"):
+            # Sharded score stores run the GEMV shard by shard.
+            z_vector = s_matrix.matvec(
+                v_vector, out=workspace.vector("scratch", n)
+            )
+        else:
+            z_vector = np.dot(
+                s_matrix, v_vector, out=workspace.vector("scratch", n)
+            )
         if hasattr(q_matrix, "matvec"):
             y_vector = q_matrix.matvec(z_vector, out=workspace.vector("w", n))
         else:
@@ -189,6 +197,41 @@ def general_update_vectors(
         gamma=gamma,
         lam=lam,
         target_degree=-1,  # not meaningful for composite updates
+    )
+
+
+def plan_composite_row_update(
+    graph: DynamicDiGraph,
+    store: TransitionStore,
+    scores,
+    row_update: RowUpdate,
+    config: SimRankConfig = None,
+    workspace: UpdateWorkspace = None,
+    tolerance: float = 0.0,
+):
+    """Plan one composite row update as an explicit kernel UpdatePlan.
+
+    The consolidated-batch analogue of
+    :func:`repro.incremental.plan.plan_unit_update`: reads the old
+    ``(graph, Q, S)`` state only and returns the factored low-rank plan
+    for the whole row group.  ``scores`` may be dense or a sharded
+    score store (anything supporting ``[:, i]`` reads and ``matvec``).
+    """
+    from .plan import plan_rank_one
+
+    cfg = default_config(config)
+    u_vector, v_vector = row_rank_one_vectors(graph, row_update)
+    vectors = general_update_vectors(
+        store,
+        scores,
+        u_vector,
+        v_vector,
+        row_update.target,
+        cfg,
+        workspace=workspace,
+    )
+    return plan_rank_one(
+        store, row_update.target, vectors, cfg, tolerance=tolerance
     )
 
 
@@ -264,6 +307,9 @@ def apply_consolidated_batch(
     live_graph = graph if in_place else graph.copy()
     if store is None:
         store = TransitionStore.from_csr(q_matrix)
+    elif not in_place:
+        # Honor the no-mutation default for a caller-supplied store too.
+        store = store.copy()
     scores = s_matrix if in_place else s_matrix.copy()
     for row_update in row_updates:
         apply_row_update(

@@ -151,6 +151,30 @@ class _SlabLayout:
         out[active] = np.add.reduceat(values, bounds)
         return out
 
+    def matvec_indexed(
+        self, x: np.ndarray, index_weights: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Dense ``pattern·diag(index_weights) @ x`` written into ``out``.
+
+        The per-*index* twin of :meth:`matvec`: entry weights come from
+        the touched index (``index_weights[index]``) rather than the
+        owning segment.  On the CSC layout with the row weights this is
+        exactly ``Qᵀ @ x`` — the transpose mat-vec of the walk-vector
+        queries — served straight from the slabs.
+        """
+        out[: self.n] = 0.0
+        active = np.flatnonzero(self.length[: self.n])
+        if active.size == 0:
+            return out
+        counts = self.length[active]
+        positions = _segment_positions(self.start[active], counts)
+        touched = self.indices[positions]
+        values = index_weights[touched] * x[touched]
+        bounds = np.zeros(active.size, dtype=_INDEX_DTYPE)
+        np.cumsum(counts[:-1], out=bounds[1:])
+        out[active] = np.add.reduceat(values, bounds)
+        return out
+
     def gather(
         self, segs: np.ndarray, seg_values: np.ndarray, weights: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -528,6 +552,18 @@ class TransitionStore:
         # Fall back to the packed scipy view for matrix operands.
         return self.csr_matrix() @ x
 
+    def rmatvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``Qᵀ @ x`` served from the CSC slabs; no transpose built.
+
+        The walk-vector queries iterate ``(Qᵀ)^k e_a``; this serves each
+        step directly from the column layout (a CSC column of ``Q`` *is*
+        a CSR row of ``Qᵀ``), so no ``O(nnz)`` transpose conversion is
+        ever paid.  Pass ``out`` to reuse a workspace buffer.
+        """
+        if out is None:
+            out = np.zeros(self._n, dtype=np.float64)
+        return self._cols.matvec_indexed(x, self._row_weight, out)
+
     def gather_columns(
         self, indices: np.ndarray, values: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -617,6 +653,12 @@ class TransitionStore:
         self._invalidate()
         return self._n - 1
 
+    def copy(self) -> "TransitionStore":
+        """An independent deep copy (fresh slabs, compacted slack)."""
+        return TransitionStore.from_csr(
+            self.csr_matrix(), csc_hint=self.csc_matrix()
+        )
+
     def replace_from_graph(self, graph) -> None:
         """Rebuild the whole store from ``graph`` (batch/recovery path)."""
         rebuilt = TransitionStore.from_graph(graph)
@@ -672,6 +714,38 @@ class TransitionStore:
         """Dense ``Q`` (tests/debugging only)."""
         return self.csr_matrix().toarray()
 
+    def export_packed(self) -> dict:
+        """Canonical packed arrays of both layouts (persistence/shipping).
+
+        Returns ``indices``/``indptr`` (CSR), ``col_indices``/
+        ``col_indptr`` (CSC), the factored ``row_weight`` vector, and
+        ``num_nodes``/``version`` — everything a remote executor needs
+        to reconstruct ``Q`` without scipy object churn.  All arrays are
+        fresh copies detached from the slab buffers.
+        """
+        indices, indptr = self._rows.packed()
+        col_indices, col_indptr = self._cols.packed()
+        return {
+            "indices": indices,
+            "indptr": indptr,
+            "col_indices": col_indices,
+            "col_indptr": col_indptr,
+            "row_weight": self._row_weight[: self._n].copy(),
+            "num_nodes": self._n,
+            "version": self.version,
+        }
+
+    def snapshot(self) -> "TransitionSnapshot":
+        """Freeze the current ``Q`` as a :class:`TransitionSnapshot`.
+
+        Effectively zero-copy between mutations: the snapshot wraps the
+        lazily packed CSR view, which the store *abandons* (rather than
+        rewrites) on its next mutation, so the snapshot stays frozen at
+        this version forever while consecutive snapshots between
+        mutations share one packed matrix.
+        """
+        return TransitionSnapshot(self.csr_matrix(), self.version)
+
     # -------------------------------------------------------------- #
     # Accounting
     # -------------------------------------------------------------- #
@@ -693,3 +767,68 @@ class TransitionStore:
             f"TransitionStore(n={self._n}, nnz={self.nnz}, "
             f"slack_bytes={self.slack_bytes()})"
         )
+
+
+class TransitionSnapshot:
+    """An immutable ``Q`` frozen at one :class:`TransitionStore` version.
+
+    Wraps the packed scipy CSR view current at snapshot time (the store
+    never mutates a packed view — it rebuilds a fresh one after
+    surgery) plus a lazily derived transpose, and exposes the read API
+    the query layer needs (``matvec``, ``rmatvec``, ``@``).  Used by the
+    serving layer so readers can answer single-source/single-pair
+    queries at a pinned version while the writer keeps mutating the
+    live store.
+    """
+
+    __slots__ = ("_csr", "_csr_t", "version")
+
+    def __init__(self, csr: sp.csr_matrix, version: int) -> None:
+        self._csr = csr
+        self._csr_t = None
+        self.version = int(version)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._csr.nnz)
+
+    def csr_matrix(self) -> sp.csr_matrix:
+        """The frozen packed CSR view (treat as read-only)."""
+        return self._csr
+
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``Q @ x`` at the frozen version."""
+        result = self._csr @ x
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
+
+    def rmatvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``Qᵀ @ x`` via an O(1) transpose view (no conversion)."""
+        if self._csr_t is None:
+            self._csr_t = self._csr.T
+        result = self._csr_t @ x
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
+
+    def __matmul__(self, x):
+        return self._csr @ x
+
+    def nbytes(self) -> int:
+        """Bytes pinned by the frozen CSR arrays."""
+        return (
+            self._csr.data.nbytes
+            + self._csr.indices.nbytes
+            + self._csr.indptr.nbytes
+        )
+
+    def __repr__(self) -> str:
+        n = self._csr.shape[0]
+        return f"TransitionSnapshot(n={n}, nnz={self.nnz}, version={self.version})"

@@ -10,8 +10,6 @@ fraction ``r/n`` reported in Fig. 2b.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 import scipy.sparse as sp
 

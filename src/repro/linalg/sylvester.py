@@ -17,7 +17,7 @@ Two flavors:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 import scipy.sparse as sp

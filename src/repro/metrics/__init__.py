@@ -8,11 +8,14 @@
 """
 
 from .error import frobenius_error, max_abs_error, mean_abs_error
+from .memory import score_store_bytes, snapshot_overhead_bytes
 from .ndcg import ndcg_at_k, ndcg_of_pairs
 from .topk import top_k_pairs
 
 __all__ = [
     "top_k_pairs",
+    "score_store_bytes",
+    "snapshot_overhead_bytes",
     "ndcg_at_k",
     "ndcg_of_pairs",
     "max_abs_error",

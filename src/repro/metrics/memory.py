@@ -25,14 +25,15 @@ _INDEX_BYTES = 8
 def transition_store_bytes(num_nodes: int, num_edges: int) -> int:
     """Working set of the dual CSR/CSC :class:`TransitionStore`.
 
-    Both layouts hold the ``nnz`` entries (value + index) plus
+    Both layouts hold the ``nnz`` entries plus
     :data:`~repro.linalg.qstore.DEFAULT_SLACK` spare slots per segment
     and three per-segment metadata vectors (start/length/capacity) —
-    the price of O(row) update surgery instead of O(nnz) rebuilds.
+    the price of O(row) update surgery instead of O(nnz) rebuilds.  The
+    slabs are *structure-only* (indices, no values): every value of row
+    ``r`` is supplied by the single factored ``row_weight`` vector, so
+    the per-entry cost is one index, not index + float.
     """
-    entries = (num_edges + DEFAULT_SLACK * num_nodes) * (
-        _FLOAT_BYTES + _INDEX_BYTES
-    )
+    entries = (num_edges + DEFAULT_SLACK * num_nodes) * _INDEX_BYTES
     metadata = 3 * num_nodes * _INDEX_BYTES
     row_weights = num_nodes * _FLOAT_BYTES
     return 2 * (entries + metadata) + row_weights
@@ -90,6 +91,34 @@ def inc_svd_intermediate_bytes(num_nodes: int, rank: int) -> int:
     kron_system = (rank**4) * _FLOAT_BYTES
     densify = num_nodes * rank * _FLOAT_BYTES
     return factors + kron_system + densify
+
+
+def score_store_bytes(num_nodes: int) -> int:
+    """Allocated bytes of a freshly sharded score store.
+
+    Independent of the shard size: shards are allocated tight at build
+    time (each holds exactly its live ``rows × n`` float block), so the
+    total is the plain ``n²`` score footprint.  Growth slack appears
+    only after node arrivals, and copy-on-write divergence is costed
+    separately by :func:`snapshot_overhead_bytes`.
+    """
+    return num_nodes * num_nodes * _FLOAT_BYTES
+
+
+def snapshot_overhead_bytes(
+    divergent_shards: int, shard_rows: int, num_nodes: int
+) -> int:
+    """Extra resident bytes one pinned snapshot costs the writer.
+
+    Copy-on-write means a snapshot is free until the writer touches a
+    shard; each divergent shard then keeps one retained copy of its
+    ``shard_rows × n`` block alive for the snapshot.  The worst case
+    (writer touched everything) is one full ``n²`` retained version;
+    the typical incremental case is the few shards overlapping the
+    updates' affected rows.
+    """
+    rows = min(divergent_shards * shard_rows, num_nodes)
+    return rows * num_nodes * _FLOAT_BYTES
 
 
 def batch_intermediate_bytes(num_nodes: int, num_edges: int) -> int:

@@ -1,0 +1,29 @@
+"""Service layer — versioned snapshot reads and coalesced queued writes.
+
+The ROADMAP's north star is serving heavy query traffic while links
+evolve.  This package puts the read/write split on top of the engine:
+
+* :mod:`repro.serving.snapshot` — :class:`SnapshotView`, a reader's pin
+  on one frozen ``(S, Q)`` version.  Served from the score store's
+  copy-on-write shards and the transition store's abandoned packed
+  views, so pinning is O(#shards) and a pinned view is bit-stable no
+  matter what the writer does.
+* :mod:`repro.serving.scheduler` — :class:`UpdateScheduler`, the
+  write-side queue.  Drains coalesce same-target edge updates into
+  composite row groups (and cancel inverse pairs outright), feeding the
+  engine's consolidated rank-one path.
+* :mod:`repro.serving.service` — :class:`SimRankService`, the
+  single-writer/many-readers session: ``submit`` enqueues, ``drain``
+  applies one coalesced batch, ``snapshot`` pins the current version.
+"""
+
+from .scheduler import SchedulerStats, UpdateScheduler
+from .service import SimRankService
+from .snapshot import SnapshotView
+
+__all__ = [
+    "SimRankService",
+    "SnapshotView",
+    "UpdateScheduler",
+    "SchedulerStats",
+]

@@ -1,0 +1,159 @@
+"""The single-writer / many-readers serving session.
+
+:class:`SimRankService` wires the three layers together for the
+link-evolving serving workload the paper targets: precompute once, then
+serve reads while edges arrive.
+
+* Writers call :meth:`SimRankService.submit` — updates land in the
+  :class:`~repro.serving.scheduler.UpdateScheduler`, costing nothing on
+  the read path.
+* :meth:`SimRankService.drain` (the single writer) pops one coalesced
+  batch and applies it through the engine's consolidated rank-one path
+  (one pruned kernel run per distinct target row), bumping the service
+  version.
+* Readers call :meth:`SimRankService.snapshot` to pin a
+  :class:`~repro.serving.snapshot.SnapshotView` at the current version.
+  Pinned views are bit-stable under any number of subsequent drains
+  (copy-on-write shards), so a query fleet can keep answering from a
+  consistent version while updates stream in, then re-pin at its own
+  cadence.
+
+The service is deliberately synchronous and single-process: "one
+writer" is enforced by construction (only ``drain`` mutates), and the
+snapshot semantics are exactly what a multi-process deployment would
+ship across workers (frozen shard views + packed ``Q``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from ..config import SimRankConfig
+from ..graph.digraph import DynamicDiGraph
+from ..graph.updates import EdgeUpdate, UpdateBatch
+from ..incremental.engine import DynamicSimRank
+from .scheduler import UpdateScheduler
+from .snapshot import SnapshotView
+
+
+class SimRankService:
+    """Versioned SimRank serving over a link-evolving graph."""
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        config: SimRankConfig = None,
+        initial_scores: Optional[np.ndarray] = None,
+        shard_rows: Optional[int] = None,
+    ) -> None:
+        engine_kwargs = {}
+        if shard_rows is not None:
+            engine_kwargs["shard_rows"] = shard_rows
+        self._engine = DynamicSimRank(
+            graph,
+            config,
+            algorithm="inc-sr",
+            initial_scores=initial_scores,
+            **engine_kwargs,
+        )
+        self._scheduler = UpdateScheduler()
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+
+    @property
+    def engine(self) -> DynamicSimRank:
+        """The underlying engine (kernel/executor facade)."""
+        return self._engine
+
+    @property
+    def scheduler(self) -> UpdateScheduler:
+        """The write-side queue."""
+        return self._scheduler
+
+    @property
+    def version(self) -> int:
+        """Current state version (bumped once per drained batch)."""
+        return self._engine.version
+
+    @property
+    def num_nodes(self) -> int:
+        return self._engine.graph.num_nodes
+
+    @property
+    def pending(self) -> int:
+        """Net queued updates not yet applied."""
+        return len(self._scheduler)
+
+    # -------------------------------------------------------------- #
+    # Write path
+    # -------------------------------------------------------------- #
+
+    def submit(self, update: Union[EdgeUpdate, UpdateBatch]) -> None:
+        """Queue an update (or a whole batch) for the next drain."""
+        if isinstance(update, EdgeUpdate):
+            self._scheduler.submit(update)
+        else:
+            self._scheduler.submit_many(update)
+
+    def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
+        """Queue a stream of updates for the next drain."""
+        self._scheduler.submit_many(updates)
+
+    def drain(self) -> int:
+        """Apply everything queued as one coalesced consolidated batch.
+
+        Returns the number of row groups processed (0 when the queue
+        was empty).  This is the single writer: snapshots pinned before
+        the call keep serving the pre-drain version.
+
+        If the batch is invalid against the live graph (e.g. a queued
+        insert of an edge that already exists), the engine raises
+        before touching any state; the drained updates are re-queued
+        first, so nothing pending is lost and the caller can repair the
+        queue and drain again.
+        """
+        batch = self._scheduler.drain()
+        if not len(batch):
+            return 0
+        try:
+            return self._engine.apply_consolidated(batch)
+        except Exception:
+            self._scheduler.submit_many(batch)
+            raise
+
+    def add_node(self) -> int:
+        """Grow the node universe by one isolated node (applied live)."""
+        return self._engine.add_node()
+
+    # -------------------------------------------------------------- #
+    # Read path
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> SnapshotView:
+        """Pin the current version as an immutable :class:`SnapshotView`."""
+        return SnapshotView(
+            scores=self._engine.score_store.snapshot(),
+            transitions=self._engine.transition_store.snapshot(),
+            config=self._engine.config,
+            version=self._engine.version,
+        )
+
+    def similarity(self, node_a: int, node_b: int) -> float:
+        """Live (latest-version) score of one pair."""
+        return self._engine.similarity(node_a, node_b)
+
+    def memory_report(self) -> dict:
+        """Layered memory accounting including scheduler state."""
+        report = self._engine.memory_report()
+        report["scheduler_pending"] = len(self._scheduler)
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"SimRankService(n={self.num_nodes}, version={self.version}, "
+            f"pending={self.pending})"
+        )

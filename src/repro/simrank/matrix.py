@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..config import SimRankConfig
 from ..exceptions import ConvergenceError

@@ -16,7 +16,6 @@ matching :mod:`repro.simrank.naive` exactly, iteration by iteration.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..config import SimRankConfig
 from ..graph.digraph import DynamicDiGraph

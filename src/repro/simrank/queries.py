@@ -24,16 +24,42 @@ from ..exceptions import NodeNotFoundError
 from .base import default_config, resolve_q
 
 
+def _resolve_operator(graph_or_q):
+    """Accept a graph, a scipy ``Q``, or a transition store/snapshot.
+
+    Objects exposing ``rmatvec`` (a live
+    :class:`~repro.linalg.qstore.TransitionStore` or a frozen
+    :class:`~repro.linalg.qstore.TransitionSnapshot`) are used directly
+    — their transpose products are served from the CSC slabs with no
+    conversion at all; anything else goes through :func:`resolve_q`.
+    """
+    if hasattr(graph_or_q, "rmatvec") and hasattr(graph_or_q, "shape"):
+        return graph_or_q
+    return resolve_q(graph_or_q)
+
+
 def _walk_vectors(q_matrix, node: int, iterations: int) -> List[np.ndarray]:
-    """The stack ``[(Qᵀ)^k e_node]`` for k = 0..iterations."""
+    """The stack ``[(Qᵀ)^k e_node]`` for k = 0..iterations.
+
+    The transpose products never build a transposed matrix: a store or
+    snapshot serves ``Qᵀ·x`` straight from its column layout, and for a
+    scipy CSR input ``q_matrix.T`` is an O(1) CSC view whose mat-vec is
+    native — the old implementation paid an O(nnz) ``.tocsr()``
+    conversion on *every* query.
+    """
     n = q_matrix.shape[0]
     vector = np.zeros(n)
     vector[node] = 1.0
-    stack = [vector.copy()]
-    qt = q_matrix.T.tocsr()
+    stack = [vector]
+    if hasattr(q_matrix, "rmatvec"):
+        for _ in range(iterations):
+            vector = q_matrix.rmatvec(vector)
+            stack.append(vector)
+        return stack
+    qt = q_matrix.T
     for _ in range(iterations):
         vector = qt @ vector
-        stack.append(vector.copy())
+        stack.append(vector)
     return stack
 
 
@@ -47,7 +73,7 @@ def single_source_simrank(
     :func:`repro.simrank.matrix.matrix_simrank`).
     """
     cfg = default_config(config)
-    q_matrix = resolve_q(graph_or_q)
+    q_matrix = _resolve_operator(graph_or_q)
     n = q_matrix.shape[0]
     if not (0 <= node < n):
         raise NodeNotFoundError(node)
@@ -71,7 +97,7 @@ def single_pair_simrank(
     ``K = config.iterations``; cost ``O(K·m)`` with two walk stacks.
     """
     cfg = default_config(config)
-    q_matrix = resolve_q(graph_or_q)
+    q_matrix = _resolve_operator(graph_or_q)
     n = q_matrix.shape[0]
     for node in (node_a, node_b):
         if not (0 <= node < n):

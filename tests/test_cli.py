@@ -110,6 +110,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "similar to 5" in out
 
+    def test_serve(self, edges_file, updates_file, capsys):
+        assert main(["serve", edges_file, updates_file, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "consolidated row updates" in out
+        assert "still serves the frozen version: yes" in out
+        assert "fresh snapshot v1 top pairs" in out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,6 +1,5 @@
 """Tests for repro.datasets (citation, video, registry, example)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.citation import citation_network, cith_like, dblp_like
@@ -12,7 +11,7 @@ from repro.datasets.example import (
     example_update,
     label_to_index,
 )
-from repro.datasets.registry import DatasetSpec, get_dataset, list_datasets
+from repro.datasets.registry import get_dataset, list_datasets
 from repro.datasets.video import youtube_like
 from repro.exceptions import ConfigError, GraphError
 

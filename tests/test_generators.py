@@ -1,6 +1,5 @@
 """Tests for repro.graph.generators."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import GraphError

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro import SimRankConfig
 from repro.exceptions import DimensionError
 from repro.graph.digraph import DynamicDiGraph
-from repro.graph.generators import erdos_renyi_digraph, random_insertions
+from repro.graph.generators import random_insertions
 from repro.graph.transition import backward_transition_matrix
-from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.graph.updates import EdgeUpdate
 from repro.incremental.inc_svd import IncSVDSimRank, low_rank_simrank_scores
 from repro.linalg.svd_tools import lossless_rank, truncated_svd
 from repro.metrics.error import max_abs_error

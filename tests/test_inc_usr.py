@@ -5,7 +5,7 @@ import pytest
 
 from repro import SimRankConfig
 from repro.graph.digraph import DynamicDiGraph
-from repro.graph.generators import erdos_renyi_digraph, preferential_attachment_digraph
+from repro.graph.generators import erdos_renyi_digraph
 from repro.graph.transition import backward_transition_matrix
 from repro.graph.updates import EdgeUpdate
 from repro.incremental.inc_usr import inc_usr_update

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.exceptions import GraphError
-from repro.graph.digraph import DynamicDiGraph
 from repro.graph.io import (
     load_edge_list,
     load_timed_edge_list,

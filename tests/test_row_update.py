@@ -16,6 +16,7 @@ from repro.graph.transition import (
     verify_transition_matrix,
 )
 from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.simrank.matrix import matrix_simrank
 from repro.incremental.row_update import (
     RowUpdate,
     apply_consolidated_batch,
@@ -24,7 +25,6 @@ from repro.incremental.row_update import (
     row_rank_one_vectors,
 )
 from repro.simrank.exact import exact_simrank, truncation_error_bound
-from repro.simrank.matrix import matrix_simrank
 
 
 class TestConsolidateBatch:
@@ -143,6 +143,24 @@ class TestApplyRowUpdate:
 
 
 class TestApplyConsolidatedBatch:
+    def test_caller_store_not_mutated_by_default(self, random_graph, config):
+        from repro.linalg.qstore import TransitionStore
+
+        store = TransitionStore.from_graph(random_graph)
+        before = store.toarray().copy()
+        scores = matrix_simrank(store.csr_matrix(), config)
+        target = 3
+        source = next(
+            n
+            for n in range(random_graph.num_nodes)
+            if n != target and not random_graph.has_edge(n, target)
+        )
+        batch = UpdateBatch([EdgeUpdate.insert(source, target)])
+        apply_consolidated_batch(
+            random_graph, None, scores, batch, config, store=store
+        )
+        np.testing.assert_array_equal(store.toarray(), before)
+
     @pytest.mark.parametrize("seed", range(3))
     def test_matches_exact_after_whole_batch(self, seed):
         graph = erdos_renyi_digraph(20, 0.12, seed=seed)

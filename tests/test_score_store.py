@@ -1,0 +1,192 @@
+"""Tests for repro.executor.score_store (the sharded executor layer)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.executor import ScoreStore
+from repro.graph.generators import erdos_renyi_digraph
+from repro.incremental.plan import apply_plan_dense, plan_unit_update
+from repro.graph.updates import EdgeUpdate
+from repro.linalg.qstore import TransitionStore
+from repro.simrank.matrix import matrix_simrank
+
+
+def _random_scores(n, seed=0):
+    rng = np.random.default_rng(seed)
+    scores = rng.random((n, n))
+    return (scores + scores.T) / 2.0
+
+
+class TestReads:
+    @pytest.mark.parametrize("shard_rows", [1, 3, 4, 100])
+    def test_round_trip(self, shard_rows):
+        scores = _random_scores(10)
+        store = ScoreStore(scores, shard_rows=shard_rows)
+        np.testing.assert_array_equal(store.to_array(), scores)
+
+    def test_entry_row_column(self):
+        scores = _random_scores(9)
+        store = ScoreStore(scores, shard_rows=4)
+        assert store.entry(7, 2) == scores[7, 2]
+        np.testing.assert_array_equal(store.row(5), scores[5])
+        np.testing.assert_array_equal(store.column(3), scores[:, 3])
+
+    def test_getitem_duck_typing(self):
+        scores = _random_scores(8)
+        store = ScoreStore(scores, shard_rows=3)
+        assert store[4, 6] == scores[4, 6]
+        np.testing.assert_array_equal(store[:, 2], scores[:, 2])
+        np.testing.assert_array_equal(store[6, :], scores[6])
+        with pytest.raises(TypeError):
+            store[1:3, 2]
+
+    def test_matvec_matches_dense(self):
+        scores = _random_scores(11)
+        store = ScoreStore(scores, shard_rows=4)
+        x = np.random.default_rng(1).random(11)
+        np.testing.assert_array_equal(store.matvec(x), scores @ x)
+        np.testing.assert_array_equal(store @ x, scores @ x)
+
+    def test_column_into_out_buffer(self):
+        scores = _random_scores(7)
+        store = ScoreStore(scores, shard_rows=2)
+        out = np.empty(7)
+        result = store.column(4, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, scores[:, 4])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionError):
+            ScoreStore(np.zeros((3, 4)))
+
+    def test_bad_shard_rows_rejected(self):
+        with pytest.raises(DimensionError):
+            ScoreStore(np.zeros((3, 3)), shard_rows=0)
+
+
+class TestWrites:
+    def test_add_dense_and_replace(self):
+        scores = _random_scores(10)
+        store = ScoreStore(scores, shard_rows=3)
+        delta = _random_scores(10, seed=5)
+        store.add_dense(delta)
+        np.testing.assert_array_equal(store.to_array(), scores + delta)
+        store.replace_dense(scores)
+        np.testing.assert_array_equal(store.to_array(), scores)
+
+    def test_set_entry(self):
+        store = ScoreStore(np.zeros((6, 6)), shard_rows=2)
+        store.set_entry(5, 1, 0.25)
+        assert store.entry(5, 1) == 0.25
+
+    def test_version_bumps_on_mutation(self):
+        store = ScoreStore(np.zeros((4, 4)), shard_rows=2)
+        v0 = store.version
+        store.set_entry(0, 0, 1.0)
+        store.add_dense(np.zeros((4, 4)))
+        assert store.version == v0 + 2
+
+    def test_apply_plan_matches_dense_executor(self, config):
+        graph = erdos_renyi_digraph(40, 0.08, seed=11)
+        tstore = TransitionStore.from_graph(graph)
+        dense = matrix_simrank(tstore.csr_matrix(), config)
+        target = 17
+        source = next(
+            node
+            for node in range(graph.num_nodes)
+            if node != target and not graph.has_edge(node, target)
+        )
+        update = EdgeUpdate.insert(source, target)
+        plan = plan_unit_update(tstore, dense, update, graph, config)
+        assert not plan.is_noop
+
+        expected = dense.copy()
+        apply_plan_dense(expected, plan)
+        for shard_rows in (1, 4, 7, 64):
+            store = ScoreStore(dense, shard_rows=shard_rows)
+            store.apply_plan(plan)
+            np.testing.assert_array_equal(store.to_array(), expected)
+
+
+class TestGrowth:
+    def test_add_node_grows_all_reads(self):
+        scores = _random_scores(5)
+        store = ScoreStore(scores, shard_rows=2)
+        node = store.add_node()
+        assert node == 5
+        assert store.shape == (6, 6)
+        grown = store.to_array()
+        np.testing.assert_array_equal(grown[:5, :5], scores)
+        assert not grown[5].any()
+        assert not grown[:, 5].any()
+
+    def test_node_stream_keeps_shard_invariant(self):
+        store = ScoreStore(np.zeros((1, 1)), shard_rows=3)
+        for _ in range(20):
+            store.add_node()
+        assert store.shape == (21, 21)
+        assert store.num_shards == 7
+        report = store.shard_report()
+        assert [entry["rows"] for entry in report] == [3] * 6 + [3]
+        store.set_entry(20, 20, 0.4)
+        assert store.entry(20, 20) == 0.4
+
+
+class TestCopyOnWrite:
+    def test_snapshot_is_bit_stable_under_writes(self):
+        scores = _random_scores(12)
+        store = ScoreStore(scores, shard_rows=4)
+        snap = store.snapshot()
+        frozen = snap.to_array()
+        store.add_dense(_random_scores(12, seed=9))
+        store.set_entry(0, 0, 42.0)
+        np.testing.assert_array_equal(snap.to_array(), frozen)
+        np.testing.assert_array_equal(snap.to_array(), scores)
+        assert snap.entry(0, 0) == scores[0, 0]
+        np.testing.assert_array_equal(snap.row(3), scores[3])
+        np.testing.assert_array_equal(snap.column(7), scores[:, 7])
+
+    def test_only_touched_shards_are_copied(self, config):
+        graph = erdos_renyi_digraph(60, 0.05, seed=2)
+        tstore = TransitionStore.from_graph(graph)
+        dense = matrix_simrank(tstore.csr_matrix(), config)
+        store = ScoreStore(dense, shard_rows=8)
+        store.snapshot()
+        assert store.shared_shard_count() == store.num_shards
+        store.set_entry(0, 0, 1.0)
+        assert store.cow_copies == 1
+        assert store.shared_shard_count() == store.num_shards - 1
+
+    def test_snapshot_views_are_read_only(self):
+        store = ScoreStore(_random_scores(6), shard_rows=2)
+        snap = store.snapshot()
+        with pytest.raises(ValueError):
+            snap._views[0][0, 0] = 1.0
+
+    def test_two_snapshots_without_writes_share_buffers(self):
+        store = ScoreStore(_random_scores(6), shard_rows=2)
+        first = store.snapshot()
+        second = store.snapshot()
+        assert first.version == second.version
+        store.set_entry(1, 1, 9.0)
+        np.testing.assert_array_equal(first.to_array(), second.to_array())
+
+    def test_snapshot_versions_diverge(self):
+        store = ScoreStore(_random_scores(6), shard_rows=2)
+        old = store.snapshot()
+        store.set_entry(2, 3, 7.0)
+        new = store.snapshot()
+        assert new.version > old.version
+        assert old.entry(2, 3) != 7.0
+        assert new.entry(2, 3) == 7.0
+
+
+class TestAccounting:
+    def test_bytes_and_report(self):
+        store = ScoreStore(_random_scores(10), shard_rows=4)
+        assert store.nbytes() == 10 * 10 * 8
+        assert store.buffer_bytes() >= store.nbytes()
+        report = store.shard_report()
+        assert len(report) == store.num_shards == 3
+        assert {entry["base"] for entry in report} == {0, 4, 8}

@@ -1,9 +1,7 @@
 """Tests for repro.simrank.svd_batch (Li et al.'s low-rank batch method)."""
 
 import numpy as np
-import pytest
 
-from repro import SimRankConfig
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.transition import backward_transition_matrix
 from repro.linalg.svd_tools import lossless_rank

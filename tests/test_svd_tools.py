@@ -6,7 +6,6 @@ import scipy.sparse as sp
 
 from repro.exceptions import DimensionError
 from repro.linalg.svd_tools import (
-    SVDFactors,
     lossless_rank,
     lossless_rank_fraction,
     numerical_rank,
