@@ -12,11 +12,14 @@ Commands
     ``+ source target`` or ``- source target`` per line.
 ``similar <edges.txt> <node> [-k 10]``
     Top-k most similar nodes to one node (single-source query).
-``serve <edges.txt> <updates.txt> [-k 10]``
+``serve <edges.txt> <updates.txt> [-k 10] [--writer background]``
     Serving-layer demo: precompute scores, pin a read snapshot, queue
-    the updates through the coalescing scheduler, drain them as one
-    consolidated batch, and show that the pinned snapshot kept serving
-    the frozen version while a fresh snapshot sees the new one.
+    the updates through the coalescing scheduler, drain them (inline,
+    or via the background writer thread with ``--writer background``),
+    and show that the pinned snapshot kept serving the frozen version
+    while a fresh snapshot sees the new one.  Top-k rankings are served
+    by the shard-heap merge path — the dense score matrix is never
+    materialized for ranking.
 
 All commands accept ``--damping`` and ``--iterations``.
 """
@@ -102,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("edges", help="edge-list file")
     serve.add_argument("updates", help="update file (+/- source target)")
     serve.add_argument("-k", "--top", type=int, default=10)
+    serve.add_argument(
+        "--writer",
+        choices=("sync", "background"),
+        default="sync",
+        help="drain inline (sync) or via the background writer thread",
+    )
+    serve.add_argument(
+        "--backpressure",
+        choices=("block", "drop-coalesce", "error"),
+        default="block",
+        help="bounded-queue policy for the background writer",
+    )
 
     return parser
 
@@ -180,20 +195,42 @@ def command_serve(args: argparse.Namespace) -> int:
     pinned = service.snapshot()
     frozen_top = pinned.top_k(args.top)
 
-    service.submit(batch)
-    print(
-        f"queued {len(batch)} updates "
-        f"({service.scheduler.pending_targets} target rows after coalescing)"
-    )
-    groups = service.drain()
-    stats = service.scheduler.stats
-    print(
-        f"writer drained {stats.drained_updates} net updates as {groups} "
-        f"consolidated row updates "
-        f"(coalescing ratio {stats.coalescing_ratio():.2f}, "
-        f"{stats.cancelled_pairs} inverse pairs cancelled) "
-        f"in {service.engine.total_update_seconds() * 1e3:.1f} ms"
-    )
+    if args.writer == "background":
+        writer = service.start_background_writer(policy=args.backpressure)
+        service.submit(batch)
+        print(
+            f"queued {len(batch)} updates behind the background writer "
+            f"(policy={args.backpressure})"
+        )
+        service.flush()
+        stats = service.scheduler.stats
+        groups = writer.stats.row_groups
+        print(
+            f"background writer drained {writer.stats.drained_updates} net "
+            f"updates as {groups} consolidated row updates over "
+            f"{writer.stats.drains} drain(s) "
+            f"(coalescing ratio {stats.coalescing_ratio():.2f}, "
+            f"{stats.cancelled_pairs} inverse pairs cancelled, "
+            f"max queue depth {writer.stats.max_queue_depth}) "
+            f"in {writer.stats.apply_seconds * 1e3:.1f} ms"
+        )
+        service.stop_background_writer()
+    else:
+        service.submit(batch)
+        print(
+            f"queued {len(batch)} updates "
+            f"({service.scheduler.pending_targets} target rows after "
+            f"coalescing)"
+        )
+        groups = service.drain()
+        stats = service.scheduler.stats
+        print(
+            f"writer drained {stats.drained_updates} net updates as {groups} "
+            f"consolidated row updates "
+            f"(coalescing ratio {stats.coalescing_ratio():.2f}, "
+            f"{stats.cancelled_pairs} inverse pairs cancelled) "
+            f"in {service.engine.total_update_seconds() * 1e3:.1f} ms"
+        )
 
     fresh = service.snapshot()
     isolated = pinned.top_k(args.top) == frozen_top

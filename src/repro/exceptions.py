@@ -48,6 +48,16 @@ class ConfigError(ReproError, ValueError):
     """A configuration value is outside its legal domain."""
 
 
+class BackpressureError(ReproError, RuntimeError):
+    """A bounded update queue rejected a submit under the ``error`` policy.
+
+    Raised by the serving layer's background writer when the pending
+    queue is at capacity and the configured backpressure policy is
+    ``"error"``; the caller decides whether to retry, shed load, or
+    block on :meth:`~repro.serving.writer.BackgroundWriter.flush`.
+    """
+
+
 class DimensionError(ReproError, ValueError):
     """A matrix or vector argument has an incompatible shape."""
 

@@ -111,6 +111,17 @@ class ScoreSnapshot:
             return np.zeros((0, 0), dtype=_FLOAT_DTYPE)
         return np.concatenate(self._views, axis=0)
 
+    def iter_blocks(self):
+        """Yield ``(base_row, block_view)`` per frozen shard.
+
+        The shard-at-a-time read path: block-wise consumers (the top-k
+        shard merge) never need :meth:`to_array`'s dense concatenation.
+        """
+        cursor = 0
+        for view in self._views:
+            yield cursor, view
+            cursor += view.shape[0]
+
     def nbytes(self) -> int:
         """Logical bytes pinned by this snapshot (the viewed rows)."""
         return sum(view.nbytes for view in self._views)
@@ -138,6 +149,8 @@ class ScoreStore:
         self._n = scores.shape[0]
         self._shard_rows = int(shard_rows)
         self._shards: List[_Shard] = []
+        #: Optional shard-local top-k observer, notified on mutations.
+        self._topk = None
         #: Monotone counter bumped by every mutation (mirrors
         #: :attr:`TransitionStore.version`).
         self.version = 0
@@ -185,6 +198,31 @@ class ScoreStore:
     def _live(self, shard: _Shard) -> np.ndarray:
         """The shard's live ``rows × n`` window (read-only by contract)."""
         return shard.buffer[: shard.rows, : self._n]
+
+    def shard_block(self, index: int) -> Tuple[int, np.ndarray]:
+        """``(base_row, live block view)`` of shard ``index`` (read-only)."""
+        shard = self._shards[index]
+        return shard.base, self._live(shard)
+
+    def iter_shard_blocks(self):
+        """Yield ``(base_row, live block view)`` per shard (read-only)."""
+        for shard in self._shards:
+            yield shard.base, self._live(shard)
+
+    def attach_topk(self, index) -> None:
+        """Register ``index`` as the shard-local top-k observer.
+
+        The store notifies it on every mutation (:meth:`apply_plan`
+        patches the affected pairs; dense rewrites and node arrival
+        invalidate).  At most one observer is attached; a new one
+        replaces the old.
+        """
+        self._topk = index
+
+    @property
+    def topk(self):
+        """The attached shard-local top-k index, or None."""
+        return self._topk
 
     def entry(self, row: int, col: int) -> float:
         """One score ``[S]_{row,col}``."""
@@ -282,6 +320,8 @@ class ScoreStore:
         self._scatter_add(plan.rows_union, plan.cols_union, block)
         self._scatter_add(plan.cols_union, plan.rows_union, block.T)
         self.version += 1
+        if self._topk is not None:
+            self._topk.on_plan(plan)
 
     def _scatter_add(
         self, rows: np.ndarray, cols: np.ndarray, block: np.ndarray
@@ -321,6 +361,8 @@ class ScoreStore:
                 shard.base : shard.base + shard.rows
             ]
         self.version += 1
+        if self._topk is not None:
+            self._topk.invalidate_all()
 
     def replace_dense(self, scores: np.ndarray) -> None:
         """Overwrite all scores (batch recomputation path)."""
@@ -335,6 +377,8 @@ class ScoreStore:
                 shard.base : shard.base + shard.rows
             ]
         self.version += 1
+        if self._topk is not None:
+            self._topk.invalidate_all()
 
     def set_entry(self, row: int, col: int, value: float) -> None:
         """Write one score (node-arrival self-score)."""
@@ -342,6 +386,8 @@ class ScoreStore:
         buffer = self._writable(shard)
         buffer[row - shard.base, col] = value
         self.version += 1
+        if self._topk is not None:
+            self._topk.on_entry(row, col)
 
     def add_node(self) -> int:
         """Grow to ``n + 1`` nodes; returns the new (all-zero) row id.
@@ -382,6 +428,8 @@ class ScoreStore:
             buffer = np.zeros((1, max(self._n, 1)), dtype=_FLOAT_DTYPE)
             self._shards.append(_Shard(base, 1, buffer))
         self.version += 1
+        if self._topk is not None:
+            self._topk.on_add_node()
         return node
 
     # -------------------------------------------------------------- #

@@ -127,6 +127,7 @@ class DynamicSimRank:
                     f"initial_scores shape {scores.shape} != ({n}, {n})"
                 )
         self._scores = ScoreStore(scores, shard_rows=shard_rows)
+        self._topk_index = None
         self._history: List[UpdateStats] = []
         self._version = 0
 
@@ -187,11 +188,40 @@ class DynamicSimRank:
         """The SimRank score of one node pair."""
         return self._scores.entry(node_a, node_b)
 
-    def top_k(self, k: int, include_self: bool = False):
-        """Top-``k`` most similar node pairs (delegates to metrics.topk)."""
-        from ..metrics.topk import top_k_pairs
+    @property
+    def topk_index(self):
+        """The lazily built shard-local top-k index (or None)."""
+        return self._topk_index
 
-        return top_k_pairs(self._scores.to_array(), k, include_self=include_self)
+    def top_k(self, k: int, include_self: bool = False):
+        """Top-``k`` most similar node pairs, served shard-locally.
+
+        Ranking and tie order are bit-identical to
+        :func:`repro.metrics.topk.top_k_pairs` on the dense matrix, but
+        the dense ``n × n`` scan is gone: a lazily built
+        :class:`~repro.executor.topk_index.ShardTopK` keeps per-shard
+        candidate heaps patched from each update plan's affected
+        supports, and a query k-way merges them.  ``include_self``
+        rankings (rare) fall back to the block-at-a-time shard merge,
+        which still never materializes ``S``.
+        """
+        from ..exceptions import DimensionError
+
+        if k < 0:
+            raise DimensionError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return []
+        if include_self:
+            from ..executor.topk_index import top_k_from_blocks
+
+            return top_k_from_blocks(
+                self._scores.iter_shard_blocks(), k, include_self=True
+            )
+        if self._topk_index is None or k > self._topk_index.capacity:
+            from ..executor.topk_index import ShardTopK
+
+            self._topk_index = ShardTopK(self._scores, k=k)
+        return self._topk_index.top_k(k)
 
     # ------------------------------------------------------------------ #
     # Update API

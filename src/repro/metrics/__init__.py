@@ -1,19 +1,28 @@
 """Evaluation metrics used by the paper's experiments.
 
 * :mod:`repro.metrics.topk` — top-k node-pair extraction.
+* :mod:`repro.metrics.topk_tracker` — incrementally refreshed top-k
+  churn tracking (rides the engine's shard-local heap index).
 * :mod:`repro.metrics.ndcg` — NDCG@k over node-pair rankings (Fig. 4).
 * :mod:`repro.metrics.error` — element-wise error norms between score
   matrices.
 * :mod:`repro.metrics.memory` — intermediate-memory accounting (Fig. 3).
+
+Serving-side gauges (writer queue depth, backpressure counters, top-k
+``heap_hit_rate``) are reported by
+:meth:`repro.serving.service.SimRankService.metrics_report`.
 """
 
 from .error import frobenius_error, max_abs_error, mean_abs_error
 from .memory import score_store_bytes, snapshot_overhead_bytes
 from .ndcg import ndcg_at_k, ndcg_of_pairs
 from .topk import top_k_pairs
+from .topk_tracker import TopKChurn, TopKTracker
 
 __all__ = [
     "top_k_pairs",
+    "TopKTracker",
+    "TopKChurn",
     "score_store_bytes",
     "snapshot_overhead_bytes",
     "ndcg_at_k",

@@ -49,9 +49,20 @@ class TopKTracker:
             raise DimensionError(f"k must be >= 1, got {k}")
         self._engine = engine
         self._k = int(k)
-        self._current: List[ScoredPair] = top_k_pairs(
-            engine.similarities(), self._k
-        )
+        self._current: List[ScoredPair] = self._rank()
+
+    def _rank(self) -> List[ScoredPair]:
+        """Current top-k via the engine's shard-heap path when available.
+
+        :meth:`DynamicSimRank.top_k` serves from the incrementally
+        maintained :class:`~repro.executor.topk_index.ShardTopK` (no
+        dense scan) and is ranking-identical to the brute-force pass;
+        plain score sources without ``top_k`` fall back to it.
+        """
+        ranker = getattr(self._engine, "top_k", None)
+        if callable(ranker):
+            return ranker(self._k)
+        return top_k_pairs(self._engine.similarities(), self._k)
 
     @property
     def k(self) -> int:
@@ -67,15 +78,16 @@ class TopKTracker:
         return {(a, b) for a, b, _ in self._current}
 
     def refresh(self) -> TopKChurn:
-        """Recompute the ranking from the engine; return the churn.
+        """Re-rank from the engine; return the churn.
 
-        Call after applying updates to the engine.  The full re-rank is
-        one ``O(n²)`` pass (vectorized); a future optimization could use
-        the update's affected supports to skip it when disjoint from the
-        current top-k score floor.
+        Call after applying updates to the engine.  With a
+        :class:`~repro.incremental.engine.DynamicSimRank` engine the
+        re-rank rides the shard-local incremental index — each update
+        plan's affected supports patched the per-shard heaps already, so
+        the common case is a pure k-way merge with no score scan at all.
         """
         previous_pairs = self.current_pairs()
-        self._current = top_k_pairs(self._engine.similarities(), self._k)
+        self._current = self._rank()
         new_pairs = self.current_pairs()
         entered = [
             (a, b, score)

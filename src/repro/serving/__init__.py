@@ -12,18 +12,27 @@ evolve.  This package puts the read/write split on top of the engine:
   write-side queue.  Drains coalesce same-target edge updates into
   composite row groups (and cancel inverse pairs outright), feeding the
   engine's consolidated rank-one path.
+* :mod:`repro.serving.writer` — :class:`BackgroundWriter`, a dedicated
+  drain-loop thread with a bounded queue and configurable backpressure
+  (``block`` / ``drop-coalesce`` / ``error``).  It publishes immutable
+  snapshot views after every drain, so readers never block on a drain.
 * :mod:`repro.serving.service` — :class:`SimRankService`, the
   single-writer/many-readers session: ``submit`` enqueues, ``drain``
-  applies one coalesced batch, ``snapshot`` pins the current version.
+  (sync mode) or the background writer applies coalesced batches,
+  ``snapshot`` pins the current version.
 """
 
 from .scheduler import SchedulerStats, UpdateScheduler
 from .service import SimRankService
 from .snapshot import SnapshotView
+from .writer import BACKPRESSURE_POLICIES, BackgroundWriter, WriterStats
 
 __all__ = [
     "SimRankService",
     "SnapshotView",
     "UpdateScheduler",
     "SchedulerStats",
+    "BackgroundWriter",
+    "WriterStats",
+    "BACKPRESSURE_POLICIES",
 ]

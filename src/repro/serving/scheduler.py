@@ -64,14 +64,16 @@ class UpdateScheduler:
 
     def __init__(self) -> None:
         self._groups: Dict[int, _TargetGroup] = {}
+        self._pending = 0
         self.stats = SchedulerStats()
 
     def __len__(self) -> int:
-        """Net updates currently pending (after cancellation)."""
-        return sum(
-            len(group.added) + len(group.removed)
-            for group in self._groups.values()
-        )
+        """Net updates currently pending (after cancellation).
+
+        Maintained as a counter so the background writer's bounded-queue
+        check is O(1) per submit rather than O(#targets).
+        """
+        return self._pending
 
     @property
     def pending_targets(self) -> int:
@@ -90,14 +92,31 @@ class UpdateScheduler:
             if update.source in group.removed:
                 del group.removed[update.source]
                 self.stats.cancelled_pairs += 1
-            else:
+                self._pending -= 1
+            elif update.source not in group.added:
+                # Duplicate same-direction submits are no-ops for the
+                # net queue — the counter must not drift above it.
                 group.added[update.source] = None
+                self._pending += 1
         else:
             if update.source in group.added:
                 del group.added[update.source]
                 self.stats.cancelled_pairs += 1
-            else:
+                self._pending -= 1
+            elif update.source not in group.removed:
                 group.removed[update.source] = None
+                self._pending += 1
+
+    def has_pending_target(self, target: int) -> bool:
+        """Whether any net change to ``target``'s row is queued.
+
+        Used by the ``drop-coalesce`` backpressure policy: an update
+        whose target already has a pending row group coalesces into it
+        (or cancels a queued inverse) without adding a new kernel run,
+        so it is accepted even when the queue is at capacity.
+        """
+        group = self._groups.get(target)
+        return bool(group and (group.added or group.removed))
 
     def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Enqueue a stream of updates."""
@@ -123,6 +142,7 @@ class UpdateScheduler:
             for source in group.added:
                 updates.append(EdgeUpdate.insert(source, target))
         self._groups.clear()
+        self._pending = 0
         self.stats.drained_updates += len(updates)
         self.stats.drained_groups += groups
         if updates:

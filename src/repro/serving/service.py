@@ -2,26 +2,28 @@
 
 :class:`SimRankService` wires the three layers together for the
 link-evolving serving workload the paper targets: precompute once, then
-serve reads while edges arrive.
+serve reads while edges arrive.  It runs in one of two writer modes:
 
-* Writers call :meth:`SimRankService.submit` — updates land in the
-  :class:`~repro.serving.scheduler.UpdateScheduler`, costing nothing on
-  the read path.
-* :meth:`SimRankService.drain` (the single writer) pops one coalesced
-  batch and applies it through the engine's consolidated rank-one path
-  (one pruned kernel run per distinct target row), bumping the service
-  version.
-* Readers call :meth:`SimRankService.snapshot` to pin a
-  :class:`~repro.serving.snapshot.SnapshotView` at the current version.
-  Pinned views are bit-stable under any number of subsequent drains
-  (copy-on-write shards), so a query fleet can keep answering from a
-  consistent version while updates stream in, then re-pin at its own
-  cadence.
+* **sync** (default) — the original single-threaded session.  Writers
+  call :meth:`submit` (updates land in the coalescing
+  :class:`~repro.serving.scheduler.UpdateScheduler`), the caller drives
+  :meth:`drain` explicitly, and :meth:`snapshot` pins the live stores.
+* **background** — a dedicated
+  :class:`~repro.serving.writer.BackgroundWriter` thread owns the drain
+  loop: it wakes on a configurable interval (or when the bounded queue
+  hits its cap), applies one coalesced batch through the consolidated
+  row path, and publishes a fresh immutable
+  :class:`~repro.serving.snapshot.SnapshotView`.  Readers pin the
+  published view with a single attribute read, so they **never block on
+  a drain**; submitters feel the bounded queue through the configured
+  backpressure policy (``block`` / ``drop-coalesce`` / ``error``).
 
-The service is deliberately synchronous and single-process: "one
-writer" is enforced by construction (only ``drain`` mutates), and the
-snapshot semantics are exactly what a multi-process deployment would
-ship across workers (frozen shard views + packed ``Q``).
+Pinned views are bit-stable under any number of subsequent drains
+(copy-on-write shards), so a query fleet can keep answering from a
+consistent version while updates stream in, then re-pin at its own
+cadence.  The snapshot semantics are exactly what a multi-process
+deployment would ship across workers (frozen shard views + packed
+``Q``).
 """
 
 from __future__ import annotations
@@ -31,15 +33,35 @@ from typing import Iterable, Optional, Union
 import numpy as np
 
 from ..config import SimRankConfig
+from ..exceptions import ConfigError
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate, UpdateBatch
 from ..incremental.engine import DynamicSimRank
 from .scheduler import UpdateScheduler
 from .snapshot import SnapshotView
+from .writer import (
+    DEFAULT_DRAIN_INTERVAL,
+    DEFAULT_MAX_PENDING,
+    BackgroundWriter,
+)
+
+WRITER_MODES = ("sync", "background")
 
 
 class SimRankService:
-    """Versioned SimRank serving over a link-evolving graph."""
+    """Versioned SimRank serving over a link-evolving graph.
+
+    Parameters
+    ----------
+    graph, config, initial_scores, shard_rows:
+        Forwarded to the underlying :class:`DynamicSimRank` engine.
+    writer:
+        ``"sync"`` (caller-driven drains) or ``"background"`` (start a
+        :class:`BackgroundWriter` immediately).
+    drain_interval, max_pending, backpressure:
+        Background-writer tuning; ignored in sync mode (start one later
+        with :meth:`start_background_writer`).
+    """
 
     def __init__(
         self,
@@ -47,7 +69,16 @@ class SimRankService:
         config: SimRankConfig = None,
         initial_scores: Optional[np.ndarray] = None,
         shard_rows: Optional[int] = None,
+        writer: str = "sync",
+        drain_interval: float = DEFAULT_DRAIN_INTERVAL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        backpressure: str = "block",
     ) -> None:
+        if writer not in WRITER_MODES:
+            raise ConfigError(
+                f"unknown writer mode {writer!r}; expected one of "
+                f"{WRITER_MODES}"
+            )
         engine_kwargs = {}
         if shard_rows is not None:
             engine_kwargs["shard_rows"] = shard_rows
@@ -59,6 +90,53 @@ class SimRankService:
             **engine_kwargs,
         )
         self._scheduler = UpdateScheduler()
+        self._writer: Optional[BackgroundWriter] = None
+        if writer == "background":
+            self.start_background_writer(
+                drain_interval=drain_interval,
+                max_pending=max_pending,
+                policy=backpressure,
+            )
+
+    # -------------------------------------------------------------- #
+    # Writer lifecycle
+    # -------------------------------------------------------------- #
+
+    def start_background_writer(
+        self,
+        drain_interval: float = DEFAULT_DRAIN_INTERVAL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        policy: str = "block",
+    ) -> BackgroundWriter:
+        """Hand the drain loop to a dedicated writer thread."""
+        if self._writer is not None:
+            raise ConfigError("background writer already running")
+        self._writer = BackgroundWriter(
+            self._engine,
+            self._scheduler,
+            drain_interval=drain_interval,
+            max_pending=max_pending,
+            policy=policy,
+        )
+        self._writer.start()
+        return self._writer
+
+    def stop_background_writer(self, drain: bool = True) -> None:
+        """Stop the writer thread (draining leftovers by default)."""
+        if self._writer is None:
+            return
+        self._writer.stop(drain=drain)
+        self._writer = None
+
+    def close(self) -> None:
+        """Stop the background writer, draining anything still queued."""
+        self.stop_background_writer(drain=True)
+
+    def __enter__(self) -> "SimRankService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop_background_writer(drain=exc_type is None)
 
     # -------------------------------------------------------------- #
     # Introspection
@@ -73,6 +151,16 @@ class SimRankService:
     def scheduler(self) -> UpdateScheduler:
         """The write-side queue."""
         return self._scheduler
+
+    @property
+    def writer(self) -> Optional[BackgroundWriter]:
+        """The background writer, or None in sync mode."""
+        return self._writer
+
+    @property
+    def background(self) -> bool:
+        """Whether a background writer currently owns the drain loop."""
+        return self._writer is not None
 
     @property
     def version(self) -> int:
@@ -93,22 +181,28 @@ class SimRankService:
     # -------------------------------------------------------------- #
 
     def submit(self, update: Union[EdgeUpdate, UpdateBatch]) -> None:
-        """Queue an update (or a whole batch) for the next drain."""
-        if isinstance(update, EdgeUpdate):
-            self._scheduler.submit(update)
-        else:
-            self._scheduler.submit_many(update)
+        """Queue an update (or a whole batch) for the next drain.
+
+        In background mode the bounded queue's backpressure policy
+        applies: the call may block, silently drop non-coalescing
+        updates, or raise :class:`~repro.exceptions.BackpressureError`.
+        """
+        updates = [update] if isinstance(update, EdgeUpdate) else update
+        self.submit_many(updates)
 
     def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Queue a stream of updates for the next drain."""
-        self._scheduler.submit_many(updates)
+        if self._writer is not None:
+            self._writer.submit_many(updates)
+        else:
+            self._scheduler.submit_many(updates)
 
     def drain(self) -> int:
         """Apply everything queued as one coalesced consolidated batch.
 
-        Returns the number of row groups processed (0 when the queue
-        was empty).  This is the single writer: snapshots pinned before
-        the call keep serving the pre-drain version.
+        Sync mode only — in background mode the writer thread owns the
+        drain loop; use :meth:`flush` to wait for it.  Returns the
+        number of row groups processed (0 when the queue was empty).
 
         If the batch is invalid against the live graph (e.g. a queued
         insert of an edge that already exists), the engine raises
@@ -116,6 +210,11 @@ class SimRankService:
         first, so nothing pending is lost and the caller can repair the
         queue and drain again.
         """
+        if self._writer is not None:
+            raise ConfigError(
+                "the background writer owns the drain loop; use flush() "
+                "to wait for it (or stop_background_writer() first)"
+            )
         batch = self._scheduler.drain()
         if not len(batch):
             return 0
@@ -125,8 +224,24 @@ class SimRankService:
             self._scheduler.submit_many(batch)
             raise
 
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Ensure everything queued so far is applied.
+
+        Background mode blocks until the writer has drained and
+        published (False on timeout); sync mode simply drains inline.
+        """
+        if self._writer is not None:
+            return self._writer.flush(timeout=timeout)
+        self.drain()
+        return True
+
     def add_node(self) -> int:
         """Grow the node universe by one isolated node (applied live)."""
+        if self._writer is not None:
+            with self._writer.apply_lock:
+                node = self._engine.add_node()
+                self._writer.publish()
+            return node
         return self._engine.add_node()
 
     # -------------------------------------------------------------- #
@@ -134,7 +249,14 @@ class SimRankService:
     # -------------------------------------------------------------- #
 
     def snapshot(self) -> SnapshotView:
-        """Pin the current version as an immutable :class:`SnapshotView`."""
+        """Pin the current version as an immutable :class:`SnapshotView`.
+
+        Background mode returns the writer's latest *published* view —
+        one attribute read, so readers never block on an in-flight
+        drain.  Sync mode pins the live stores directly.
+        """
+        if self._writer is not None:
+            return self._writer.current_view
         return SnapshotView(
             scores=self._engine.score_store.snapshot(),
             transitions=self._engine.transition_store.snapshot(),
@@ -143,17 +265,74 @@ class SimRankService:
         )
 
     def similarity(self, node_a: int, node_b: int) -> float:
-        """Live (latest-version) score of one pair."""
+        """Latest-version score of one pair.
+
+        Background mode reads the latest published view (consistent,
+        at most one drain behind); sync mode reads the live store.
+        """
+        if self._writer is not None:
+            return self._writer.current_view.similarity(node_a, node_b)
         return self._engine.similarity(node_a, node_b)
+
+    def top_k(self, k: int, include_self: bool = False):
+        """Top-``k`` pairs at the latest version via the shard-heap path.
+
+        Served by the engine's incremental
+        :class:`~repro.executor.topk_index.ShardTopK` (no dense ``S``
+        scan); in background mode the query takes the writer's apply
+        lock so it never interleaves with a drain.
+        """
+        if self._writer is not None:
+            with self._writer.apply_lock:
+                return self._engine.top_k(k, include_self=include_self)
+        return self._engine.top_k(k, include_self=include_self)
 
     def memory_report(self) -> dict:
         """Layered memory accounting including scheduler state."""
-        report = self._engine.memory_report()
+        if self._writer is not None:
+            with self._writer.apply_lock:
+                report = self._engine.memory_report()
+        else:
+            report = self._engine.memory_report()
         report["scheduler_pending"] = len(self._scheduler)
         return report
 
+    def metrics_report(self) -> dict:
+        """Serving-side observability: queue, writer, and top-k gauges."""
+        stats = self._scheduler.stats
+        report = {
+            "version": self.version,
+            "queue_depth": len(self._scheduler),
+            "pending_targets": self._scheduler.pending_targets,
+            "scheduler": {
+                "submitted": stats.submitted,
+                "cancelled_pairs": stats.cancelled_pairs,
+                "drained_updates": stats.drained_updates,
+                "drained_batches": stats.drained_batches,
+                "drained_groups": stats.drained_groups,
+                "coalescing_ratio": stats.coalescing_ratio(),
+            },
+        }
+        if self._writer is not None:
+            report["writer"] = self._writer.report()
+        index = self._engine.topk_index
+        if index is not None:
+            report["topk"] = {
+                "k": index.k,
+                "capacity": index.capacity,
+                "heap_hit_rate": index.stats.heap_hit_rate(),
+                "clean_query_rate": index.stats.clean_query_rate(),
+                "queries": index.stats.queries,
+                "shard_rescans": index.stats.shard_rescans,
+                "patched_entries": index.stats.patched_entries,
+                "floor_invalidations": index.stats.floor_invalidations,
+                "dirty_shards": index.dirty_shards(),
+            }
+        return report
+
     def __repr__(self) -> str:
+        mode = "background" if self.background else "sync"
         return (
             f"SimRankService(n={self.num_nodes}, version={self.version}, "
-            f"pending={self.pending})"
+            f"pending={self.pending}, writer={mode})"
         )

@@ -84,10 +84,18 @@ class SnapshotView:
         return self._scores.row(node)
 
     def top_k(self, k: int, include_self: bool = False) -> List[Tuple[int, int, float]]:
-        """Top-``k`` most similar node pairs at the frozen version."""
-        from ..metrics.topk import top_k_pairs
+        """Top-``k`` most similar node pairs at the frozen version.
 
-        return top_k_pairs(self._scores.to_array(), k, include_self=include_self)
+        Served by the shard-merge path: candidates are selected one
+        frozen row block at a time and k-way merged, so the ranking is
+        bit-identical to a dense :func:`~repro.metrics.topk.top_k_pairs`
+        scan without ever materializing the O(n²) matrix.
+        """
+        from ..executor.topk_index import top_k_from_blocks
+
+        return top_k_from_blocks(
+            self._scores.iter_blocks(), k, include_self=include_self
+        )
 
     # -------------------------------------------------------------- #
     # Walk queries (frozen Q)

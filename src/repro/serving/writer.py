@@ -1,0 +1,418 @@
+"""The background writer: a dedicated thread owning the drain loop.
+
+:class:`~repro.serving.service.SimRankService` historically drained its
+:class:`~repro.serving.scheduler.UpdateScheduler` synchronously on
+whichever thread called :meth:`drain` — typically a reader's.
+:class:`BackgroundWriter` moves that work onto one dedicated daemon
+thread so the serving loop is genuinely concurrent:
+
+* **single writer, zero reader blocking** — the thread wakes every
+  ``drain_interval`` seconds (or immediately when the queue hits its
+  bound), pops one coalesced batch, applies it through the engine's
+  consolidated row path, and then *publishes* a fresh immutable
+  :class:`~repro.serving.snapshot.SnapshotView`.  Readers pin the
+  published view with a single attribute read — they never touch
+  mutable state, never take the apply lock, and therefore never block
+  on a drain, no matter how long it runs.
+* **bounded queue with backpressure** — ``max_pending`` caps the net
+  queued updates.  At capacity the configured policy decides:
+
+  ========== =========================================================
+  ``block``          the submitting thread waits until a drain frees
+                     space (default; lossless, propagates pushback)
+  ``drop-coalesce``  accept only updates that coalesce into an
+                     already-pending target row group (or cancel a
+                     queued inverse); drop the rest, counted in
+                     :attr:`WriterStats.dropped_updates`
+  ``error``          raise :class:`~repro.exceptions.BackpressureError`
+                     so the caller sheds load explicitly
+  ========== =========================================================
+
+* **fail-stop on bad batches** — if the engine rejects a batch the
+  updates are re-queued (nothing is lost), the error is stored, and the
+  loop pauses instead of spinning on the same poison batch;
+  :meth:`flush` re-raises the error and :meth:`clear_error` resumes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..exceptions import BackpressureError, ConfigError
+from ..graph.updates import EdgeUpdate
+from .snapshot import SnapshotView
+
+#: Legal backpressure policies for the bounded queue.
+BACKPRESSURE_POLICIES = ("block", "drop-coalesce", "error")
+
+#: Default writer cadence: short enough that published snapshots stay
+#: fresh, long enough that tiny batches still coalesce.
+DEFAULT_DRAIN_INTERVAL = 0.005
+
+#: Default bound on net queued updates.
+DEFAULT_MAX_PENDING = 4096
+
+
+@dataclass
+class WriterStats:
+    """Lifetime counters of one :class:`BackgroundWriter`."""
+
+    drains: int = 0
+    drained_updates: int = 0
+    row_groups: int = 0
+    publishes: int = 0
+    blocked_submits: int = 0
+    blocked_seconds: float = 0.0
+    dropped_updates: int = 0
+    rejected_updates: int = 0
+    max_queue_depth: int = 0
+    apply_seconds: float = 0.0
+    max_apply_seconds: float = 0.0
+    errors: int = 0
+
+    def mean_apply_seconds(self) -> float:
+        """Mean wall-clock seconds per applied drain batch."""
+        if self.drains == 0:
+            return 0.0
+        return self.apply_seconds / self.drains
+
+
+class BackgroundWriter:
+    """Dedicated drain-loop thread over one engine + scheduler pair.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.incremental.engine.DynamicSimRank` this
+        writer exclusively mutates.
+    scheduler:
+        The coalescing queue submits land in.
+    drain_interval:
+        Seconds between wake-ups when the queue is below its bound.
+    max_pending:
+        Bound on net queued updates before backpressure applies.
+    policy:
+        One of :data:`BACKPRESSURE_POLICIES`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        scheduler,
+        drain_interval: float = DEFAULT_DRAIN_INTERVAL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        policy: str = "block",
+    ) -> None:
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        if drain_interval <= 0:
+            raise ConfigError(
+                f"drain_interval must be positive: {drain_interval}"
+            )
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1: {max_pending}")
+        self._engine = engine
+        self._scheduler = scheduler
+        self.drain_interval = float(drain_interval)
+        self.max_pending = int(max_pending)
+        self.policy = policy
+        self.stats = WriterStats()
+        #: The latest published immutable view; readers pin it with one
+        #: attribute read (atomic under the GIL) — never a lock.
+        self.current_view: Optional[SnapshotView] = None
+        self._cond = threading.Condition()
+        self._wake = threading.Event()
+        self._apply_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._stopping = False
+        self._drain_on_stop = True
+        self._error: Optional[BaseException] = None
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+
+    def start(self) -> "BackgroundWriter":
+        """Publish an initial view and start the drain-loop thread.
+
+        A writer that was previously :meth:`stop`\\ ped can be started
+        again; the stop flag is reset so the new loop actually runs.
+        """
+        if self._thread is not None:
+            raise ConfigError("background writer already started")
+        with self._cond:
+            self._stopping = False
+            self._drain_on_stop = True
+        self._wake.clear()
+        self.publish()
+        self._thread = threading.Thread(
+            target=self._run, name="simrank-writer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the loop; by default drain whatever is still queued.
+
+        Raises :class:`~repro.exceptions.ConfigError` if the thread is
+        still applying a batch when ``timeout`` expires — the writer
+        stays registered so a second writer can never be attached to an
+        engine that a zombie drain thread is still mutating.
+        """
+        thread = self._thread
+        with self._cond:
+            self._stopping = True
+            self._drain_on_stop = drain
+            self._cond.notify_all()
+        self._wake.set()
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise ConfigError(
+                    f"background writer did not stop within {timeout}s "
+                    f"(a drain batch is still applying); retry stop() or "
+                    f"raise the timeout"
+                )
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundWriter":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    @property
+    def running(self) -> bool:
+        """Whether the drain-loop thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def apply_lock(self) -> threading.Lock:
+        """Serializes engine mutation/queries against the drain loop.
+
+        Held by the writer across apply+publish; take it for any direct
+        engine access (``top_k``, ``add_node``, memory accounting) that
+        must not interleave with a drain.  Readers pinning
+        :attr:`current_view` never need it.
+        """
+        return self._apply_lock
+
+    @property
+    def busy(self) -> bool:
+        """Whether work is queued or a drain batch is in flight."""
+        return self._inflight > 0 or len(self._scheduler) > 0
+
+    @property
+    def last_error(self) -> Optional[BaseException]:
+        """The apply failure currently pausing the loop, if any."""
+        return self._error
+
+    def clear_error(self) -> None:
+        """Resume draining after the caller repaired the queue."""
+        with self._cond:
+            self._error = None
+            self._cond.notify_all()
+        self._wake.set()
+
+    # -------------------------------------------------------------- #
+    # Write side (any thread)
+    # -------------------------------------------------------------- #
+
+    def submit(self, update: EdgeUpdate) -> bool:
+        """Enqueue one update, honoring the backpressure policy.
+
+        Returns True when the update was accepted, False when the
+        ``drop-coalesce`` policy dropped it.
+        """
+        with self._cond:
+            if self._stopping:
+                raise ConfigError("background writer is stopped")
+            if len(self._scheduler) >= self.max_pending:
+                if self.policy == "error":
+                    self.stats.rejected_updates += 1
+                    self._wake.set()
+                    raise BackpressureError(
+                        f"update queue at capacity ({self.max_pending} "
+                        f"pending) under the 'error' policy"
+                    )
+                if self.policy == "drop-coalesce":
+                    if not self._scheduler.has_pending_target(update.target):
+                        self.stats.dropped_updates += 1
+                        self._wake.set()
+                        return False
+                else:  # block
+                    self.stats.blocked_submits += 1
+                    started = time.perf_counter()
+                    self._wake.set()
+                    while (
+                        len(self._scheduler) >= self.max_pending
+                        and not self._stopping
+                        and self._error is None
+                    ):
+                        self._cond.wait(timeout=0.05)
+                    self.stats.blocked_seconds += (
+                        time.perf_counter() - started
+                    )
+                    if self._stopping:
+                        raise ConfigError(
+                            "background writer stopped while submit was "
+                            "blocked on backpressure"
+                        )
+                    if self._error is not None:
+                        raise self._error
+            self._scheduler.submit(update)
+            depth = len(self._scheduler)
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+            if depth >= self.max_pending:
+                self._wake.set()
+            return True
+
+    def submit_many(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Enqueue a stream; returns how many updates were accepted."""
+        accepted = 0
+        for update in updates:
+            accepted += bool(self.submit(update))
+        return accepted
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until everything queued so far is applied and published.
+
+        Returns True when the queue fully drained, False on timeout.
+        Re-raises the stored apply error if the loop is paused on one.
+        """
+        self._wake.set()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._error is not None:
+                    raise self._error
+                if len(self._scheduler) == 0 and self._inflight == 0:
+                    return True
+                if not self.running:
+                    raise ConfigError(
+                        "background writer is not running; nothing will "
+                        "drain the queue"
+                    )
+                if deadline is not None and time.monotonic() >= deadline:
+                    return False
+                self._cond.wait(timeout=0.05)
+
+    # -------------------------------------------------------------- #
+    # Drain loop (writer thread)
+    # -------------------------------------------------------------- #
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(self.drain_interval)
+            self._wake.clear()
+            batch = None
+            with self._cond:
+                stopping = self._stopping
+                paused = self._error is not None
+                if not paused and (not stopping or self._drain_on_stop):
+                    candidate = self._scheduler.drain()
+                    if len(candidate):
+                        batch = candidate
+                        self._inflight = len(candidate)
+            if batch is not None:
+                self._apply(batch)
+            if stopping:
+                with self._cond:
+                    done = (
+                        self._error is not None
+                        or not self._drain_on_stop
+                        or len(self._scheduler) == 0
+                    )
+                if done:
+                    return
+
+    def _apply(self, batch) -> None:
+        started = time.perf_counter()
+        try:
+            with self._apply_lock:
+                groups = self._engine.apply_consolidated(batch)
+                self.publish()
+        except Exception as exc:
+            # Re-queue everything (nothing is lost) and pause: retrying
+            # the same poison batch every interval would spin forever.
+            with self._cond:
+                self._scheduler.submit_many(batch)
+                self._inflight = 0
+                self._error = exc
+                self.stats.errors += 1
+                self._cond.notify_all()
+            return
+        elapsed = time.perf_counter() - started
+        with self._cond:
+            self._inflight = 0
+            self.stats.drains += 1
+            self.stats.drained_updates += len(batch)
+            self.stats.row_groups += groups
+            self.stats.apply_seconds += elapsed
+            if elapsed > self.stats.max_apply_seconds:
+                self.stats.max_apply_seconds = elapsed
+            self._cond.notify_all()
+
+    def publish(self) -> SnapshotView:
+        """Pin the engine's current version and publish it for readers.
+
+        Caller must hold :attr:`apply_lock` or otherwise guarantee the
+        engine is quiescent (the drain loop publishes inside the lock;
+        :meth:`start` publishes before the thread exists).
+        """
+        view = SnapshotView(
+            scores=self._engine.score_store.snapshot(),
+            transitions=self._engine.transition_store.snapshot(),
+            config=self._engine.config,
+            version=self._engine.version,
+        )
+        self.current_view = view
+        self.stats.publishes += 1
+        return view
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+
+    def queue_depth(self) -> int:
+        """Net updates currently queued (excluding an in-flight batch)."""
+        return len(self._scheduler)
+
+    def report(self) -> dict:
+        """JSON-friendly configuration + counters summary."""
+        return {
+            "policy": self.policy,
+            "drain_interval_seconds": self.drain_interval,
+            "max_pending": self.max_pending,
+            "queue_depth": self.queue_depth(),
+            "running": self.running,
+            "drains": self.stats.drains,
+            "drained_updates": self.stats.drained_updates,
+            "row_groups": self.stats.row_groups,
+            "publishes": self.stats.publishes,
+            "blocked_submits": self.stats.blocked_submits,
+            "blocked_seconds": self.stats.blocked_seconds,
+            "dropped_updates": self.stats.dropped_updates,
+            "rejected_updates": self.stats.rejected_updates,
+            "max_queue_depth": self.stats.max_queue_depth,
+            "mean_apply_seconds": self.stats.mean_apply_seconds(),
+            "max_apply_seconds": self.stats.max_apply_seconds,
+            "errors": self.stats.errors,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BackgroundWriter(policy={self.policy!r}, "
+            f"interval={self.drain_interval}, pending={self.queue_depth()}, "
+            f"running={self.running})"
+        )

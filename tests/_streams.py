@@ -1,0 +1,33 @@
+"""Shared update-stream generator for the serving/writer/top-k suites."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.updates import EdgeUpdate
+
+
+def random_update_stream(graph, num_updates, seed):
+    """A valid randomized mixed insert/delete stream for ``graph``.
+
+    Each step picks a random ordered pair and emits the update that is
+    legal against the stream applied so far (delete if the edge exists,
+    insert otherwise), so the whole stream can be applied sequentially
+    without tripping the duplicate/missing-edge guards.
+    """
+    rng = np.random.default_rng(seed)
+    live = graph.copy()
+    updates = []
+    nodes = live.num_nodes
+    while len(updates) < num_updates:
+        source = int(rng.integers(nodes))
+        target = int(rng.integers(nodes))
+        if source == target:
+            continue
+        if live.has_edge(source, target):
+            update = EdgeUpdate.delete(source, target)
+        else:
+            update = EdgeUpdate.insert(source, target)
+        update.apply_to(live)
+        updates.append(update)
+    return updates

@@ -21,25 +21,7 @@ from repro.simrank.exact import truncation_error_bound
 from repro.simrank.matrix import matrix_simrank
 from repro.simrank.queries import single_source_simrank
 
-
-def _random_stream(graph, num_updates, seed):
-    """A valid randomized mixed insert/delete stream for ``graph``."""
-    rng = np.random.default_rng(seed)
-    live = graph.copy()
-    updates = []
-    nodes = live.num_nodes
-    while len(updates) < num_updates:
-        source = int(rng.integers(nodes))
-        target = int(rng.integers(nodes))
-        if source == target:
-            continue
-        if live.has_edge(source, target):
-            update = EdgeUpdate.delete(source, target)
-        else:
-            update = EdgeUpdate.insert(source, target)
-        update.apply_to(live)
-        updates.append(update)
-    return updates
+from _streams import random_update_stream as _random_stream
 
 
 class TestScheduler:
@@ -61,6 +43,23 @@ class TestScheduler:
         assert len(scheduler) == 0
         assert scheduler.stats.cancelled_pairs == 2
         assert len(scheduler.drain()) == 0
+
+    def test_duplicate_submits_do_not_inflate_pending(self):
+        # The O(1) counter must agree with the net dict state even when
+        # the same update is submitted repeatedly (the bounded-queue
+        # backpressure check reads len()).
+        scheduler = UpdateScheduler()
+        for _ in range(3):
+            scheduler.submit(EdgeUpdate.insert(1, 7))
+        assert len(scheduler) == 1
+        scheduler.submit(EdgeUpdate.delete(1, 7))
+        assert len(scheduler) == 0
+        for _ in range(2):
+            scheduler.submit(EdgeUpdate.delete(2, 7))
+        assert len(scheduler) == 1
+        batch = scheduler.drain()
+        assert [u.edge for u in batch] == [(2, 7)]
+        assert len(scheduler) == 0
 
     def test_drain_empties_queue(self):
         scheduler = UpdateScheduler()
