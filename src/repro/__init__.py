@@ -23,8 +23,11 @@ Quickstart::
     print(engine.similarity(5, 9))
 """
 
+from .cluster import ShardClient, ShardWorkerPool
 from .config import SimRankConfig, iterations_for_accuracy
 from .exceptions import (
+    BackpressureError,
+    ClusterError,
     ConfigError,
     ConvergenceError,
     DimensionError,
@@ -33,6 +36,7 @@ from .exceptions import (
     GraphError,
     NodeNotFoundError,
     ReproError,
+    WorkerCrashError,
 )
 from .graph import (
     DynamicDiGraph,
@@ -82,6 +86,9 @@ __all__ = [
     "ConfigError",
     "DimensionError",
     "ConvergenceError",
+    "BackpressureError",
+    "ClusterError",
+    "WorkerCrashError",
     # graph substrate
     "DynamicDiGraph",
     "EdgeUpdate",
@@ -111,6 +118,9 @@ __all__ = [
     # executor layer
     "ScoreStore",
     "ScoreSnapshot",
+    # cluster layer (multi-process shard workers)
+    "ShardWorkerPool",
+    "ShardClient",
     # serving layer
     "SimRankService",
     "SnapshotView",

@@ -1,0 +1,210 @@
+"""Cluster scaling benchmark: per-update latency vs worker count.
+
+Runs the same fig2a-style mid-evolution citation workload as the perf
+gate through ``SimRankService`` once per requested worker count —
+``0`` meaning the in-process executor baseline, ``N >= 1`` meaning a
+:mod:`repro.cluster` pool with N shard-worker processes — and records
+the drain latency curve plus the executor gauges that attribute time to
+worker-side application versus IPC (per-worker apply seconds and the
+pool's measured round-trip overhead).
+
+Every run is also an equivalence gate: the final score matrix of each
+worker count must be **bit-identical** to the in-process baseline
+(identical drain boundaries are used, so this is exact, not
+approximate), and the benchmark exits non-zero if any run diverges.
+
+Usage::
+
+    python -m repro.bench.cluster --out BENCH_cluster.json
+    python -m repro.bench.cluster --nodes 1200 --workers 0,1,2,4
+    python -m repro.bench.cluster --merge-into BENCH_pr4.json
+
+``--merge-into`` folds the report into an existing perf-gate JSON under
+a ``cluster_scaling`` key, so one committed artifact carries both the
+PR-over-PR latency trajectory and the worker-count scaling curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..serving import SimRankService
+from .perf_gate import _workload
+
+
+def _drain_chunks(service: SimRankService, updates, chunk: int) -> float:
+    """Drain the stream in fixed chunks; return total drain seconds.
+
+    Fixed chunk boundaries make every executor apply the *same*
+    sequence of consolidated row groups, which is what makes the
+    cross-executor comparison bit-exact.
+    """
+    total = 0.0
+    for begin in range(0, len(updates), chunk):
+        service.submit_many(updates[begin : begin + chunk])
+        started = time.perf_counter()
+        service.drain()
+        total += time.perf_counter() - started
+    return total
+
+
+def run_cluster_bench(
+    num_nodes: int = 800,
+    num_updates: int = 120,
+    worker_counts: Optional[List[int]] = None,
+    references: int = 12,
+    recency: float = 0.7,
+    seed: int = 7,
+    shard_rows: int = 128,
+    chunk: int = 10,
+    top_k: int = 10,
+) -> Dict:
+    """Run the scaling curve; returns the JSON-ready report."""
+    worker_counts = list(worker_counts) if worker_counts else [0, 1, 2]
+    # The in-process run is the bit-equivalence oracle, so it always
+    # runs first — even when 0 was not requested (it is then kept out
+    # of the reported curve).
+    baseline_requested = worker_counts and worker_counts[0] == 0
+    run_counts = worker_counts if baseline_requested else [0] + worker_counts
+    graph, config, initial, updates = _workload(
+        num_nodes, num_updates, references, recency, seed
+    )
+    report: Dict = {
+        "benchmark": "cluster-scaling",
+        "workload": {
+            "graph": "cith-like citation snapshot (fig2a protocol)",
+            "num_nodes": num_nodes,
+            "num_edges": graph.num_edges,
+            "num_updates": len(updates),
+            "drain_chunk": chunk,
+            "shard_rows": shard_rows,
+            "damping": config.damping,
+            "iterations": config.iterations,
+            "seed": seed,
+        },
+        "curve": [],
+        "bit_identical": True,
+    }
+    baseline_matrix: Optional[np.ndarray] = None
+    baseline_seconds: Optional[float] = None
+    for workers in run_counts:
+        kwargs = (
+            {"executor": "process", "workers": workers} if workers else {}
+        )
+        service = SimRankService(
+            graph.copy(),
+            config,
+            initial_scores=initial,
+            shard_rows=shard_rows,
+            **kwargs,
+        )
+        try:
+            drain_seconds = _drain_chunks(service, updates, chunk)
+            topk_started = time.perf_counter()
+            service.top_k(top_k)
+            topk_seconds = time.perf_counter() - topk_started
+            final = service.engine.similarities()
+            executor = service.metrics_report()["executor"]
+        finally:
+            service.close()
+        if baseline_matrix is None:
+            baseline_matrix = final
+            baseline_seconds = drain_seconds
+        identical = bool(np.array_equal(final, baseline_matrix))
+        report["bit_identical"] = report["bit_identical"] and identical
+        point = {
+            "workers": workers,
+            "executor": "process" if workers else "inproc",
+            "drain_seconds": drain_seconds,
+            "mean_update_ms": drain_seconds / len(updates) * 1e3,
+            "speedup_vs_inproc": (
+                baseline_seconds / drain_seconds if drain_seconds else 0.0
+            ),
+            "topk_query_seconds": topk_seconds,
+            "bit_identical_to_inproc": identical,
+            "apply_seconds": executor.get("apply_seconds", 0.0),
+            "ipc_seconds": executor.get("ipc_seconds", 0.0),
+            "per_worker_seconds": executor.get("per_worker_seconds", {}),
+            "crashes": executor.get("crashes", 0),
+        }
+        if workers == 0 and not baseline_requested:
+            point["baseline_only"] = True
+        else:
+            report["curve"].append(point)
+        print(
+            f"workers={workers}: {point['mean_update_ms']:.2f} ms/update "
+            f"({point['speedup_vs_inproc']:.2f}x vs inproc, "
+            f"ipc {point['ipc_seconds'] * 1e3:.0f} ms, "
+            f"identical={identical})",
+            file=sys.stderr,
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.cluster",
+        description="Per-update latency vs shard-worker count "
+        "(bit-identical equivalence enforced).",
+    )
+    parser.add_argument("--nodes", type=int, default=800)
+    parser.add_argument("--updates", type=int, default=120)
+    parser.add_argument(
+        "--workers",
+        default="0,1,2",
+        help="comma-separated worker counts (0 = in-process baseline)",
+    )
+    parser.add_argument("--shard-rows", type=int, default=128)
+    parser.add_argument("--chunk", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=None, help="JSON report path")
+    parser.add_argument(
+        "--merge-into",
+        default=None,
+        help="existing JSON report to fold this run into "
+        "(under the 'cluster_scaling' key)",
+    )
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(part) for part in str(args.workers).split(",")]
+    report = run_cluster_bench(
+        num_nodes=args.nodes,
+        num_updates=args.updates,
+        worker_counts=worker_counts,
+        seed=args.seed,
+        shard_rows=args.shard_rows,
+        chunk=args.chunk,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if args.merge_into:
+        merged = {}
+        if os.path.exists(args.merge_into):
+            with open(args.merge_into, "r", encoding="utf-8") as handle:
+                merged = json.load(handle)
+        merged["cluster_scaling"] = report
+        with open(args.merge_into, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"merged cluster_scaling into {args.merge_into}", file=sys.stderr)
+    if not report["bit_identical"]:
+        print(
+            "CLUSTER GATE FAIL: process executor diverged from the "
+            "in-process baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,13 @@ def _time_queries(view, pairs, sources) -> Dict:
     }
 
 
+def _executor_kwargs(workers: int) -> Dict:
+    """Service kwargs for the requested executor (0 => in-process)."""
+    if workers > 0:
+        return {"executor": "process", "workers": workers}
+    return {}
+
+
 def run_serving_bench(
     num_nodes: int = 1000,
     num_updates: int = 120,
@@ -78,6 +85,7 @@ def run_serving_bench(
     recency: float = 0.7,
     seed: int = 7,
     shard_rows: int = 128,
+    workers: int = 0,
 ) -> Dict:
     """Run the pinned-reader / draining-writer scenario; return a report."""
     graph, config, initial, updates = _workload(
@@ -89,7 +97,11 @@ def run_serving_bench(
             f"lower --updates or raise --nodes"
         )
     service = SimRankService(
-        graph, config, initial_scores=initial, shard_rows=shard_rows
+        graph,
+        config,
+        initial_scores=initial,
+        shard_rows=shard_rows,
+        **_executor_kwargs(workers),
     )
 
     rng = np.random.default_rng(seed)
@@ -99,6 +111,19 @@ def run_serving_bench(
     ]
     sources = [int(rng.integers(num_nodes)) for _ in range(num_source_queries)]
 
+    try:
+        return _sync_scenario(
+            service, updates, pairs, sources, num_nodes, num_pair_queries,
+            num_source_queries, config, shard_rows, seed, workers,
+        )
+    finally:
+        service.close()
+
+
+def _sync_scenario(
+    service, updates, pairs, sources, num_nodes, num_pair_queries,
+    num_source_queries, config, shard_rows, seed, workers,
+) -> Dict:
     # Reader pins a view and runs its query mix at the frozen version.
     view = service.snapshot()
     frozen_matrix = view.similarities()
@@ -141,6 +166,8 @@ def run_serving_bench(
             "iterations": config.iterations,
             "shard_rows": shard_rows,
             "seed": seed,
+            "executor": service.executor,
+            "workers": workers,
         },
         "writer": {
             "queued_updates": queued,
@@ -190,6 +217,7 @@ def run_background_bench(
     max_pending: int = 4096,
     policy: str = "block",
     top_k: int = 10,
+    workers: int = 0,
 ) -> Dict:
     """Readers pin published views while the background writer drains.
 
@@ -219,6 +247,7 @@ def run_background_bench(
         drain_interval=drain_interval,
         max_pending=max_pending,
         backpressure=policy,
+        **_executor_kwargs(workers),
     )
     try:
         return _background_scenario(
@@ -317,6 +346,7 @@ def _background_scenario(
         "flushed": bool(flushed),
         "wall_seconds": wall_seconds,
         "writer": metrics["writer"],
+        "executor": metrics["executor"],
         "reader": {
             "snapshot_pins": len(pin_seconds),
             "pin_mean_seconds": statistics.fmean(pin_seconds),
@@ -379,6 +409,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=100,
         help="fail unless at least this many updates were applied",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the scenarios on the process executor with N shard "
+        "workers (0 keeps the in-process executor)",
+    )
     args = parser.parse_args(argv)
 
     violations: List[str] = []
@@ -391,6 +428,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_source_queries=args.source_queries,
             seed=args.seed,
             shard_rows=args.shard_rows,
+            workers=args.workers,
         )
         violations.extend(
             key for key, ok in report["isolation"].items() if not ok
@@ -416,6 +454,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             drain_interval=args.drain_interval,
             max_pending=args.max_pending,
             policy=args.backpressure,
+            workers=args.workers,
         )
         report["background_writer"] = background
         violations.extend(

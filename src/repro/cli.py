@@ -12,14 +12,16 @@ Commands
     ``+ source target`` or ``- source target`` per line.
 ``similar <edges.txt> <node> [-k 10]``
     Top-k most similar nodes to one node (single-source query).
-``serve <edges.txt> <updates.txt> [-k 10] [--writer background]``
+``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N]``
     Serving-layer demo: precompute scores, pin a read snapshot, queue
     the updates through the coalescing scheduler, drain them (inline,
     or via the background writer thread with ``--writer background``),
     and show that the pinned snapshot kept serving the frozen version
     while a fresh snapshot sees the new one.  Top-k rankings are served
     by the shard-heap merge path — the dense score matrix is never
-    materialized for ranking.
+    materialized for ranking.  With ``--workers N`` the score shards
+    live in N ``repro.cluster`` worker processes and every drain fans
+    out over the pool (results stay bit-identical).
 
 All commands accept ``--damping`` and ``--iterations``.
 """
@@ -117,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="block",
         help="bounded-queue policy for the background writer",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the scores across N worker processes "
+        "(repro.cluster pool); 0 keeps the in-process executor",
+    )
 
     return parser
 
@@ -190,7 +199,16 @@ def command_serve(args: argparse.Namespace) -> int:
 
     graph = load_edge_list(args.edges)
     batch = load_update_file(args.updates)
-    service = SimRankService(graph, _config(args))
+    executor_kwargs = {}
+    if args.workers > 0:
+        executor_kwargs = {"executor": "process", "workers": args.workers}
+    service = SimRankService(graph, _config(args), **executor_kwargs)
+    if args.workers > 0:
+        print(
+            f"process executor: {service.engine.score_store.pool.num_workers} "
+            f"shard workers over "
+            f"{service.engine.score_store.pool.num_shards} shards"
+        )
 
     pinned = service.snapshot()
     frozen_top = pinned.top_k(args.top)
@@ -252,6 +270,7 @@ def command_serve(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nmax score movement across versions: {drift:.6f}")
+    service.close()
     return 0 if isolated else 1
 
 

@@ -1,0 +1,42 @@
+"""Multi-process shard workers: ``apply_plan`` fanned over processes.
+
+The cluster layer moves the score shards out of the serving process:
+a :class:`ShardWorkerPool` owns N worker processes, each holding a
+contiguous slice of the row-block shards in shared memory plus its
+slice of the shard-local top-k heaps; the parent broadcasts pickled
+:class:`~repro.incremental.plan.UpdatePlan` objects (and packed
+transition payloads on topology change) over command pipes, and the
+:class:`ShardClient` proxy makes the whole arrangement quack like the
+in-process :class:`~repro.executor.score_store.ScoreStore` so the
+engine, the background writer, and the snapshot readers run unchanged.
+
+Select it with ``SimRankService(executor="process", workers=N)`` or
+``python -m repro serve ... --workers N``.
+"""
+
+from .client import PoolTopK, ShardClient, SharedScoreSnapshot, build_client
+from .messages import SegmentSpec, WorkerInit
+from .pool import (
+    DEFAULT_COMMAND_TIMEOUT,
+    DEFAULT_MAX_RESPAWNS,
+    DEFAULT_START_METHOD,
+    PoolStats,
+    ShardWorkerPool,
+)
+from .worker import WorkerShardStore, worker_loop
+
+__all__ = [
+    "DEFAULT_COMMAND_TIMEOUT",
+    "DEFAULT_MAX_RESPAWNS",
+    "DEFAULT_START_METHOD",
+    "PoolStats",
+    "PoolTopK",
+    "SegmentSpec",
+    "ShardClient",
+    "ShardWorkerPool",
+    "SharedScoreSnapshot",
+    "WorkerInit",
+    "WorkerShardStore",
+    "build_client",
+    "worker_loop",
+]

@@ -1,0 +1,351 @@
+"""Parent-side proxies over a :class:`~repro.cluster.pool.ShardWorkerPool`.
+
+:class:`ShardClient` satisfies the executor surface the engine and the
+serving layer's background writer already drain into — it *is a*
+:class:`~repro.executor.score_store.ScoreStore` whose reads run against
+the pool's zero-copy shared-memory mirror and whose writes fan out to
+the worker processes.  Swapping it in is what makes
+``DynamicSimRank(executor="process")`` a one-line change at every other
+layer.
+
+:class:`PoolTopK` is the distributed sibling of
+:class:`~repro.executor.topk_index.ShardTopK`: the candidate heaps live
+in the workers (patched from each applied plan), and the parent keeps a
+mirror of the per-shard candidate sets fed by the candidate deltas that
+ride on apply replies.  A query is served entirely from the mirror when
+no shard is dirty; dirty shards cost one re-scan round trip to their
+owners.  Rankings are bit-identical to the in-process index.
+
+:class:`SharedScoreSnapshot` pins frozen shard views backed by shared
+memory; a finalizer returns the segment references to the pool when the
+snapshot is garbage collected.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..executor.score_store import ScoreSnapshot, ScoreStore
+from ..executor.topk_index import Pair, ScoredPair, TopKStats, _key
+
+
+class SharedScoreSnapshot(ScoreSnapshot):
+    """A frozen score snapshot whose shard views live in shared memory.
+
+    Read-API-identical to :class:`ScoreSnapshot`; additionally holds the
+    backing segment references so the pool keeps them mapped (and
+    unlinked only) after the last snapshot referencing them goes away.
+    """
+
+    __slots__ = ("_segment_names", "_finalizer", "__weakref__")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        version: int,
+        shard_rows: int,
+        views,
+        segment_names,
+        release,
+    ) -> None:
+        super().__init__(num_nodes, version, shard_rows, views)
+        self._segment_names = tuple(segment_names)
+        self._finalizer = weakref.finalize(
+            self, release, self._segment_names
+        )
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """The shared-memory segments this snapshot pins."""
+        return self._segment_names
+
+
+class PoolTopK:
+    """Pool-backed top-k rankings, mirror-served and worker-maintained.
+
+    Exposes the :class:`~repro.executor.topk_index.ShardTopK` query
+    surface (``top_k``, ``k``, ``capacity``, ``stats``,
+    ``dirty_shards``) so the engine and the service metrics never need
+    to know the heaps live in other processes.  ``stats`` reflects the
+    parent's view: a "heap hit" is a query answered purely from the
+    mirror, and ``shard_rescans`` counts worker-side re-scans the
+    parent had to request.
+    """
+
+    def __init__(self, pool, k: int, capacity: int) -> None:
+        if k < 1:
+            raise DimensionError(f"k must be >= 1, got {k}")
+        self._pool = pool
+        self.k = int(k)
+        self.capacity = int(capacity)
+        if self.capacity < self.k:
+            raise DimensionError(
+                f"capacity {self.capacity} must be >= k {self.k}"
+            )
+        self.stats = TopKStats()
+        #: Global shard id -> candidate dict, or None while dirty.
+        self._mirror: Dict[int, Optional[Dict[Pair, float]]] = {
+            gid: None for gid in range(pool.num_shards)
+        }
+
+    # -------------------------------------------------------------- #
+    # Feed (called by the pool while ingesting replies)
+    # -------------------------------------------------------------- #
+
+    def _sync_keys(self) -> None:
+        for gid in range(self._pool.num_shards):
+            self._mirror.setdefault(gid, None)
+
+    def apply_changes(self, worker_id: int, changes) -> None:
+        """Fold one reply's candidate deltas into the mirror."""
+        if changes is None:
+            return
+        self._sync_keys()
+        if changes == "all":
+            lo, hi = self._pool.worker_range(worker_id)
+            for gid in range(lo, hi):
+                self._mirror[gid] = None
+            return
+        for gid, payload in changes.items():
+            if payload is None:
+                self._mirror[gid] = None
+                self.stats.floor_invalidations += 1
+            else:
+                self._mirror[gid] = {
+                    (a, b): score for a, b, score in payload
+                }
+                self.stats.patched_entries += len(payload)
+
+    def mark_shards_dirty(self, shard_ids) -> None:
+        """Invalidate mirror shards (after a worker respawn)."""
+        self._sync_keys()
+        for gid in shard_ids:
+            if gid in self._mirror:
+                self._mirror[gid] = None
+
+    def dirty_shards(self) -> int:
+        self._sync_keys()
+        return sum(1 for entries in self._mirror.values() if entries is None)
+
+    # -------------------------------------------------------------- #
+    # Queries
+    # -------------------------------------------------------------- #
+
+    def top_k(self, k: Optional[int] = None) -> List[ScoredPair]:
+        """The global top-``k`` pairs, bit-identical to the in-process path.
+
+        Mirror-only when every shard is clean (no IPC); otherwise one
+        re-scan request per worker owning dirty shards.
+        """
+        k = self.k if k is None else int(k)
+        if k < 0:
+            raise DimensionError(f"k must be >= 0, got {k}")
+        if k > self.capacity:
+            raise DimensionError(
+                f"k={k} exceeds the index capacity {self.capacity}; "
+                f"build a larger top-k index"
+            )
+        self.stats.queries += 1
+        if k == 0:
+            self.stats.heap_hits += 1
+            return []
+        self._sync_keys()
+        self.stats.shard_queries += len(self._mirror)
+        dirty = [gid for gid, entries in self._mirror.items() if entries is None]
+        if dirty:
+            candidates_by_shard = self._pool.topk_rescan(sorted(dirty))
+            for gid, payload in candidates_by_shard.items():
+                self._mirror[gid] = {
+                    (a, b): score for a, b, score in payload
+                }
+            self.stats.shard_rescans += len(dirty)
+        else:
+            self.stats.heap_hits += 1
+        candidates = [
+            (a, b, score)
+            for entries in self._mirror.values()
+            if entries
+            for (a, b), score in entries.items()
+        ]
+        best = heapq.nsmallest(
+            k, candidates, key=lambda t: _key(t[0], t[1], t[2])
+        )
+        return [(a, b, float(score)) for a, b, score in best]
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolTopK(k={self.k}, capacity={self.capacity}, "
+            f"dirty={self.dirty_shards()}/{len(self._mirror)})"
+        )
+
+
+class ShardClient(ScoreStore):
+    """The pool's executor facade: reads are local, writes fan out.
+
+    Inherits every read path (point/row/column reads, matvec, duck-typed
+    ``[:, j]`` indexing, ``iter_shard_blocks`` …) from
+    :class:`ScoreStore` — they run against the pool's read-only
+    shared-memory mirror, so the kernel's Theorem 1–3 precomputation
+    and the snapshot/top-k block readers work unchanged and zero-copy.
+    Every mutation is overridden to dispatch through the pool.
+    """
+
+    def __init__(self, pool) -> None:
+        # Deliberately *not* calling ScoreStore.__init__: the mirror
+        # shard list is owned (and kept current) by the pool.
+        self._pool = pool
+        self._n = pool.num_nodes
+        self._shard_rows = pool.shard_rows
+        self._shards = pool.mirror_shards
+        self._topk = None
+        self._shard_timing = {}
+        self.version = 0
+        self.apply_metrics = pool.apply_metrics
+        #: Optional zero-arg callable returning the live
+        #: :meth:`TransitionStore.export_packed` payload; when set, the
+        #: pool ships it to workers on topology changes.
+        self.transition_exporter = None
+
+    # -------------------------------------------------------------- #
+    # Pool plumbing
+    # -------------------------------------------------------------- #
+
+    @property
+    def pool(self):
+        return self._pool
+
+    @property
+    def cow_copies(self) -> int:
+        """Worker-side copy-on-write clones (parity with ScoreStore)."""
+        return self._pool.stats.cow_copies
+
+    def close(self) -> None:
+        self._pool.close()
+
+    # -------------------------------------------------------------- #
+    # Writes — fan out to the workers
+    # -------------------------------------------------------------- #
+
+    def apply_plan(self, plan) -> None:
+        if plan.is_noop:
+            return
+        self._pool.apply_plan(plan)
+        self.version += 1
+        if self._topk is not None:
+            # A parent-side observer still works: the mirror is already
+            # rolled forward, so it patches from current values.
+            self._topk.on_plan(plan)
+
+    def add_dense(self, delta: np.ndarray) -> None:
+        delta = np.asarray(delta, dtype=np.float64)
+        if delta.shape != self.shape:
+            raise DimensionError(f"delta shape {delta.shape} != {self.shape}")
+        self._pool.add_rows(delta)
+        self.version += 1
+        if self._topk is not None:
+            self._topk.invalidate_all()
+
+    def replace_dense(self, scores: np.ndarray) -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != self.shape:
+            raise DimensionError(
+                f"scores shape {scores.shape} != {self.shape}"
+            )
+        self._pool.replace_rows(scores)
+        self.version += 1
+        if self._topk is not None:
+            self._topk.invalidate_all()
+
+    def set_entry(self, row: int, col: int, value: float) -> None:
+        self._pool.set_entry(row, col, float(value))
+        self.version += 1
+        if self._topk is not None:
+            self._topk.on_entry(row, col)
+
+    def add_node(self) -> int:
+        transitions = (
+            self.transition_exporter() if self.transition_exporter else None
+        )
+        node = self._pool.add_node(transitions=transitions)
+        self._n = self._pool.num_nodes
+        self.version += 1
+        if self._topk is not None:
+            self._topk.on_add_node()
+        return node
+
+    # -------------------------------------------------------------- #
+    # Snapshots — zero-copy pins over shared memory
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> SharedScoreSnapshot:
+        """Pin the current version (cross-process copy-on-write).
+
+        One tiny mark-shared round trip per worker, then read-only
+        views over the live segments: no score bytes move.  The pin
+        also becomes the pool's crash-replay anchor, so the journal is
+        truncated here.
+        """
+        pool = self._pool
+        pool.mark_shared()
+        views, names = pool.snapshot_views()
+        frozen = []
+        for view in views:
+            view = view[:]  # slice -> fresh view object
+            view.flags.writeable = False
+            frozen.append(view)
+        pool.pin_segments(names)
+        snap = SharedScoreSnapshot(
+            self._n,
+            self.version,
+            self._shard_rows,
+            frozen,
+            names,
+            pool.release_segments,
+        )
+        pool.checkpoint()
+        return snap
+
+    # -------------------------------------------------------------- #
+    # Executor hooks
+    # -------------------------------------------------------------- #
+
+    def make_topk_index(self, k: int) -> PoolTopK:
+        """Distributed top-k: heaps in the workers, mirror in the parent."""
+        return self._pool.configure_topk(k)
+
+    def apply_report(self) -> dict:
+        return self._pool.apply_report()
+
+    def worker_metrics(self) -> List[dict]:
+        return self._pool.worker_metrics()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardClient(n={self._n}, workers={self._pool.num_workers}, "
+            f"shards={len(self._shards)}, version={self.version})"
+        )
+
+
+def build_client(
+    scores: np.ndarray,
+    shard_rows: int,
+    workers: int,
+    start_method: Optional[str] = None,
+    **pool_kwargs,
+) -> ShardClient:
+    """Construct a pool + client pair from an initial dense matrix."""
+    from .pool import DEFAULT_START_METHOD, ShardWorkerPool
+
+    pool = ShardWorkerPool(
+        scores,
+        shard_rows=shard_rows,
+        workers=workers,
+        start_method=start_method or DEFAULT_START_METHOD,
+        **pool_kwargs,
+    )
+    return ShardClient(pool)

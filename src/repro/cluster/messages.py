@@ -1,0 +1,172 @@
+"""The parent↔worker wire protocol of the shard-worker pool.
+
+Every message is a small picklable dataclass sent over a duplex
+:func:`multiprocessing.Pipe`.  The protocol is strictly
+request/response and per-worker FIFO: the parent sends one command, the
+worker applies it and answers with one :class:`Reply`.  Large state
+never rides the pipe — score shards live in named shared-memory
+segments (:mod:`repro.cluster.shm`), so commands carry only
+:class:`~repro.incremental.plan.UpdatePlan` factors, packed transition
+payloads, and segment *names*.
+
+Replies double as the pool's observability feed: each mutating command
+returns per-shard apply wall time (so the bench can attribute drain
+latency to workers vs IPC), copy-on-write segment events (so the parent
+mirror tracks buffer replacements), and per-shard top-k candidate
+deltas (so the parent can serve rankings without a round trip per
+query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Where one score shard lives: segment name plus geometry.
+
+    ``base``/``rows`` are the shard's global row window; ``rows_cap`` ×
+    ``cols_cap`` is the allocated segment shape (growth headroom).
+    """
+
+    shard_id: int
+    name: str
+    base: int
+    rows: int
+    rows_cap: int
+    cols_cap: int
+
+
+@dataclass
+class WorkerInit:
+    """Everything a (re)spawned worker needs to own its shard slice."""
+
+    worker_id: int
+    prefix: str
+    shard_rows: int
+    num_nodes: int
+    shard_lo: int
+    shard_hi: int
+    segments: List[SegmentSpec]
+    #: (k, capacity) when a top-k index was configured before spawn.
+    topk: Optional[Tuple[int, int]] = None
+    #: Generation counter start for segment names (monotone across
+    #: respawns so a respawned worker never reuses a dead name).
+    generation: int = 0
+
+
+# ------------------------------------------------------------------ #
+# Commands (parent -> worker)
+# ------------------------------------------------------------------ #
+
+
+@dataclass
+class ApplyPlanCmd:
+    """Apply one kernel update plan to the worker's row shards."""
+
+    plan: object  # UpdatePlan (kept loose to avoid import cycles)
+
+
+@dataclass
+class SetEntryCmd:
+    """Write one score entry (node-arrival self-score)."""
+
+    row: int
+    col: int
+    value: float
+
+
+@dataclass
+class AddRowsCmd:
+    """``S[shard rows] += delta`` per shard (the dense Inc-uSR path)."""
+
+    blocks: Dict[int, object]  # shard_id -> ndarray delta (live window)
+
+
+@dataclass
+class ReplaceRowsCmd:
+    """Overwrite shard rows (batch recomputation path)."""
+
+    blocks: Dict[int, object]
+
+
+@dataclass
+class AddNodeCmd:
+    """Grow the node universe to ``num_nodes``.
+
+    ``own_tail`` tells the worker whether the (possibly new) tail shard
+    belongs to its slice; ``shard_hi`` is its updated range end.
+    ``transitions`` carries the parent's
+    :meth:`~repro.linalg.qstore.TransitionStore.export_packed` payload —
+    the topology-change shipping contract — so workers always hold a
+    reconstructible copy of the ``Q`` their scores correspond to.
+    """
+
+    num_nodes: int
+    own_tail: bool
+    shard_hi: int
+    transitions: Optional[dict] = None
+
+
+@dataclass
+class MarkSharedCmd:
+    """Pin every shard for an outstanding snapshot (next write COWs)."""
+
+
+@dataclass
+class TopKConfigCmd:
+    """(Re)build the worker's shard-slice top-k index."""
+
+    k: int
+    capacity: int
+
+
+@dataclass
+class TopKRescanCmd:
+    """Re-scan specific shards; reply with their full candidate sets."""
+
+    shard_ids: List[int]
+
+
+@dataclass
+class MetricsCmd:
+    """Report worker-side gauges (segment bytes, top-k stats, Q version)."""
+
+
+@dataclass
+class PingCmd:
+    """Liveness probe."""
+
+
+@dataclass
+class ShutdownCmd:
+    """Acknowledge and exit the worker loop."""
+
+
+# ------------------------------------------------------------------ #
+# Replies (worker -> parent)
+# ------------------------------------------------------------------ #
+
+
+@dataclass
+class Reply:
+    """One command's outcome plus the worker's observability feed."""
+
+    worker_id: int
+    ok: bool
+    error: Optional[str] = None
+    #: Wall-clock seconds the worker spent handling the command.
+    seconds: float = 0.0
+    #: Scatter wall time per (global) shard id for mutating commands.
+    per_shard_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Segments that moved (copy-on-write / growth) while handling.
+    segments: List[SegmentSpec] = field(default_factory=list)
+    #: Copy-on-write clones performed while handling.
+    cow_copies: int = 0
+    #: Per-shard top-k candidate deltas: ``"all"``, ``None``, or a dict
+    #: mapping global shard id -> full candidate list | None (dirty).
+    topk_changes: object = None
+    #: Command-specific payload (rescan candidates, metrics, ...).
+    data: object = None

@@ -1,0 +1,894 @@
+""":class:`ShardWorkerPool` — N worker processes over shared-memory shards.
+
+The pool is the multi-process executor behind
+``SimRankService(executor="process", workers=N)``:
+
+* **Parent plans, workers apply.**  The kernel still plans update
+  deltas in the parent (planning is read-only and cheap); each
+  resulting :class:`~repro.incremental.plan.UpdatePlan` is pickled over
+  a command pipe to exactly the workers whose row ranges its support
+  unions touch, and every worker applies its row slice of the
+  union-support GEMM locally — in parallel, outside the parent's GIL.
+* **Zero-copy reads.**  Shards live in named shared-memory segments
+  mapped by both sides, so the parent's mirror serves point reads,
+  planning reads, and snapshot pins without any per-byte IPC.
+* **Cross-process copy-on-write.**  A snapshot marks every shard
+  pinned; a worker's next write to a pinned shard lands in a fresh
+  segment whose name rides back on the reply.  The parent keeps old
+  segments alive while any snapshot references them, so pinned readers
+  stay bit-stable forever.
+* **Crash recovery with exactly-once semantics.**  Every mutating
+  command is journaled since the last snapshot.  When a worker dies
+  (pipe EOF, liveness check, or command timeout) the pool respawns it
+  from the last snapshot's segments — which, by the copy-on-write
+  invariant, were never written after the snapshot — and replays the
+  journal, reconstructing the bit-identical current state.  Readers
+  only ever observe published snapshots, so a crash mid-drain is
+  invisible to them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ClusterError, DimensionError, WorkerCrashError
+from ..executor.score_store import (
+    DEFAULT_SHARD_ROWS,
+    ApplyMetrics,
+    _Shard,
+)
+from .messages import (
+    AddNodeCmd,
+    AddRowsCmd,
+    ApplyPlanCmd,
+    MarkSharedCmd,
+    MetricsCmd,
+    PingCmd,
+    ReplaceRowsCmd,
+    SegmentSpec,
+    SetEntryCmd,
+    ShutdownCmd,
+    TopKConfigCmd,
+    TopKRescanCmd,
+    WorkerInit,
+)
+from .shm import (
+    attach_segment,
+    create_segment,
+    ndarray_view,
+    pool_prefix,
+    segment_nbytes,
+    sweep_segments,
+)
+from .worker import worker_loop
+
+_FLOAT_DTYPE = np.float64
+
+#: ``spawn`` is the only start method the pool promises correctness
+#: under: respawning a crashed worker can happen on the background
+#: writer thread, and forking a multi-threaded parent there risks
+#: inheriting held locks mid-operation.  (Segment lifetime is safe
+#: either way — see :mod:`repro.cluster.shm` on the shared resource
+#: tracker.)
+DEFAULT_START_METHOD = "spawn"
+
+#: Seconds a command may run before the worker is declared dead.
+DEFAULT_COMMAND_TIMEOUT = 120.0
+
+#: Respawn budget per worker before :class:`WorkerCrashError`.
+DEFAULT_MAX_RESPAWNS = 3
+
+#: Journaled commands tolerated between replay anchors before the pool
+#: checkpoints itself.  Bounds crash-replay journal memory (and replay
+#: time) for engine-level sessions that never snapshot.
+DEFAULT_JOURNAL_LIMIT = 256
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker cannot answer (crash, EOF, or timeout)."""
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: object
+    conn: object
+    shard_lo: int
+    shard_hi: int
+    respawns: int = 0
+
+
+@dataclass
+class _JournalEntry:
+    """One mutating command since the last snapshot (for replay)."""
+
+    workers: Tuple[int, ...]
+    #: Either one shared command object or a per-worker command map.
+    cmds: object
+
+    def command_for(self, worker_id: int):
+        if isinstance(self.cmds, dict):
+            return self.cmds[worker_id]
+        return self.cmds
+
+
+@dataclass
+class _ReplayBase:
+    """The pool state at the last snapshot — the crash-replay anchor."""
+
+    num_nodes: int
+    ranges: Dict[int, Tuple[int, int]]
+    segments: Dict[int, SegmentSpec]
+    topk: Optional[Tuple[int, int]]
+
+
+@dataclass
+class PoolStats:
+    """Lifetime counters of one :class:`ShardWorkerPool`."""
+
+    commands: int = 0
+    plans: int = 0
+    crashes: int = 0
+    respawns: int = 0
+    replayed_commands: int = 0
+    cow_copies: int = 0
+    ipc_seconds: float = 0.0
+    worker_seconds: Dict[int, float] = field(default_factory=dict)
+
+
+class _SegmentTable:
+    """Reference-counted shared-memory handles owned by the parent."""
+
+    def __init__(self) -> None:
+        self._refs: Dict[str, list] = {}
+
+    def adopt(self, name: str, segment) -> None:
+        """Register a segment the parent itself created (refcount 1)."""
+        self._refs[name] = [segment, 1]
+
+    def acquire(self, name: str):
+        entry = self._refs.get(name)
+        if entry is None:
+            entry = [attach_segment(name), 0]
+            self._refs[name] = entry
+        entry[1] += 1
+        return entry[0]
+
+    def release(self, name: str) -> None:
+        entry = self._refs.get(name)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._refs[name]
+            try:
+                entry[0].close()
+                entry[0].unlink()
+            except OSError:
+                pass
+
+    def release_all(self) -> None:
+        for name, entry in list(self._refs.items()):
+            try:
+                entry[0].close()
+                entry[0].unlink()
+            except OSError:
+                pass
+        self._refs.clear()
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+
+class ShardWorkerPool:
+    """Owns N shard-worker processes plus the parent-side segment mirror.
+
+    Parameters
+    ----------
+    scores:
+        The initial dense score matrix to shard across workers.
+    shard_rows:
+        Rows per shard (the same granularity as the in-process store).
+    workers:
+        Worker process count (>= 1).
+    start_method:
+        Multiprocessing start method; keep the default ``"spawn"``
+        unless you understand the resource-tracker caveats.
+    command_timeout:
+        Seconds before an unresponsive worker is declared dead.
+    max_respawns:
+        Per-worker crash budget before :class:`WorkerCrashError`.
+    journal_limit:
+        Journaled commands tolerated before an automatic checkpoint
+        (snapshots checkpoint anyway; this bounds sessions that never
+        pin one).
+    """
+
+    def __init__(
+        self,
+        scores: np.ndarray,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        workers: int = 2,
+        start_method: str = DEFAULT_START_METHOD,
+        command_timeout: float = DEFAULT_COMMAND_TIMEOUT,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> None:
+        scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
+        if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
+            raise DimensionError(
+                f"scores must be square, got shape {scores.shape}"
+            )
+        if workers < 1:
+            raise ClusterError(f"workers must be >= 1, got {workers}")
+        if shard_rows <= 0:
+            raise DimensionError(f"shard_rows must be positive: {shard_rows}")
+        self._n = scores.shape[0]
+        self._shard_rows = int(shard_rows)
+        self._prefix = pool_prefix()
+        self._ctx = multiprocessing.get_context(start_method)
+        self.command_timeout = float(command_timeout)
+        self.max_respawns = int(max_respawns)
+        self.journal_limit = max(1, int(journal_limit))
+        self.stats = PoolStats()
+        self.apply_metrics = ApplyMetrics()
+        self._segments = _SegmentTable()
+        self._specs: Dict[int, SegmentSpec] = {}
+        #: Parent-side zero-copy mirror: one read-only ``_Shard`` view
+        #: per global shard, shared (as a list object) with ShardClient.
+        self.mirror_shards: List[_Shard] = []
+        self._workers: List[_WorkerHandle] = []
+        self._journal: List[_JournalEntry] = []
+        self._topk = None
+        self._topk_config: Optional[Tuple[int, int]] = None
+        self._closed = False
+
+        num_shards = -(-self._n // self._shard_rows) if self._n else 0
+        for gid in range(num_shards):
+            base = gid * self._shard_rows
+            rows = min(self._shard_rows, self._n - base)
+            name = f"{self._prefix}s{gid}"
+            segment = create_segment(name, segment_nbytes((rows, self._n)))
+            buffer = ndarray_view(segment, (rows, self._n), writable=True)
+            np.copyto(buffer, scores[base : base + rows])
+            buffer.flags.writeable = False
+            self._segments.adopt(name, segment)
+            self._specs[gid] = SegmentSpec(
+                shard_id=gid,
+                name=name,
+                base=base,
+                rows=rows,
+                rows_cap=rows,
+                cols_cap=self._n,
+            )
+            self.mirror_shards.append(_Shard(base, rows, buffer))
+
+        count = min(int(workers), max(num_shards, 1))
+        bounds = np.linspace(0, num_shards, count + 1).astype(int)
+        for worker_id in range(count):
+            lo, hi = int(bounds[worker_id]), int(bounds[worker_id + 1])
+            self._workers.append(self._spawn(worker_id, lo, hi, 0))
+        self._replay_base = self._capture_base()
+        self._atexit = atexit.register(self.close)
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def shard_rows(self) -> int:
+        return self._shard_rows
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.mirror_shards)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def topk(self):
+        """The pool-backed top-k proxy, or None before configuration."""
+        return self._topk
+
+    def worker_range(self, worker_id: int) -> Tuple[int, int]:
+        handle = self._workers[worker_id]
+        return handle.shard_lo, handle.shard_hi
+
+    def worker_pids(self) -> List[int]:
+        return [handle.process.pid for handle in self._workers]
+
+    def journal_length(self) -> int:
+        """Mutating commands recorded since the last snapshot."""
+        return len(self._journal)
+
+    def live_segments(self) -> int:
+        """Segments currently mapped by the parent (live + pinned)."""
+        return len(self._segments)
+
+    # -------------------------------------------------------------- #
+    # Spawning / recovery
+    # -------------------------------------------------------------- #
+
+    def _spawn(
+        self, worker_id: int, lo: int, hi: int, respawns: int
+    ) -> _WorkerHandle:
+        init = WorkerInit(
+            worker_id=worker_id,
+            # A respawn generation in the prefix guarantees a respawned
+            # worker never reuses a dead incarnation's segment names.
+            prefix=f"{self._prefix}r{respawns}",
+            shard_rows=self._shard_rows,
+            num_nodes=(
+                self._replay_base.num_nodes
+                if respawns and hasattr(self, "_replay_base")
+                else self._n
+            ),
+            shard_lo=lo,
+            shard_hi=hi,
+            segments=[
+                self._base_spec(gid)
+                for gid in range(lo, hi)
+                if self._base_spec(gid) is not None
+            ],
+            topk=(
+                self._replay_base.topk
+                if respawns and hasattr(self, "_replay_base")
+                else self._topk_config
+            ),
+        )
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_loop,
+            args=(child_conn, init),
+            name=f"simrank-shard-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(
+            worker_id=worker_id,
+            process=process,
+            conn=parent_conn,
+            shard_lo=lo,
+            shard_hi=hi,
+            respawns=respawns,
+        )
+
+    def _base_spec(self, gid: int) -> Optional[SegmentSpec]:
+        if hasattr(self, "_replay_base") and self._replay_base is not None:
+            return self._replay_base.segments.get(gid)
+        return self._specs.get(gid)
+
+    def _capture_base(self) -> _ReplayBase:
+        base = _ReplayBase(
+            num_nodes=self._n,
+            ranges={
+                handle.worker_id: (handle.shard_lo, handle.shard_hi)
+                for handle in self._workers
+            },
+            segments=dict(self._specs),
+            topk=self._topk_config,
+        )
+        for spec in base.segments.values():
+            self._segments.acquire(spec.name)
+        return base
+
+    def _drop_base(self) -> None:
+        if getattr(self, "_replay_base", None) is None:
+            return
+        for spec in self._replay_base.segments.values():
+            self._segments.release(spec.name)
+        self._replay_base = None
+
+    def _recover(self, worker_id: int, cmd, journaled: bool):
+        """Respawn a dead worker from the replay base and roll it forward.
+
+        Returns the reply for the in-flight command: for a journaled
+        command that reply is produced naturally by the replay (the
+        journal's last entry *is* the in-flight command); otherwise the
+        command is re-sent to the recovered worker.
+        """
+        handle = self._workers[worker_id]
+        self.stats.crashes += 1
+        if handle.respawns >= self.max_respawns:
+            self.close()
+            raise WorkerCrashError(
+                f"shard worker {worker_id} exceeded its respawn budget "
+                f"({self.max_respawns}); pool closed"
+            )
+        try:
+            handle.process.terminate()
+            handle.process.join(5.0)
+        except Exception:
+            pass
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self.stats.respawns += 1
+
+        # Reset the mirror for this worker's shards to the replay base:
+        # the dead worker's private segments may hold torn writes, but
+        # by the copy-on-write invariant the base segments were never
+        # written after the snapshot.
+        base = self._replay_base
+        base_lo, base_hi = base.ranges[worker_id]
+        current_lo, current_hi = handle.shard_lo, handle.shard_hi
+        for gid in range(current_lo, current_hi):
+            spec = base.segments.get(gid)
+            if spec is None:
+                # Shard born after the base snapshot (node arrival):
+                # drop it; the journal replay re-creates it.
+                old = self._specs.pop(gid, None)
+                if old is not None:
+                    self._segments.release(old.name)
+                continue
+            self._bind_segment(spec)
+        # Mirror entries whose spec was just dropped shrink the list
+        # from the tail until the journal replay re-grows them.
+        while self.mirror_shards and (
+            len(self.mirror_shards) - 1
+        ) not in self._specs:
+            self.mirror_shards.pop()
+
+        new_handle = self._spawn(
+            worker_id, base_lo, base_hi, handle.respawns + 1
+        )
+        self._workers[worker_id] = new_handle
+
+        last_reply = None
+        for entry in self._journal:
+            if worker_id not in entry.workers:
+                continue
+            replay_cmd = entry.command_for(worker_id)
+            try:
+                new_handle.conn.send(replay_cmd)
+                reply = self._recv(new_handle)
+            except _WorkerDied:
+                return self._recover(worker_id, cmd, journaled)
+            if not reply.ok:
+                self.close()
+                raise ClusterError(
+                    f"worker {worker_id} failed during crash replay:\n"
+                    f"{reply.error}"
+                )
+            self._ingest(new_handle, reply)
+            self.stats.replayed_commands += 1
+            last_reply = reply
+        if self._topk is not None:
+            self._topk.mark_shards_dirty(
+                range(new_handle.shard_lo, new_handle.shard_hi)
+            )
+        if journaled:
+            if last_reply is None:
+                raise ClusterError(
+                    "journaled command missing from replay (pool bug)"
+                )
+            return last_reply
+        try:
+            new_handle.conn.send(cmd)
+            reply = self._recv(new_handle)
+        except _WorkerDied:
+            return self._recover(worker_id, cmd, journaled)
+        if not reply.ok:
+            raise ClusterError(
+                f"worker {worker_id} command failed after recovery:\n"
+                f"{reply.error}"
+            )
+        self._ingest(new_handle, reply)
+        return reply
+
+    def _bind_segment(self, spec: SegmentSpec) -> None:
+        """Point the mirror shard for ``spec`` at its segment.
+
+        The single rebind path for both live reply events and
+        crash-recovery base restoration: a same-name spec is a pure
+        geometry update (tail row growth), a new name swaps the mapped
+        segment (acquire new, release old), and a spec one past the
+        mirror tail appends the newborn shard.
+        """
+        gid = spec.shard_id
+        current = self._specs.get(gid)
+        if current is not None and current.name == spec.name:
+            shard = self.mirror_shards[gid]
+            shard.rows = spec.rows
+            shard.base = spec.base
+            self._specs[gid] = spec
+            return
+        segment = self._segments.acquire(spec.name)
+        buffer = ndarray_view(
+            segment, (spec.rows_cap, spec.cols_cap), writable=False
+        )
+        if current is not None:
+            self._segments.release(current.name)
+        self._specs[gid] = spec
+        if gid < len(self.mirror_shards):
+            shard = self.mirror_shards[gid]
+            shard.buffer = buffer
+            shard.rows = spec.rows
+            shard.base = spec.base
+            shard.shared = False
+        elif gid == len(self.mirror_shards):
+            self.mirror_shards.append(_Shard(spec.base, spec.rows, buffer))
+        else:
+            raise ClusterError(
+                f"segment bind for shard {gid} beyond mirror tail "
+                f"{len(self.mirror_shards)} (pool bug)"
+            )
+
+    # -------------------------------------------------------------- #
+    # Command plumbing
+    # -------------------------------------------------------------- #
+
+    def _recv(self, handle: _WorkerHandle):
+        deadline = time.monotonic() + self.command_timeout
+        while True:
+            try:
+                if handle.conn.poll(0.05):
+                    return handle.conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerDied(handle.worker_id)
+            if not handle.process.is_alive():
+                # Drain anything flushed before death.
+                try:
+                    if handle.conn.poll(0):
+                        return handle.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerDied(handle.worker_id)
+            if time.monotonic() >= deadline:
+                try:
+                    handle.process.kill()
+                except Exception:
+                    pass
+                raise _WorkerDied(handle.worker_id)
+
+    def _ingest(self, handle: _WorkerHandle, reply) -> None:
+        """Fold one reply into the mirror, metrics, and top-k state."""
+        for spec in reply.segments:
+            self._bind_segment(spec)
+            if spec.shard_id >= handle.shard_hi:
+                handle.shard_hi = spec.shard_id + 1
+        self.stats.cow_copies += reply.cow_copies
+        self.stats.worker_seconds[handle.worker_id] = (
+            self.stats.worker_seconds.get(handle.worker_id, 0.0)
+            + reply.seconds
+        )
+        if self._topk is not None and reply.topk_changes is not None:
+            self._topk.apply_changes(handle.worker_id, reply.topk_changes)
+
+    def _command(
+        self,
+        worker_ids,
+        cmds,
+        journaled: bool,
+    ) -> Dict[int, object]:
+        """Send one command set and synchronously collect every reply."""
+        if self._closed:
+            raise ClusterError("shard worker pool is closed")
+        worker_ids = tuple(worker_ids)
+        if journaled:
+            self._journal.append(_JournalEntry(workers=worker_ids, cmds=cmds))
+        self.stats.commands += 1
+        command_for = (
+            cmds.__getitem__ if isinstance(cmds, dict) else lambda w: cmds
+        )
+        dead = set()
+        for worker_id in worker_ids:
+            try:
+                self._workers[worker_id].conn.send(command_for(worker_id))
+            except (BrokenPipeError, OSError):
+                dead.add(worker_id)
+        replies: Dict[int, object] = {}
+        # Collect every reply before raising on any failure: leaving an
+        # unread reply on a pipe would desynchronize the strict
+        # request/response protocol for all later commands.
+        first_error: Optional[str] = None
+        for worker_id in worker_ids:
+            handle = self._workers[worker_id]
+            if worker_id in dead:
+                replies[worker_id] = self._recover(
+                    worker_id, command_for(worker_id), journaled
+                )
+                continue
+            try:
+                reply = self._recv(handle)
+            except _WorkerDied:
+                replies[worker_id] = self._recover(
+                    worker_id, command_for(worker_id), journaled
+                )
+                continue
+            if not reply.ok and first_error is None:
+                first_error = f"worker {worker_id} failed:\n{reply.error}"
+            if reply.ok:
+                self._ingest(handle, reply)
+            replies[worker_id] = reply
+        if first_error is not None:
+            raise ClusterError(first_error)
+        if journaled and len(self._journal) >= self.journal_limit:
+            self._auto_checkpoint()
+        return replies
+
+    def _all_workers(self) -> Tuple[int, ...]:
+        return tuple(handle.worker_id for handle in self._workers)
+
+    # -------------------------------------------------------------- #
+    # Executor operations (called by ShardClient)
+    # -------------------------------------------------------------- #
+
+    def _workers_for_plan(self, plan) -> Tuple[int, ...]:
+        """Workers whose row ranges intersect the plan's support unions.
+
+        A worker owning no touched row has nothing to apply *and* no
+        top-k pair to patch, so skipping it is exact — this is the
+        dispatcher's row-routing half of the coalescing bargain.
+        """
+        out = []
+        for handle in self._workers:
+            row_lo = handle.shard_lo * self._shard_rows
+            row_hi = handle.shard_hi * self._shard_rows
+            touched = False
+            for union in (plan.rows_union, plan.cols_union):
+                if union.size == 0:
+                    continue
+                at = int(np.searchsorted(union, row_lo))
+                if at < union.size and int(union[at]) < row_hi:
+                    touched = True
+                    break
+            if touched:
+                out.append(handle.worker_id)
+        return tuple(out)
+
+    def apply_plan(self, plan) -> None:
+        """Fan one update plan out to the owning workers (synchronous)."""
+        targets = self._workers_for_plan(plan)
+        if not targets:
+            return
+        started = time.perf_counter()
+        replies = self._command(targets, ApplyPlanCmd(plan), journaled=True)
+        wall = time.perf_counter() - started
+        per_shard: Dict[int, float] = {}
+        slowest = 0.0
+        for reply in replies.values():
+            for gid, seconds in reply.per_shard_seconds.items():
+                per_shard[gid] = per_shard.get(gid, 0.0) + seconds
+            slowest = max(slowest, reply.seconds)
+        self.apply_metrics.record(per_shard)
+        self.stats.plans += 1
+        self.stats.ipc_seconds += max(0.0, wall - slowest)
+
+    def set_entry(self, row: int, col: int, value: float) -> None:
+        owner = self._owner_of_row(row)
+        self._command((owner,), SetEntryCmd(row, col, value), journaled=True)
+
+    def _owner_of_row(self, row: int) -> int:
+        gid = row // self._shard_rows
+        for handle in self._workers:
+            if handle.shard_lo <= gid < handle.shard_hi:
+                return handle.worker_id
+        raise ClusterError(f"no worker owns row {row} (shard {gid})")
+
+    def _blocks_for(self, handle: _WorkerHandle, matrix: np.ndarray) -> Dict:
+        blocks = {}
+        for gid in range(handle.shard_lo, handle.shard_hi):
+            spec = self._specs[gid]
+            blocks[gid] = np.ascontiguousarray(
+                matrix[spec.base : spec.base + spec.rows]
+            )
+        return blocks
+
+    def add_rows(self, delta: np.ndarray) -> None:
+        cmds = {
+            handle.worker_id: AddRowsCmd(self._blocks_for(handle, delta))
+            for handle in self._workers
+        }
+        self._command(self._all_workers(), cmds, journaled=True)
+        # A dense command pins O(n²) in the journal; anchor immediately
+        # so at most one such payload is ever retained.
+        self._auto_checkpoint()
+
+    def replace_rows(self, scores: np.ndarray) -> None:
+        cmds = {
+            handle.worker_id: ReplaceRowsCmd(self._blocks_for(handle, scores))
+            for handle in self._workers
+        }
+        self._command(self._all_workers(), cmds, journaled=True)
+        self._auto_checkpoint()
+
+    def add_node(self, transitions: Optional[dict] = None) -> int:
+        node = self._n
+        new_n = node + 1
+        tail_gid = node // self._shard_rows
+        last = self._workers[-1]
+        if tail_gid >= len(self.mirror_shards):
+            # A brand-new shard always extends the last worker's slice.
+            last.shard_hi = tail_gid + 1
+            owner = last.worker_id
+        else:
+            owner = self._owner_of_row(node)
+        cmds = {
+            handle.worker_id: AddNodeCmd(
+                num_nodes=new_n,
+                own_tail=(handle.worker_id == owner),
+                shard_hi=handle.shard_hi,
+                transitions=transitions,
+            )
+            for handle in self._workers
+        }
+        self._n = new_n
+        self._command(self._all_workers(), cmds, journaled=True)
+        return node
+
+    def mark_shared(self) -> None:
+        self._command(self._all_workers(), MarkSharedCmd(), journaled=False)
+        for shard in self.mirror_shards:
+            shard.shared = True
+
+    def snapshot_views(self) -> Tuple[List[np.ndarray], List[str]]:
+        """Read-only live-window views + their segment names (post-mark)."""
+        views = []
+        names = []
+        for gid, shard in enumerate(self.mirror_shards):
+            views.append(shard.buffer[: shard.rows, : self._n])
+            names.append(self._specs[gid].name)
+        return views, names
+
+    def pin_segments(self, names) -> None:
+        for name in names:
+            self._segments.acquire(name)
+
+    def release_segments(self, names) -> None:
+        if self._closed:
+            return
+        for name in names:
+            self._segments.release(name)
+
+    def checkpoint(self) -> None:
+        """Make the current state the crash-replay anchor.
+
+        Called after every snapshot: the snapshot's segments are frozen
+        by copy-on-write, so they form a valid base, and the journal up
+        to this point can be discarded.  Only valid when the current
+        segments are write-protected (mark-shared has run since the
+        last write) — callers other than :meth:`ShardClient.snapshot`
+        should use :meth:`_auto_checkpoint`.
+        """
+        self._drop_base()
+        self._replay_base = self._capture_base()
+        self._journal.clear()
+
+    def _auto_checkpoint(self) -> None:
+        """Self-anchored checkpoint: pin the live segments, drop the journal.
+
+        Bounds journal memory for sessions that never snapshot.  The
+        mark-shared round trip freezes the current segments (every
+        later write copy-on-writes away), which is exactly the
+        precondition :meth:`checkpoint` needs.  Amortized cost: at most
+        one extra segment copy per shard per ``journal_limit`` commands.
+        """
+        self.mark_shared()
+        self.checkpoint()
+
+    def configure_topk(self, k: int, capacity: Optional[int] = None):
+        from .client import PoolTopK
+
+        capacity = int(capacity) if capacity is not None else max(2 * k, 16)
+        self._command(
+            self._all_workers(), TopKConfigCmd(k, capacity), journaled=True
+        )
+        self._topk_config = (k, capacity)
+        self._topk = PoolTopK(self, k, capacity)
+        return self._topk
+
+    def topk_rescan(self, shard_ids) -> Dict[int, list]:
+        """Re-scan dirty shards on their owners; return their candidates."""
+        by_worker: Dict[int, List[int]] = {}
+        for gid in shard_ids:
+            for handle in self._workers:
+                if handle.shard_lo <= gid < handle.shard_hi:
+                    by_worker.setdefault(handle.worker_id, []).append(gid)
+                    break
+        out: Dict[int, list] = {}
+        for worker_id, gids in by_worker.items():
+            replies = self._command(
+                (worker_id,), TopKRescanCmd(gids), journaled=False
+            )
+            out.update(replies[worker_id].data)
+        return out
+
+    def worker_metrics(self) -> List[dict]:
+        replies = self._command(
+            self._all_workers(), MetricsCmd(), journaled=False
+        )
+        return [replies[w].data for w in sorted(replies)]
+
+    def ping(self) -> bool:
+        self._command(self._all_workers(), PingCmd(), journaled=False)
+        return True
+
+    def apply_report(self) -> dict:
+        """Executor gauges: per-shard/per-worker apply time vs IPC."""
+        report = {
+            "mode": "process",
+            "workers": self.num_workers,
+        }
+        report.update(self.apply_metrics.report())
+        report.update(
+            {
+                "per_worker_seconds": {
+                    str(w): s
+                    for w, s in sorted(self.stats.worker_seconds.items())
+                },
+                "ipc_seconds": self.stats.ipc_seconds,
+                "commands": self.stats.commands,
+                "crashes": self.stats.crashes,
+                "respawns": self.stats.respawns,
+                "replayed_commands": self.stats.replayed_commands,
+                "journal_length": self.journal_length(),
+                "live_segments": self.live_segments(),
+            }
+        )
+        return report
+
+    # -------------------------------------------------------------- #
+    # Shutdown
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Stop every worker and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            try:
+                handle.conn.send(ShutdownCmd())
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._workers:
+            try:
+                if handle.conn.poll(1.0):
+                    handle.conn.recv()
+            except (EOFError, OSError):
+                pass
+            handle.process.join(2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(2.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._segments.release_all()
+        sweep_segments(self._prefix)
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorkerPool(n={self._n}, workers={self.num_workers}, "
+            f"shards={self.num_shards}, closed={self._closed})"
+        )

@@ -1,0 +1,91 @@
+"""Shared-memory segment plumbing for the shard-worker pool.
+
+Score shards crossing the process boundary live in named
+:class:`multiprocessing.shared_memory.SharedMemory` segments: workers
+apply update plans into them, and the parent maps the same segments so
+snapshot reads are **zero-copy** — pinning a view never ships a byte
+over a pipe.  Copy-on-write works by *segment replacement*: a worker
+that must write a snapshot-pinned shard creates a fresh segment, copies
+the shard into it, and reports the new name in its reply; the parent
+keeps the old segment mapped for as long as any snapshot references it.
+
+Lifecycle rules (these matter — the stdlib resource tracker would
+otherwise unlink segments out from under live readers):
+
+* The **parent owns every segment's lifetime**: it explicitly unlinks a
+  segment when the last reference (live mirror, snapshot pin, or
+  replay base) drops.
+* Workers spawned through a :mod:`multiprocessing` context **share the
+  parent's resource-tracker process** (the tracker fd rides in the
+  spawn preparation data), which gives exactly the semantics the pool
+  needs with no extra bookkeeping: a SIGKILL'd worker cannot trigger
+  any unlink (the shared tracker outlives it), every create/attach
+  registration lands in the one shared cache, and ``/dev/shm`` is still
+  swept by the tracker if the whole process tree dies.  Do **not**
+  manually unregister segments anywhere — the cache is shared, so a
+  worker-side unregister would erase the parent's crash-cleanup entry.
+* Segment names share a per-pool prefix so :func:`sweep_segments` can
+  remove anything a crashed worker managed to create but never report.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+_FLOAT_DTYPE = np.float64
+
+
+def pool_prefix() -> str:
+    """A process-unique segment-name prefix for one pool instance."""
+    return f"repro{os.getpid():x}x{os.urandom(4).hex()}"
+
+
+def create_segment(name: str, nbytes: int) -> shared_memory.SharedMemory:
+    """Create a named zero-filled segment of at least ``nbytes``."""
+    return shared_memory.SharedMemory(name=name, create=True, size=max(1, int(nbytes)))
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment by name."""
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+def ndarray_view(
+    segment: shared_memory.SharedMemory, shape: Tuple[int, int], writable: bool
+) -> np.ndarray:
+    """A C-ordered float64 array over the segment's buffer."""
+    view = np.ndarray(shape, dtype=_FLOAT_DTYPE, buffer=segment.buf)
+    view.flags.writeable = writable
+    return view
+
+
+def segment_nbytes(shape: Tuple[int, int]) -> int:
+    """Bytes needed for a float64 array of ``shape``."""
+    return int(np.prod(shape, dtype=np.int64)) * np.dtype(_FLOAT_DTYPE).itemsize
+
+
+def sweep_segments(prefix: str) -> int:
+    """Best-effort removal of leftover segments with ``prefix`` (Linux).
+
+    Covers the narrow crash window where a worker created a
+    copy-on-write segment but died before reporting its name: nothing
+    references it, so the pool sweeps by name prefix at close time.
+    Returns the number of segments removed.
+    """
+    removed = 0
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return removed
+    for entry in os.listdir(shm_dir):
+        if not entry.startswith(prefix):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+            removed += 1
+        except OSError:
+            pass
+    return removed

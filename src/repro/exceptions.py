@@ -58,6 +58,25 @@ class BackpressureError(ReproError, RuntimeError):
     """
 
 
+class ClusterError(ReproError, RuntimeError):
+    """The multi-process shard-worker pool failed an operation.
+
+    Raised by :mod:`repro.cluster` when a worker process reports an
+    application error, when the pool is used after :meth:`close`, or
+    when a command cannot be delivered.
+    """
+
+
+class WorkerCrashError(ClusterError):
+    """A shard worker died and could not be respawned within the limit.
+
+    A *single* crash is handled transparently (the pool respawns the
+    worker and replays its shards from the last published snapshot);
+    this error means the respawn budget was exhausted, so the pool can
+    no longer guarantee the shard state and the caller must rebuild.
+    """
+
+
 class DimensionError(ReproError, ValueError):
     """A matrix or vector argument has an incompatible shape."""
 

@@ -30,7 +30,9 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +44,51 @@ from ..exceptions import DimensionError
 DEFAULT_SHARD_ROWS = 512
 
 _FLOAT_DTYPE = np.float64
+
+
+@dataclass
+class ApplyMetrics:
+    """Per-shard apply wall-time gauges of one score-store executor.
+
+    ``per_shard_seconds`` accumulates the scatter wall time each shard
+    paid across all applied plans; ``last_per_shard_seconds`` holds the
+    breakdown of the most recent plan only.  The cluster bench uses
+    these to attribute drain latency to shard application versus IPC:
+    the in-process store reports pure scatter time here, and the
+    process-pool client reports per-worker apply time next to the
+    measured round-trip overhead.
+    """
+
+    plans: int = 0
+    seconds: float = 0.0
+    per_shard_seconds: Dict[int, float] = field(default_factory=dict)
+    last_plan_seconds: float = 0.0
+    last_per_shard_seconds: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, per_shard: Dict[int, float]) -> None:
+        """Fold one plan's per-shard timings into the gauges."""
+        self.plans += 1
+        total = sum(per_shard.values())
+        self.seconds += total
+        self.last_plan_seconds = total
+        self.last_per_shard_seconds = dict(per_shard)
+        for shard_id, seconds in per_shard.items():
+            self.per_shard_seconds[shard_id] = (
+                self.per_shard_seconds.get(shard_id, 0.0) + seconds
+            )
+
+    def report(self) -> dict:
+        """JSON-friendly summary (keys stringified for serialization)."""
+        return {
+            "plans": self.plans,
+            "apply_seconds": self.seconds,
+            "mean_plan_seconds": self.seconds / self.plans if self.plans else 0.0,
+            "last_plan_seconds": self.last_plan_seconds,
+            "per_shard_seconds": {
+                str(shard): seconds
+                for shard, seconds in sorted(self.per_shard_seconds.items())
+            },
+        }
 
 
 class _Shard:
@@ -156,6 +203,10 @@ class ScoreStore:
         self.version = 0
         #: Shard buffers cloned by copy-on-write since construction.
         self.cow_copies = 0
+        #: Per-shard apply wall-time gauges (see :class:`ApplyMetrics`).
+        self.apply_metrics = ApplyMetrics()
+        #: Scratch for the per-shard timing of the plan being applied.
+        self._shard_timing: Dict[int, float] = {}
         for base in range(0, self._n, self._shard_rows):
             rows = min(self._shard_rows, self._n - base)
             # order="C" is load-bearing: np.array's default order="K"
@@ -223,6 +274,26 @@ class ScoreStore:
     def topk(self):
         """The attached shard-local top-k index, or None."""
         return self._topk
+
+    def make_topk_index(self, k: int):
+        """Build (and attach) the top-k index matching this executor.
+
+        The in-process store answers with a
+        :class:`~repro.executor.topk_index.ShardTopK` over its own
+        shards; the process-pool :class:`~repro.cluster.ShardClient`
+        overrides this to hand out a pool-backed index whose heaps live
+        in the workers.  The engine routes ``top_k`` through this hook
+        so it never needs to know which executor owns the shards.
+        """
+        from .topk_index import ShardTopK
+
+        return ShardTopK(self, k=k)
+
+    def apply_report(self) -> dict:
+        """Executor-side apply gauges (mode + per-shard wall time)."""
+        report = {"mode": "inproc", "workers": 0}
+        report.update(self.apply_metrics.report())
+        return report
 
     def entry(self, row: int, col: int) -> float:
         """One score ``[S]_{row,col}``."""
@@ -317,11 +388,29 @@ class ScoreStore:
             return
         left, right = plan.panels()
         block = left @ right.T
+        self._shard_timing = {}
         self._scatter_add(plan.rows_union, plan.cols_union, block)
         self._scatter_add(plan.cols_union, plan.rows_union, block.T)
+        self.apply_metrics.record(self._shard_timing)
         self.version += 1
         if self._topk is not None:
             self._topk.on_plan(plan)
+
+    def _scatter_shard(
+        self,
+        shard: _Shard,
+        shard_id: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        block: np.ndarray,
+    ) -> None:
+        """One shard's slice of the scatter, timed into the apply gauges."""
+        started = time.perf_counter()
+        buffer = self._writable(shard)
+        buffer[np.ix_(rows - shard.base, cols)] += block
+        self._shard_timing[shard_id] = self._shard_timing.get(
+            shard_id, 0.0
+        ) + (time.perf_counter() - started)
 
     def _scatter_add(
         self, rows: np.ndarray, cols: np.ndarray, block: np.ndarray
@@ -332,9 +421,7 @@ class ScoreStore:
         first = int(rows[0]) // self._shard_rows
         last = int(rows[-1]) // self._shard_rows
         if first == last:
-            shard = self._shards[first]
-            buffer = self._writable(shard)
-            buffer[np.ix_(rows - shard.base, cols)] += block
+            self._scatter_shard(self._shards[first], first, rows, cols, block)
             return
         bounds = np.searchsorted(
             rows,
@@ -345,9 +432,13 @@ class ScoreStore:
             lo, hi = int(segments[offset]), int(segments[offset + 1])
             if lo == hi:
                 continue
-            shard = self._shards[shard_id]
-            buffer = self._writable(shard)
-            buffer[np.ix_(rows[lo:hi] - shard.base, cols)] += block[lo:hi]
+            self._scatter_shard(
+                self._shards[shard_id],
+                shard_id,
+                rows[lo:hi],
+                cols,
+                block[lo:hi],
+            )
 
     def add_dense(self, delta: np.ndarray) -> None:
         """``S += delta`` shard by shard (the unpruned Inc-uSR path)."""

@@ -57,6 +57,10 @@ from .workspace import UpdateWorkspace
 
 ALGORITHMS = ("inc-sr", "inc-usr", "batch")
 
+#: Score-store executors: in-process row-block shards, or a
+#: :mod:`repro.cluster` pool of shard worker processes.
+EXECUTORS = ("inproc", "process")
+
 
 @dataclass
 class UpdateStats:
@@ -96,6 +100,18 @@ class DynamicSimRank:
     shard_rows:
         Row-block size of the sharded score store (default
         :data:`~repro.executor.score_store.DEFAULT_SHARD_ROWS`).
+    executor:
+        ``"inproc"`` (default) keeps ``S`` in this process;
+        ``"process"`` shards it across a :mod:`repro.cluster` pool of
+        worker processes — plans fan out over pipes, reads and
+        snapshots stay zero-copy through shared memory, and results
+        are bit-identical to the in-process executor.
+    workers:
+        Worker-process count for the ``"process"`` executor (>= 1;
+        ignored otherwise).
+    start_method:
+        Multiprocessing start method override for the pool (the
+        default, ``spawn``, is the only one promised correct).
     """
 
     def __init__(
@@ -106,14 +122,22 @@ class DynamicSimRank:
         initial_scores: Optional[np.ndarray] = None,
         paranoid: bool = False,
         shard_rows: int = DEFAULT_SHARD_ROWS,
+        executor: str = "inproc",
+        workers: int = 2,
+        start_method: Optional[str] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
+        if executor not in EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
         self._config = default_config(config)
         self._graph = graph.copy()
         self._algorithm = algorithm
+        self._executor = executor
         self._paranoid = bool(paranoid)
         self._store = TransitionStore.from_graph(self._graph)
         self._workspace = UpdateWorkspace(self._graph.num_nodes)
@@ -126,7 +150,19 @@ class DynamicSimRank:
                 raise GraphError(
                     f"initial_scores shape {scores.shape} != ({n}, {n})"
                 )
-        self._scores = ScoreStore(scores, shard_rows=shard_rows)
+        if executor == "process":
+            from ..cluster import build_client
+
+            self._scores = build_client(
+                scores,
+                shard_rows=shard_rows,
+                workers=workers,
+                start_method=start_method,
+            )
+            # Topology changes ship the packed Q payload to workers.
+            self._scores.transition_exporter = self._store.export_packed
+        else:
+            self._scores = ScoreStore(scores, shard_rows=shard_rows)
         self._topk_index = None
         self._history: List[UpdateStats] = []
         self._version = 0
@@ -144,6 +180,28 @@ class DynamicSimRank:
     def algorithm(self) -> str:
         """The configured update algorithm."""
         return self._algorithm
+
+    @property
+    def executor(self) -> str:
+        """Which executor owns the score shards (``inproc``/``process``)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, shared memory).
+
+        A no-op for the in-process executor; idempotent.  The engine
+        must not be used after closing when running on the process
+        executor.
+        """
+        closer = getattr(self._scores, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "DynamicSimRank":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def graph(self) -> DynamicDiGraph:
@@ -218,9 +276,9 @@ class DynamicSimRank:
                 self._scores.iter_shard_blocks(), k, include_self=True
             )
         if self._topk_index is None or k > self._topk_index.capacity:
-            from ..executor.topk_index import ShardTopK
-
-            self._topk_index = ShardTopK(self._scores, k=k)
+            # The executor hands out the matching index: shard heaps in
+            # this process, or a pool-backed mirror over worker heaps.
+            self._topk_index = self._scores.make_topk_index(k)
         return self._topk_index.top_k(k)
 
     # ------------------------------------------------------------------ #

@@ -65,6 +65,14 @@ class UpdateScheduler:
     def __init__(self) -> None:
         self._groups: Dict[int, _TargetGroup] = {}
         self._pending = 0
+        #: Targets whose group currently holds a net change — maintained
+        #: incrementally so every target-level question is O(1): the
+        #: backpressure fast path (:meth:`has_pending_target`), the
+        #: :attr:`pending_targets` gauge (previously an O(#targets)
+        #: scan per metrics read), and the cluster pool's dispatcher,
+        #: which reads :attr:`active_targets` to size drain batches
+        #: without re-walking the queue.
+        self._active: set = set()
         self.stats = SchedulerStats()
 
     def __len__(self) -> int:
@@ -77,12 +85,18 @@ class UpdateScheduler:
 
     @property
     def pending_targets(self) -> int:
-        """Distinct target rows the pending updates will touch."""
-        return sum(
-            1
-            for group in self._groups.values()
-            if group.added or group.removed
-        )
+        """Distinct target rows the pending updates will touch (O(1))."""
+        return len(self._active)
+
+    @property
+    def active_targets(self) -> frozenset:
+        """The distinct pending target rows (a frozen O(1)-maintained view).
+
+        One drained row group is produced per member, so consumers —
+        the cluster dispatcher sizing a drain, metrics, tests — read
+        this instead of scanning the queue.
+        """
+        return frozenset(self._active)
 
     def submit(self, update: EdgeUpdate) -> None:
         """Enqueue one edge update, cancelling against pending inverses."""
@@ -106,17 +120,20 @@ class UpdateScheduler:
             elif update.source not in group.removed:
                 group.removed[update.source] = None
                 self._pending += 1
+        if group.added or group.removed:
+            self._active.add(update.target)
+        else:
+            self._active.discard(update.target)
 
     def has_pending_target(self, target: int) -> bool:
-        """Whether any net change to ``target``'s row is queued.
+        """Whether any net change to ``target``'s row is queued (O(1)).
 
         Used by the ``drop-coalesce`` backpressure policy: an update
         whose target already has a pending row group coalesces into it
         (or cancels a queued inverse) without adding a new kernel run,
         so it is accepted even when the queue is at capacity.
         """
-        group = self._groups.get(target)
-        return bool(group and (group.added or group.removed))
+        return target in self._active
 
     def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Enqueue a stream of updates."""
@@ -142,6 +159,7 @@ class UpdateScheduler:
             for source in group.added:
                 updates.append(EdgeUpdate.insert(source, target))
         self._groups.clear()
+        self._active.clear()
         self._pending = 0
         self.stats.drained_updates += len(updates)
         self.stats.drained_groups += groups

@@ -117,6 +117,18 @@ class TestCommands:
         assert "still serves the frozen version: yes" in out
         assert "fresh snapshot v1 top pairs" in out
 
+    def test_serve_process_executor(self, edges_file, updates_file, capsys):
+        assert (
+            main(
+                ["serve", edges_file, updates_file, "-k", "3", "--workers", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "process executor" in out
+        assert "shard workers" in out
+        assert "still serves the frozen version: yes" in out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

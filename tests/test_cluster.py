@@ -1,0 +1,409 @@
+"""Multi-process shard-worker pool: equivalence, snapshots, crash replay.
+
+The in-process executor is the oracle throughout: the pool must produce
+bit-identical scores, rankings, and snapshots for identical drain
+sequences, keep pinned readers frozen across worker crashes, and come
+back from a SIGKILL via snapshot + journal replay.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.cluster import ShardClient, ShardWorkerPool
+from repro.executor.score_store import ScoreStore
+from repro.exceptions import ClusterError
+from repro.graph.generators import erdos_renyi_digraph
+from repro.incremental.engine import DynamicSimRank
+from repro.metrics.topk import top_k_pairs
+from repro.serving import SimRankService
+from repro.simrank.matrix import matrix_simrank
+
+from _streams import random_update_stream
+
+CFG = SimRankConfig(damping=0.6, iterations=8)
+
+
+def _scores_for(graph, config=CFG):
+    return matrix_simrank(graph, config)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A shared mid-size graph + precomputed scores + update stream."""
+    graph = erdos_renyi_digraph(150, 0.04, seed=11)
+    scores = _scores_for(graph)
+    updates = random_update_stream(graph, 110, seed=13)
+    return graph, scores, updates
+
+
+# ------------------------------------------------------------------ #
+# Pool / client basics
+# ------------------------------------------------------------------ #
+
+
+class TestPoolBasics:
+    def test_reads_match_in_process_store(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        scores = rng.random((n, n))
+        ref = ScoreStore(scores, shard_rows=16)
+        with ShardWorkerPool(scores, shard_rows=16, workers=2) as pool:
+            client = ShardClient(pool)
+            assert client.shape == ref.shape
+            assert np.array_equal(client.to_array(), ref.to_array())
+            assert client.entry(3, 7) == ref.entry(3, 7)
+            assert np.array_equal(client.row(9), ref.row(9))
+            assert np.array_equal(client.column(21), ref.column(21))
+            assert np.array_equal(client[:, 5], ref[:, 5])
+            vec = rng.random(n)
+            assert np.array_equal(client.matvec(vec), ref.matvec(vec))
+            blocks = list(client.iter_shard_blocks())
+            assert len(blocks) == ref.num_shards
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(Exception):
+            ShardWorkerPool(np.zeros((3, 4)), workers=1)
+        with pytest.raises(ClusterError):
+            ShardWorkerPool(np.zeros((4, 4)), workers=0)
+
+    def test_closed_pool_refuses_commands(self):
+        pool = ShardWorkerPool(np.zeros((8, 8)), shard_rows=4, workers=1)
+        pool.close()
+        with pytest.raises(ClusterError):
+            pool.ping()
+        pool.close()  # idempotent
+
+
+# ------------------------------------------------------------------ #
+# Engine-level equivalence
+# ------------------------------------------------------------------ #
+
+
+class TestEngineEquivalence:
+    def test_unit_updates_bit_identical(self, workload):
+        graph, scores, updates = workload
+        ref = DynamicSimRank(graph, CFG, initial_scores=scores)
+        with DynamicSimRank(
+            graph, CFG, initial_scores=scores, executor="process", workers=2
+        ) as engine:
+            for update in updates[:25]:
+                ref.apply(update)
+                engine.apply(update)
+            assert np.array_equal(
+                engine.similarities(), ref.similarities()
+            )
+            assert engine.top_k(10) == ref.top_k(10)
+
+    def test_add_node_and_self_score(self):
+        graph = erdos_renyi_digraph(40, 0.06, seed=3)
+        scores = _scores_for(graph)
+        ref = DynamicSimRank(graph, CFG, initial_scores=scores)
+        with DynamicSimRank(
+            graph,
+            CFG,
+            initial_scores=scores,
+            executor="process",
+            workers=2,
+            shard_rows=16,
+        ) as engine:
+            for _ in range(3):
+                assert engine.add_node() == ref.add_node()
+            assert np.array_equal(engine.similarities(), ref.similarities())
+            # Workers received the packed transition payload.
+            versions = {
+                metrics["transition_version"]
+                for metrics in engine.score_store.worker_metrics()
+            }
+            assert versions == {engine.transition_store.version}
+
+    def test_batch_and_inc_usr_paths(self):
+        graph = erdos_renyi_digraph(40, 0.06, seed=5)
+        scores = _scores_for(graph)
+        updates = random_update_stream(graph, 4, seed=6)
+        for algorithm in ("inc-usr", "batch"):
+            ref = DynamicSimRank(
+                graph, CFG, algorithm=algorithm, initial_scores=scores
+            )
+            with DynamicSimRank(
+                graph,
+                CFG,
+                algorithm=algorithm,
+                initial_scores=scores,
+                executor="process",
+                workers=2,
+                shard_rows=16,
+            ) as engine:
+                for update in updates:
+                    ref.apply(update)
+                    engine.apply(update)
+                assert np.array_equal(
+                    engine.similarities(), ref.similarities()
+                )
+
+
+# ------------------------------------------------------------------ #
+# Service-level equivalence (the acceptance scenario)
+# ------------------------------------------------------------------ #
+
+
+class TestServiceEquivalence:
+    def test_hundred_mixed_updates_bit_identical(self, workload):
+        """>=100 mixed updates drained on the pool == in-process, bitwise."""
+        graph, scores, updates = workload
+        assert len(updates) >= 100
+        ref = SimRankService(graph, CFG, initial_scores=scores, shard_rows=32)
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            chunk = 10
+            for begin in range(0, len(updates), chunk):
+                part = updates[begin : begin + chunk]
+                ref.submit_many(part)
+                service.submit_many(part)
+                ref.drain()
+                service.drain()
+            assert np.array_equal(
+                service.engine.similarities(), ref.engine.similarities()
+            )
+            assert service.top_k(10) == ref.top_k(10)
+            expected = top_k_pairs(ref.engine.similarities(), 10)
+            assert service.top_k(10) == expected
+            view_ref = ref.snapshot()
+            view_pool = service.snapshot()
+            assert view_pool.top_k(10) == view_ref.top_k(10)
+            assert np.array_equal(
+                view_pool.similarities(), view_ref.similarities()
+            )
+            assert view_pool.single_pair(3, 5) == view_ref.single_pair(3, 5)
+        finally:
+            ref.close()
+            service.close()
+
+    def test_snapshot_isolation_across_drains(self, workload):
+        graph, scores, updates = workload
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            pinned = service.snapshot()
+            frozen = pinned.similarities()
+            frozen_top = pinned.top_k(10)
+            service.submit_many(updates[:40])
+            service.drain()
+            assert np.array_equal(pinned.similarities(), frozen)
+            assert pinned.top_k(10) == frozen_top
+            fresh = service.snapshot()
+            assert fresh.version > pinned.version
+            assert not np.array_equal(fresh.similarities(), frozen)
+        finally:
+            service.close()
+
+    def test_background_writer_over_pool(self, workload):
+        graph, scores, updates = workload
+        with SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+            writer="background",
+            drain_interval=0.002,
+        ) as service:
+            pinned = service.snapshot()
+            frozen = pinned.similarities()
+            service.submit_many(updates)
+            assert service.flush(timeout=180.0)
+            assert np.array_equal(pinned.similarities(), frozen)
+            ranking = service.top_k(10)
+            assert ranking == top_k_pairs(service.engine.similarities(), 10)
+            report = service.metrics_report()
+            assert report["executor"]["mode"] == "process"
+            assert report["executor"]["workers"] == 2
+            assert report["executor"]["plans"] > 0
+
+
+# ------------------------------------------------------------------ #
+# Worker crash: respawn + replay, exactly-once for readers
+# ------------------------------------------------------------------ #
+
+
+class TestWorkerCrash:
+    def test_kill_mid_stream_replays_bit_identical(self, workload):
+        graph, scores, updates = workload
+        ref = SimRankService(graph, CFG, initial_scores=scores, shard_rows=32)
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            pool = service.engine.score_store.pool
+            chunk = 10
+            killed = False
+            pinned = None
+            frozen = None
+            frozen_top = None
+            for begin in range(0, len(updates), chunk):
+                part = updates[begin : begin + chunk]
+                ref.submit_many(part)
+                service.submit_many(part)
+                ref.drain()
+                service.drain()
+                if begin == 2 * chunk:
+                    # Pin a reader, then SIGKILL a worker mid-stream.
+                    pinned = service.snapshot()
+                    frozen = pinned.similarities()
+                    frozen_top = pinned.top_k(10)
+                if begin == 3 * chunk and not killed:
+                    os.kill(pool.worker_pids()[0], signal.SIGKILL)
+                    killed = True
+            assert killed
+            assert pool.stats.crashes >= 1
+            assert pool.stats.respawns >= 1
+            # The respawned worker replayed to the bit-identical state.
+            assert np.array_equal(
+                service.engine.similarities(), ref.engine.similarities()
+            )
+            assert service.top_k(10) == ref.top_k(10)
+            # The pinned reader never saw a torn byte.
+            assert np.array_equal(pinned.similarities(), frozen)
+            assert pinned.top_k(10) == frozen_top
+        finally:
+            ref.close()
+            service.close()
+
+    def test_kill_during_background_drain(self, workload):
+        """A worker SIGKILL while the background writer drains is invisible
+        to pinned readers and to final ranking correctness."""
+        graph, scores, updates = workload
+        with SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+            writer="background",
+            drain_interval=0.001,
+        ) as service:
+            pool = service.engine.score_store.pool
+            pinned = service.snapshot()
+            frozen = pinned.similarities()
+            service.submit_many(updates[:50])
+            # Kill while the writer thread is (very likely) mid-drain.
+            os.kill(pool.worker_pids()[1], signal.SIGKILL)
+            service.submit_many(updates[50:])
+            assert service.flush(timeout=180.0)
+            assert pool.stats.crashes >= 1
+            assert np.array_equal(pinned.similarities(), frozen)
+            ranking = service.top_k(10)
+            assert ranking == top_k_pairs(service.engine.similarities(), 10)
+
+    def test_respawn_budget_exhaustion(self):
+        scores = np.zeros((16, 16))
+        pool = ShardWorkerPool(
+            scores, shard_rows=8, workers=1, max_respawns=0
+        )
+        try:
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(ClusterError):
+                pool.ping()
+        finally:
+            pool.close()
+
+
+# ------------------------------------------------------------------ #
+# Metrics plumbing
+# ------------------------------------------------------------------ #
+
+
+class TestClusterMetrics:
+    def test_apply_report_attributes_latency(self, workload):
+        graph, scores, updates = workload
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            service.submit_many(updates[:20])
+            service.drain()
+            report = service.metrics_report()["executor"]
+            assert report["mode"] == "process"
+            assert report["workers"] == 2
+            assert report["plans"] > 0
+            assert report["apply_seconds"] > 0.0
+            assert report["per_shard_seconds"]
+            assert report["per_worker_seconds"]
+            assert report["ipc_seconds"] >= 0.0
+        finally:
+            service.close()
+
+
+class TestJournalBounds:
+    """The crash-replay journal must stay bounded without snapshots."""
+
+    def test_auto_checkpoint_caps_journal(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random((32, 32))
+        pool = ShardWorkerPool(
+            scores, shard_rows=8, workers=2, journal_limit=4
+        )
+        try:
+            client = ShardClient(pool)
+            ref = ScoreStore(scores, shard_rows=8)
+            for step in range(20):
+                row, col = int(rng.integers(32)), int(rng.integers(32))
+                value = float(rng.random())
+                client.set_entry(row, col, value)
+                ref.set_entry(row, col, value)
+                assert pool.journal_length() < 4
+            # Crash replay still works from the auto-checkpointed base.
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            client.set_entry(1, 2, 0.125)
+            ref.set_entry(1, 2, 0.125)
+            assert pool.stats.respawns == 1
+            assert np.array_equal(client.to_array(), ref.to_array())
+        finally:
+            pool.close()
+
+    def test_dense_commands_checkpoint_immediately(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random((24, 24))
+        pool = ShardWorkerPool(scores, shard_rows=8, workers=2)
+        try:
+            client = ShardClient(pool)
+            ref = ScoreStore(scores, shard_rows=8)
+            for _ in range(3):
+                delta = rng.random((24, 24))
+                client.add_dense(delta)
+                ref.add_dense(delta)
+                # The O(n^2) payload is never retained in the journal.
+                assert pool.journal_length() == 0
+            assert np.array_equal(client.to_array(), ref.to_array())
+        finally:
+            pool.close()

@@ -283,3 +283,81 @@ class TestService:
         ):
             assert key in report
         assert report["score_shared_shards"] == 3
+
+
+class TestTargetIndex:
+    """The scheduler's O(1)-maintained target index (replaces the scan)."""
+
+    def test_pending_targets_tracks_random_churn(self):
+        rng = np.random.default_rng(42)
+        scheduler = UpdateScheduler()
+        # Shadow model: recompute the active-target set from scratch.
+        for _ in range(500):
+            source = int(rng.integers(6))
+            target = int(rng.integers(6))
+            if source == target:
+                continue
+            if rng.random() < 0.5:
+                scheduler.submit(EdgeUpdate.insert(source, target))
+            else:
+                scheduler.submit(EdgeUpdate.delete(source, target))
+            expected = {
+                t for (t, adds, removes) in scheduler.peek()
+            }
+            assert scheduler.active_targets == expected
+            assert scheduler.pending_targets == len(expected)
+            for t in range(6):
+                assert scheduler.has_pending_target(t) == (t in expected)
+
+    def test_cancellation_clears_target(self):
+        scheduler = UpdateScheduler()
+        scheduler.submit(EdgeUpdate.insert(1, 2))
+        assert scheduler.has_pending_target(2)
+        assert scheduler.pending_targets == 1
+        scheduler.submit(EdgeUpdate.delete(1, 2))
+        assert not scheduler.has_pending_target(2)
+        assert scheduler.pending_targets == 0
+        assert scheduler.active_targets == frozenset()
+
+    def test_drain_resets_index(self):
+        scheduler = UpdateScheduler()
+        scheduler.submit(EdgeUpdate.insert(1, 2))
+        scheduler.submit(EdgeUpdate.insert(3, 4))
+        assert scheduler.pending_targets == 2
+        scheduler.drain()
+        assert scheduler.pending_targets == 0
+        assert scheduler.active_targets == frozenset()
+        assert not scheduler.has_pending_target(2)
+
+
+class TestApplyMetrics:
+    """Per-shard apply wall-time gauges on the executor surface."""
+
+    def test_score_store_records_per_shard_seconds(self):
+        config = SimRankConfig(damping=0.6, iterations=8)
+        graph = erdos_renyi_digraph(60, 0.06, seed=8)
+        service = SimRankService(graph, config, shard_rows=16)
+        service.submit_many(_random_stream(graph, 12, seed=9))
+        service.drain()
+        store = service.engine.score_store
+        assert store.apply_metrics.plans > 0
+        assert store.apply_metrics.seconds > 0.0
+        assert store.apply_metrics.per_shard_seconds
+        report = store.apply_report()
+        assert report["mode"] == "inproc"
+        assert report["plans"] == store.apply_metrics.plans
+        assert set(report["per_shard_seconds"]) <= {
+            str(i) for i in range(store.num_shards)
+        }
+
+    def test_metrics_report_exposes_executor_section(self):
+        config = SimRankConfig(damping=0.6, iterations=8)
+        graph = erdos_renyi_digraph(40, 0.08, seed=10)
+        service = SimRankService(graph, config, shard_rows=16)
+        service.submit_many(_random_stream(graph, 6, seed=11))
+        service.drain()
+        executor = service.metrics_report()["executor"]
+        assert executor["mode"] == "inproc"
+        assert executor["workers"] == 0
+        assert executor["apply_seconds"] > 0.0
+        assert executor["mean_plan_seconds"] > 0.0

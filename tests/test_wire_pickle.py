@@ -1,0 +1,167 @@
+"""Pickle round trips for everything that crosses the process boundary.
+
+The cluster subsystem ships :class:`UpdatePlan` objects, packed
+transition payloads, frozen transition snapshots, and per-shard top-k
+heap state between processes.  These property tests pin the wire
+contract: a ``pickle.loads(pickle.dumps(x))`` round trip must preserve
+apply semantics and ranking results exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.executor.score_store import ScoreStore
+from repro.executor.topk_index import ShardTopK
+from repro.graph.generators import erdos_renyi_digraph
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.incremental.plan import apply_plan_dense, plan_unit_update
+from repro.linalg.qstore import TransitionSnapshot, TransitionStore
+from repro.metrics.topk import top_k_pairs
+from repro.simrank.matrix import matrix_simrank
+
+from _streams import random_update_stream
+
+CFG = SimRankConfig(damping=0.6, iterations=8)
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def _plans_for(graph, count, seed):
+    """Plan ``count`` valid unit updates against a live session."""
+    store = TransitionStore.from_graph(graph)
+    scores = ScoreStore(matrix_simrank(graph, CFG), shard_rows=32)
+    live = graph.copy()
+    plans = []
+    for update in random_update_stream(graph, count, seed=seed):
+        plan = plan_unit_update(store, scores, update, live, CFG)
+        plans.append((plan, live.num_nodes))
+        scores.apply_plan(plan)
+        update.apply_to(live)
+        store.apply_update(update)
+    return plans
+
+
+class TestUpdatePlanPickle:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_apply_semantics_preserved(self, seed):
+        graph = erdos_renyi_digraph(60, 0.05, seed=seed)
+        for plan, n in _plans_for(graph, 8, seed=seed + 100):
+            clone = _roundtrip(plan)
+            direct = apply_plan_dense(np.zeros((n, n)), plan)
+            wired = apply_plan_dense(np.zeros((n, n)), clone)
+            assert np.array_equal(direct, wired)
+            assert clone.target == plan.target
+            assert clone.rank == plan.rank
+            assert np.array_equal(clone.rows_union, plan.rows_union)
+            assert np.array_equal(clone.cols_union, plan.cols_union)
+
+    def test_vectors_dropped_from_wire_format(self):
+        graph = erdos_renyi_digraph(40, 0.06, seed=9)
+        (plan, _), *_ = _plans_for(graph, 1, seed=1)
+        assert plan.vectors is not None
+        assert _roundtrip(plan).vectors is None
+
+    def test_sharded_apply_of_unpickled_plan_matches(self):
+        graph = erdos_renyi_digraph(60, 0.05, seed=4)
+        scores = matrix_simrank(graph, CFG)
+        direct_store = ScoreStore(scores, shard_rows=16)
+        wired_store = ScoreStore(scores, shard_rows=16)
+        for plan, _ in _plans_for(graph, 6, seed=44):
+            direct_store.apply_plan(plan)
+            wired_store.apply_plan(_roundtrip(plan))
+        assert np.array_equal(
+            direct_store.to_array(), wired_store.to_array()
+        )
+
+
+class TestTransitionPayloadPickle:
+    def test_export_packed_roundtrip_rebuilds_q(self):
+        graph = erdos_renyi_digraph(80, 0.05, seed=2)
+        store = TransitionStore.from_graph(graph)
+        payload = _roundtrip(store.export_packed())
+        rebuilt = TransitionSnapshot.from_packed(payload)
+        assert rebuilt.version == store.version
+        dense = store.csr_matrix().toarray()
+        assert np.array_equal(rebuilt.csr_matrix().toarray(), dense)
+        x = np.random.default_rng(0).random(graph.num_nodes)
+        assert np.array_equal(rebuilt.matvec(x), store.csr_matrix() @ x)
+        assert np.array_equal(
+            rebuilt.rmatvec(x), store.csr_matrix().T @ x
+        )
+
+    def test_export_packed_roundtrip_after_surgery(self):
+        graph = erdos_renyi_digraph(50, 0.06, seed=3)
+        store = TransitionStore.from_graph(graph)
+        live = graph.copy()
+        for update in random_update_stream(graph, 12, seed=5):
+            update.apply_to(live)
+            store.apply_update(update)
+        rebuilt = TransitionSnapshot.from_packed(
+            _roundtrip(store.export_packed())
+        )
+        assert np.array_equal(
+            rebuilt.csr_matrix().toarray(), store.csr_matrix().toarray()
+        )
+
+    def test_transition_snapshot_pickles(self):
+        graph = erdos_renyi_digraph(30, 0.08, seed=6)
+        store = TransitionStore.from_graph(graph)
+        snap = store.snapshot()
+        clone = _roundtrip(snap)
+        assert clone.version == snap.version
+        assert np.array_equal(
+            clone.csr_matrix().toarray(), snap.csr_matrix().toarray()
+        )
+
+
+class TestShardTopKPickle:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_heap_state_roundtrip_preserves_ranking(self, seed):
+        graph = erdos_renyi_digraph(70, 0.05, seed=seed)
+        scores = matrix_simrank(graph, CFG)
+        store = ScoreStore(scores, shard_rows=16)
+        index = ShardTopK(store, k=8)
+        assert index.top_k(8) == top_k_pairs(store.to_array(), 8)
+
+        # Round-trip the warmed heap state and attach it to an
+        # equivalent store: rankings must be identical without rescans.
+        clone = _roundtrip(index)
+        twin = ScoreStore(scores, shard_rows=16)
+        clone.attach_store(twin)
+        rescans_before = clone.stats.shard_rescans
+        assert clone.top_k(8) == index.top_k(8)
+        assert clone.stats.shard_rescans == rescans_before
+
+        # The unpickled index keeps maintaining correctly under plans.
+        for plan, _ in _plans_for(graph, 5, seed=seed + 9):
+            store.apply_plan(plan)
+            twin.apply_plan(plan)
+            assert clone.top_k(8) == index.top_k(8)
+            assert clone.top_k(8) == top_k_pairs(twin.to_array(), 8)
+
+    def test_shard_range_state_roundtrip(self):
+        graph = erdos_renyi_digraph(60, 0.05, seed=12)
+        scores = matrix_simrank(graph, CFG)
+        store = ScoreStore(scores, shard_rows=16)
+        index = ShardTopK(store, k=5, shard_range=(1, 3), track_changes=True)
+        index.top_k(5)
+        clone = _roundtrip(index)
+        clone.attach_store(ScoreStore(scores, shard_rows=16))
+        assert clone.shard_range == (1, 3)
+        assert clone.top_k(5) == index.top_k(5)
+
+
+class TestUpdateStreamPickle:
+    def test_edge_updates_and_batches(self):
+        updates = [EdgeUpdate.insert(1, 2), EdgeUpdate.delete(3, 4)]
+        batch = UpdateBatch(updates)
+        clone = _roundtrip(batch)
+        assert list(clone) == updates
+        assert _roundtrip(updates[0]) == updates[0]
