@@ -8,16 +8,23 @@ the drain latency curve plus the executor gauges that attribute time to
 worker-side application versus IPC (per-worker apply seconds and the
 pool's measured round-trip overhead).
 
-Every run is also an equivalence gate: the final score matrix of each
-worker count must be **bit-identical** to the in-process baseline
-(identical drain boundaries are used, so this is exact, not
-approximate), and the benchmark exits non-zero if any run diverges.
+The ``--batch`` axis compares the two wire paths on the pool: the
+batched drain (default on; one staged, pipelined command per drain) and
+the per-plan path (one round trip per row group).  ``--batch both``
+records both curves in the same report so the IPC amortization is a
+single committed artifact.
+
+Every run is also an equivalence gate: the final score matrix of every
+worker count **and both wire paths** must be bit-identical to the
+in-process baseline (identical drain boundaries are used, so this is
+exact, not approximate), and the benchmark exits non-zero if any run
+diverges.
 
 Usage::
 
     python -m repro.bench.cluster --out BENCH_cluster.json
     python -m repro.bench.cluster --nodes 1200 --workers 0,1,2,4
-    python -m repro.bench.cluster --merge-into BENCH_pr4.json
+    python -m repro.bench.cluster --batch both --merge-into BENCH_pr5.json
 
 ``--merge-into`` folds the report into an existing perf-gate JSON under
 a ``cluster_scaling`` key, so one committed artifact carries both the
@@ -44,13 +51,22 @@ def _drain_chunks(service: SimRankService, updates, chunk: int) -> float:
 
     Fixed chunk boundaries make every executor apply the *same*
     sequence of consolidated row groups, which is what makes the
-    cross-executor comparison bit-exact.
+    cross-executor comparison bit-exact.  The batched wire path
+    pipelines dispatch, so ``drain()`` can return with up to
+    ``max_inflight_batches`` batches still applying in the workers —
+    the final settle below keeps that tail inside the timed region
+    instead of leaking it into the top-k query timing.
     """
     total = 0.0
     for begin in range(0, len(updates), chunk):
         service.submit_many(updates[begin : begin + chunk])
         started = time.perf_counter()
         service.drain()
+        total += time.perf_counter() - started
+    pool = getattr(service.engine.score_store, "pool", None)
+    if pool is not None:
+        started = time.perf_counter()
+        pool.sync_batches()
         total += time.perf_counter() - started
     return total
 
@@ -65,9 +81,19 @@ def run_cluster_bench(
     shard_rows: int = 128,
     chunk: int = 10,
     top_k: int = 10,
+    batch: str = "both",
 ) -> Dict:
-    """Run the scaling curve; returns the JSON-ready report."""
+    """Run the scaling curve; returns the JSON-ready report.
+
+    ``batch`` selects the pool's wire path(s): ``"on"`` (batched
+    drains), ``"off"`` (one round trip per plan), or ``"both"`` to
+    record the two curves side by side.  The in-process baseline is
+    unaffected (batching is a wire concern; the engine path is
+    identical).
+    """
     worker_counts = list(worker_counts) if worker_counts else [0, 1, 2]
+    if batch not in ("both", "on", "off"):
+        raise ValueError(f"--batch must be both/on/off, got {batch!r}")
     # The in-process run is the bit-equivalence oracle, so it always
     # runs first — even when 0 was not requested (it is then kept out
     # of the reported curve).
@@ -88,6 +114,7 @@ def run_cluster_bench(
             "damping": config.damping,
             "iterations": config.iterations,
             "seed": seed,
+            "batch_axis": batch,
         },
         "curve": [],
         "bit_identical": True,
@@ -95,56 +122,79 @@ def run_cluster_bench(
     baseline_matrix: Optional[np.ndarray] = None
     baseline_seconds: Optional[float] = None
     for workers in run_counts:
-        kwargs = (
-            {"executor": "process", "workers": workers} if workers else {}
-        )
-        service = SimRankService(
-            graph.copy(),
-            config,
-            initial_scores=initial,
-            shard_rows=shard_rows,
-            **kwargs,
-        )
-        try:
-            drain_seconds = _drain_chunks(service, updates, chunk)
-            topk_started = time.perf_counter()
-            service.top_k(top_k)
-            topk_seconds = time.perf_counter() - topk_started
-            final = service.engine.similarities()
-            executor = service.metrics_report()["executor"]
-        finally:
-            service.close()
-        if baseline_matrix is None:
-            baseline_matrix = final
-            baseline_seconds = drain_seconds
-        identical = bool(np.array_equal(final, baseline_matrix))
-        report["bit_identical"] = report["bit_identical"] and identical
-        point = {
-            "workers": workers,
-            "executor": "process" if workers else "inproc",
-            "drain_seconds": drain_seconds,
-            "mean_update_ms": drain_seconds / len(updates) * 1e3,
-            "speedup_vs_inproc": (
-                baseline_seconds / drain_seconds if drain_seconds else 0.0
-            ),
-            "topk_query_seconds": topk_seconds,
-            "bit_identical_to_inproc": identical,
-            "apply_seconds": executor.get("apply_seconds", 0.0),
-            "ipc_seconds": executor.get("ipc_seconds", 0.0),
-            "per_worker_seconds": executor.get("per_worker_seconds", {}),
-            "crashes": executor.get("crashes", 0),
-        }
-        if workers == 0 and not baseline_requested:
-            point["baseline_only"] = True
+        if workers == 0:
+            modes = [True]
+        elif batch == "both":
+            modes = [True, False]
         else:
-            report["curve"].append(point)
-        print(
-            f"workers={workers}: {point['mean_update_ms']:.2f} ms/update "
-            f"({point['speedup_vs_inproc']:.2f}x vs inproc, "
-            f"ipc {point['ipc_seconds'] * 1e3:.0f} ms, "
-            f"identical={identical})",
-            file=sys.stderr,
-        )
+            modes = [batch == "on"]
+        for batching in modes:
+            kwargs = (
+                {
+                    "executor": "process",
+                    "workers": workers,
+                    "plan_batching": batching,
+                }
+                if workers
+                else {}
+            )
+            service = SimRankService(
+                graph.copy(),
+                config,
+                initial_scores=initial,
+                shard_rows=shard_rows,
+                **kwargs,
+            )
+            try:
+                drain_seconds = _drain_chunks(service, updates, chunk)
+                topk_started = time.perf_counter()
+                service.top_k(top_k)
+                topk_seconds = time.perf_counter() - topk_started
+                final = service.engine.similarities()
+                executor = service.metrics_report()["executor"]
+            finally:
+                service.close()
+            if baseline_matrix is None:
+                baseline_matrix = final
+                baseline_seconds = drain_seconds
+            identical = bool(np.array_equal(final, baseline_matrix))
+            report["bit_identical"] = report["bit_identical"] and identical
+            point = {
+                "workers": workers,
+                "executor": "process" if workers else "inproc",
+                "plan_batching": bool(batching) if workers else None,
+                "drain_seconds": drain_seconds,
+                "mean_update_ms": drain_seconds / len(updates) * 1e3,
+                "speedup_vs_inproc": (
+                    baseline_seconds / drain_seconds if drain_seconds else 0.0
+                ),
+                "topk_query_seconds": topk_seconds,
+                "bit_identical_to_inproc": identical,
+                "apply_seconds": executor.get("apply_seconds", 0.0),
+                "ipc_seconds": executor.get("ipc_seconds", 0.0),
+                "ipc_per_plan_ms": executor.get("ipc_per_plan_ms", 0.0),
+                "ipc_bytes": executor.get("ipc_bytes", 0),
+                "staged_bytes": executor.get("staged_bytes", 0),
+                "plan_batches": executor.get("plan_batches", 0),
+                "batch_size": executor.get("batch_size", 0.0),
+                "per_worker_seconds": executor.get("per_worker_seconds", {}),
+                "crashes": executor.get("crashes", 0),
+            }
+            if workers == 0 and not baseline_requested:
+                point["baseline_only"] = True
+            else:
+                report["curve"].append(point)
+            wire = (
+                "batched" if batching else "per-plan"
+            ) if workers else "inproc"
+            print(
+                f"workers={workers} ({wire}): "
+                f"{point['mean_update_ms']:.2f} ms/update "
+                f"({point['speedup_vs_inproc']:.2f}x vs inproc, "
+                f"ipc {point['ipc_seconds'] * 1e3:.0f} ms, "
+                f"identical={identical})",
+                file=sys.stderr,
+            )
     return report
 
 
@@ -164,6 +214,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shard-rows", type=int, default=128)
     parser.add_argument("--chunk", type=int, default=10)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--batch",
+        choices=("both", "on", "off"),
+        default="both",
+        help="wire path on the pool: batched drains, per-plan round "
+        "trips, or both curves in one report (default)",
+    )
     parser.add_argument("--out", default=None, help="JSON report path")
     parser.add_argument(
         "--merge-into",
@@ -181,6 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         shard_rows=args.shard_rows,
         chunk=args.chunk,
+        batch=args.batch,
     )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     print(rendered)

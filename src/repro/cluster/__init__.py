@@ -14,7 +14,13 @@ Select it with ``SimRankService(executor="process", workers=N)`` or
 ``python -m repro serve ... --workers N``.
 """
 
-from .client import PoolTopK, ShardClient, SharedScoreSnapshot, build_client
+from .client import (
+    PlanningOverlay,
+    PoolTopK,
+    ShardClient,
+    SharedScoreSnapshot,
+    build_client,
+)
 from .messages import SegmentSpec, WorkerInit
 from .pool import (
     DEFAULT_COMMAND_TIMEOUT,
@@ -29,6 +35,7 @@ __all__ = [
     "DEFAULT_COMMAND_TIMEOUT",
     "DEFAULT_MAX_RESPAWNS",
     "DEFAULT_START_METHOD",
+    "PlanningOverlay",
     "PoolStats",
     "PoolTopK",
     "SegmentSpec",

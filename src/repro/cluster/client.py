@@ -30,8 +30,73 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import DimensionError
-from ..executor.score_store import ScoreSnapshot, ScoreStore
+from ..executor.score_store import ScoreSnapshot, ScoreStore, _Shard
 from ..executor.topk_index import Pair, ScoredPair, TopKStats, _key
+from ..incremental.plan import PlanBatch
+
+
+class PlanningOverlay(ScoreStore):
+    """A parent-side what-if view of the scores for drain planning.
+
+    Planning group ``k+1`` of a drain reads the scores *after* group
+    ``k`` was applied, which is exactly what forces the per-plan round
+    trip: the parent's shared-memory mirror only advances when a worker
+    reply lands.  The overlay breaks that dependency without breaking
+    bit-identity: it wraps every mirror shard copy-on-write (the first
+    scatter into a shard clones it into parent-private memory) and
+    inherits :meth:`ScoreStore.apply_plan` unchanged, so applying a plan
+    here runs the **identical** union-support GEMM + scatter the workers
+    will run — same code, same shard geometry, same values.  Planning
+    reads (``matvec``, columns, entries) against the overlay therefore
+    see bit-for-bit the scores the in-process oracle would see, while
+    the real apply is free to ride one batched command later.
+
+    The overlay outlives a single drain: while a batch is still in
+    flight, its diverged shards are the freshest consistent view the
+    parent has, so the next drain's overlay is seeded from them.  Once
+    the pool has ingested every reply the mirror has caught up
+    (bit-identically) and the overlay is dropped.
+    """
+
+    def __init__(self, client: "ShardClient") -> None:
+        # Deliberately not calling ScoreStore.__init__: shards wrap the
+        # client's mirror (or its retained overlay copies), not a dense
+        # matrix.
+        self._n = client.num_nodes
+        self._shard_rows = client.shard_rows
+        self._topk = None
+        self.version = 0
+        self.cow_copies = 0
+        self.apply_metrics = ApplyMetricsStub()
+        self._shard_timing = {}
+        self._shards = []
+        overlays = client._overlay
+        for gid, mirror in enumerate(client._pool.mirror_shards):
+            source = overlays.get(gid, mirror)
+            shard = _Shard(source.base, source.rows, source.buffer)
+            # Copy-on-write: the first scatter clones the (read-only
+            # shared-memory or retained-overlay) buffer into private
+            # parent memory; untouched shards stay zero-copy.
+            shard.shared = True
+            self._shards.append(shard)
+
+    def diverged_shards(self) -> Dict[int, _Shard]:
+        """The shards this overlay actually wrote (post-batch values)."""
+        return {
+            gid: shard
+            for gid, shard in enumerate(self._shards)
+            if not shard.shared
+        }
+
+
+class ApplyMetricsStub:
+    """Throwaway metrics sink for overlay applies (never reported)."""
+
+    def record(self, per_shard, plans: int = 1) -> None:
+        pass
+
+    def record_batch(self, per_shard, plans: int) -> None:
+        pass
 
 
 class SharedScoreSnapshot(ScoreSnapshot):
@@ -154,6 +219,9 @@ class PoolTopK:
         if k == 0:
             self.stats.heap_hits += 1
             return []
+        # Pipelined batch replies carry the candidate deltas this mirror
+        # is fed from — land them before serving a ranking.
+        self._pool.sync_batches()
         self._sync_keys()
         self.stats.shard_queries += len(self._mirror)
         dirty = [gid for gid, entries in self._mirror.items() if entries is None]
@@ -195,6 +263,11 @@ class ShardClient(ScoreStore):
     Every mutation is overridden to dispatch through the pool.
     """
 
+    #: The engine's batched drain path keys off this: the client can
+    #: plan a whole drain against a :class:`PlanningOverlay` and ship it
+    #: through :meth:`apply_batch` as one pipelined command.
+    supports_plan_batches = True
+
     def __init__(self, pool) -> None:
         # Deliberately *not* calling ScoreStore.__init__: the mirror
         # shard list is owned (and kept current) by the pool.
@@ -210,6 +283,11 @@ class ShardClient(ScoreStore):
         #: :meth:`TransitionStore.export_packed` payload; when set, the
         #: pool ships it to workers on topology changes.
         self.transition_exporter = None
+        #: Diverged overlay shards retained while batches are in flight
+        #: (gid -> post-batch :class:`_Shard`); the freshest consistent
+        #: parent-side view until the mirror catches up.
+        self._overlay: Dict[int, _Shard] = {}
+        pool.on_batches_drained = self._drop_overlay
 
     # -------------------------------------------------------------- #
     # Pool plumbing
@@ -227,19 +305,100 @@ class ShardClient(ScoreStore):
     def close(self) -> None:
         self._pool.close()
 
+    def _drop_overlay(self) -> None:
+        """Pipeline drained: the mirror is authoritative again."""
+        self._overlay.clear()
+
+    def _settle(self) -> None:
+        """Collect in-flight batch replies before an authoritative read.
+
+        Parent-side reads outside a drain (point queries, ``to_array``,
+        block iteration) must observe the post-batch scores; waiting for
+        the replies (which also rolls the mirror forward and drops the
+        overlay) is both the simplest and the bit-exact way to get
+        there.  Planning reads *inside* a drain deliberately skip this
+        — they go through a :class:`PlanningOverlay` instead.
+        """
+        self._pool.sync_batches()
+
+    # -------------------------------------------------------------- #
+    # Reads — settle the pipeline, then serve from the mirror
+    # -------------------------------------------------------------- #
+
+    def entry(self, row: int, col: int) -> float:
+        self._settle()
+        return super().entry(row, col)
+
+    def row(self, row: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        self._settle()
+        return super().row(row, out=out)
+
+    def column(
+        self, col: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        self._settle()
+        return super().column(col, out=out)
+
+    def matvec(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        self._settle()
+        return super().matvec(x, out=out)
+
+    def to_array(self) -> np.ndarray:
+        self._settle()
+        return super().to_array()
+
+    def shard_block(self, index: int):
+        self._settle()
+        return super().shard_block(index)
+
+    def iter_shard_blocks(self):
+        self._settle()
+        return super().iter_shard_blocks()
+
+    def shard_report(self):
+        self._settle()
+        return super().shard_report()
+
     # -------------------------------------------------------------- #
     # Writes — fan out to the workers
     # -------------------------------------------------------------- #
 
     def apply_plan(self, plan) -> None:
+        # No parent-side top-k notification: the client's canonical
+        # index is PoolTopK, fed from worker reply deltas — a second
+        # observer patching here would double-patch the same pairs.
         if plan.is_noop:
             return
         self._pool.apply_plan(plan)
         self.version += 1
-        if self._topk is not None:
-            # A parent-side observer still works: the mirror is already
-            # rolled forward, so it patches from current values.
-            self._topk.on_plan(plan)
+
+    def planning_view(self) -> PlanningOverlay:
+        """A what-if score view for planning one drain's plan batch.
+
+        See :class:`PlanningOverlay`; hand the finished batch (and this
+        view) to :meth:`apply_batch`.
+        """
+        return PlanningOverlay(self)
+
+    def apply_batch(
+        self, batch: PlanBatch, planned_on: Optional[PlanningOverlay] = None
+    ) -> None:
+        """Ship a whole drain's plans as one pipelined pool command.
+
+        ``planned_on`` is the overlay the drain was planned against; its
+        diverged shards are retained so the *next* drain (and the next
+        overlay) can start from the post-batch scores before the worker
+        replies land.  The call does not wait for the workers — see
+        :meth:`ShardWorkerPool.apply_batch`.
+        """
+        dispatched = self._pool.apply_batch(batch)
+        if not dispatched:
+            return
+        if planned_on is not None:
+            self._overlay.update(planned_on.diverged_shards())
+        self.version += dispatched
 
     def add_dense(self, delta: np.ndarray) -> None:
         delta = np.asarray(delta, dtype=np.float64)

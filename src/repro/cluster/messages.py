@@ -70,6 +70,41 @@ class ApplyPlanCmd:
 
 
 @dataclass
+class ApplyBatchCmd:
+    """Apply a whole drain's plans — one round trip per batch.
+
+    The payload is a :class:`~repro.incremental.plan.PackedPlanBatch`
+    flattened to one contiguous 8-byte-word block, delivered one of two
+    ways:
+
+    * **staged** (``staging`` set, ``packed`` None) — the live path.
+      The parent wrote the words into a reusable shared-memory staging
+      segment; only this tiny command (name + section lengths) crosses
+      the pipe, and the worker rebuilds the plans as zero-copy views
+      over the segment.
+    * **inline** (``packed`` set, ``staging`` None) — the crash-replay
+      path.  Staging segments are overwritten by later batches, so the
+      journal retains the packed arrays themselves and replay ships
+      them in-band.
+
+    Workers apply the batch's plans strictly in order with the same
+    per-plan arithmetic as :class:`ApplyPlanCmd` and send **one** merged
+    reply (summed per-shard apply seconds, all segment/COW events, the
+    union of top-k candidate deltas).
+    """
+
+    count: int
+    #: ``(lens, idx, val)`` element counts of the packed sections.
+    sections: Tuple[int, int, int]
+    #: Staging segment name (live path), or None.
+    staging: Optional[str] = None
+    #: Words the payload occupies in the staging segment.
+    words: int = 0
+    #: In-band PackedPlanBatch (replay path), or None.
+    packed: Optional[object] = None
+
+
+@dataclass
 class SetEntryCmd:
     """Write one score entry (node-arrival self-score)."""
 

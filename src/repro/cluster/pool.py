@@ -43,9 +43,11 @@ from ..executor.score_store import (
     ApplyMetrics,
     _Shard,
 )
+from ..incremental.plan import PlanBatch
 from .messages import (
     AddNodeCmd,
     AddRowsCmd,
+    ApplyBatchCmd,
     ApplyPlanCmd,
     MarkSharedCmd,
     MetricsCmd,
@@ -88,6 +90,15 @@ DEFAULT_MAX_RESPAWNS = 3
 #: checkpoints itself.  Bounds crash-replay journal memory (and replay
 #: time) for engine-level sessions that never snapshot.
 DEFAULT_JOURNAL_LIMIT = 256
+
+#: Dispatched-but-uncollected plan batches tolerated before dispatching
+#: another blocks on the oldest.  Depth 2 is what "broadcast batch N+1
+#: while the workers still apply batch N" needs; deeper pipelines only
+#: add staging memory and reply latency.
+DEFAULT_MAX_INFLIGHT_BATCHES = 2
+
+#: Smallest staging-slot allocation (slots grow by doubling).
+_MIN_STAGING_BYTES = 1 << 16
 
 
 class _WorkerDied(Exception):
@@ -134,12 +145,54 @@ class PoolStats:
 
     commands: int = 0
     plans: int = 0
+    #: Batched drain commands dispatched (one per ``apply_batch``).
+    batches: int = 0
     crashes: int = 0
     respawns: int = 0
     replayed_commands: int = 0
     cow_copies: int = 0
     ipc_seconds: float = 0.0
+    #: Approximate payload bytes that crossed the command pipes (plan
+    #: pickles per target on the per-plan path; only the tiny staged
+    #: command headers on the batched path).
+    ipc_bytes: int = 0
+    #: Packed batch payload bytes written to shared-memory staging
+    #: instead of the pipes (the batched path's zero-copy half).
+    staged_bytes: int = 0
     worker_seconds: Dict[int, float] = field(default_factory=dict)
+
+
+#: Rough pickled size of a command envelope (dataclass + pipe framing);
+#: used for the ``ipc_bytes`` gauge, which tracks payloads, not pickle
+#: bytes exactly.
+_CMD_OVERHEAD_BYTES = 256
+
+
+@dataclass
+class _StagingSlot:
+    """One reusable shared-memory segment of the batch staging ring."""
+
+    name: str
+    segment: object
+    nbytes: int
+
+
+@dataclass
+class _InflightBatch:
+    """A dispatched-but-uncollected batched drain command."""
+
+    workers: Tuple[int, ...]
+    #: Live (non-noop) plans the batch carried.
+    count: int
+    #: The journaled inline command — also the crash-replay payload.
+    journal_cmd: object
+    #: Staging slot name the live command references.
+    slot: str
+    send_seconds: float
+    #: Workers whose pipe broke at dispatch (recovered at collect).
+    dead: set = field(default_factory=set)
+    #: Workers already rolled through this batch by a journal replay.
+    recovered: set = field(default_factory=set)
 
 
 class _SegmentTable:
@@ -248,6 +301,16 @@ class ShardWorkerPool:
         self._topk = None
         self._topk_config: Optional[Tuple[int, int]] = None
         self._closed = False
+        #: Pipelined-drain state: reusable staging slots plus the
+        #: dispatched batches whose replies are still outstanding.
+        self._staging: List[_StagingSlot] = []
+        self._staging_gen = 0
+        self._inflight: List[_InflightBatch] = []
+        self._syncing = False
+        self.max_inflight_batches = DEFAULT_MAX_INFLIGHT_BATCHES
+        #: Zero-arg callback fired when the pipeline fully drains (the
+        #: ShardClient drops its planning overlay here).
+        self.on_batches_drained = None
 
         num_shards = -(-self._n // self._shard_rows) if self._n else 0
         for gid in range(num_shards):
@@ -276,6 +339,11 @@ class ShardWorkerPool:
             self._workers.append(self._spawn(worker_id, lo, hi, 0))
         self._replay_base = self._capture_base()
         self._atexit = atexit.register(self.close)
+        # Block until every worker answered a ping: a spawned child
+        # pays a one-time cold start (re-importing numpy and mapping
+        # its segments) that would otherwise land on the first applied
+        # plan and be misattributed to wire latency.
+        self.ping()
 
     # -------------------------------------------------------------- #
     # Introspection
@@ -316,6 +384,10 @@ class ShardWorkerPool:
     def journal_length(self) -> int:
         """Mutating commands recorded since the last snapshot."""
         return len(self._journal)
+
+    def inflight_batches(self) -> int:
+        """Dispatched plan batches whose replies are still outstanding."""
+        return len(self._inflight)
 
     def live_segments(self) -> int:
         """Segments currently mapped by the parent (live + pinned)."""
@@ -459,7 +531,9 @@ class ShardWorkerPool:
             replay_cmd = entry.command_for(worker_id)
             try:
                 new_handle.conn.send(replay_cmd)
-                reply = self._recv(new_handle)
+                reply = self._recv(
+                    new_handle, timeout=self._cmd_timeout(replay_cmd)
+                )
             except _WorkerDied:
                 return self._recover(worker_id, cmd, journaled)
             if not reply.ok:
@@ -483,7 +557,7 @@ class ShardWorkerPool:
             return last_reply
         try:
             new_handle.conn.send(cmd)
-            reply = self._recv(new_handle)
+            reply = self._recv(new_handle, timeout=self._cmd_timeout(cmd))
         except _WorkerDied:
             return self._recover(worker_id, cmd, journaled)
         if not reply.ok:
@@ -536,8 +610,20 @@ class ShardWorkerPool:
     # Command plumbing
     # -------------------------------------------------------------- #
 
-    def _recv(self, handle: _WorkerHandle):
-        deadline = time.monotonic() + self.command_timeout
+    def _cmd_timeout(self, cmd) -> float:
+        """Reply deadline for one command, scaled to its work size.
+
+        A batched drain carries a whole drain's apply work in one
+        command; budgeting it the flat per-command timeout would
+        SIGKILL a legitimately busy worker on large drains (and crash
+        replay would re-send the same batch into the same timeout).
+        """
+        return self.command_timeout * max(1, int(getattr(cmd, "count", 1)))
+
+    def _recv(self, handle: _WorkerHandle, timeout: Optional[float] = None):
+        deadline = time.monotonic() + (
+            self.command_timeout if timeout is None else timeout
+        )
         while True:
             try:
                 if handle.conn.poll(0.05):
@@ -582,6 +668,10 @@ class ShardWorkerPool:
         """Send one command set and synchronously collect every reply."""
         if self._closed:
             raise ClusterError("shard worker pool is closed")
+        # The wire protocol is strictly FIFO per worker: any pipelined
+        # batch replies still on the pipes must be collected before a
+        # new request/response exchange starts.
+        self.sync_batches()
         worker_ids = tuple(worker_ids)
         if journaled:
             self._journal.append(_JournalEntry(workers=worker_ids, cmds=cmds))
@@ -672,6 +762,206 @@ class ShardWorkerPool:
         self.apply_metrics.record(per_shard)
         self.stats.plans += 1
         self.stats.ipc_seconds += max(0.0, wall - slowest)
+        self.stats.ipc_bytes += (plan.nbytes() + _CMD_OVERHEAD_BYTES) * len(
+            targets
+        )
+
+    # -------------------------------------------------------------- #
+    # Batched drains: one staged command per drain, pipelined dispatch
+    # -------------------------------------------------------------- #
+
+    def apply_batch(self, batch: PlanBatch) -> int:
+        """Dispatch a whole drain's plans as one pipelined command.
+
+        The batch is journaled (with its packed payload in-band, so
+        crash replay never depends on staging contents), its words are
+        written into a reusable shared-memory staging slot, and the
+        tiny staged command is broadcast to exactly the workers whose
+        rows any plan touches.  The call returns **without waiting**:
+        replies are collected at the next synchronization point — any
+        other command, a parent-side read, a snapshot, or the staging
+        ring wrapping around — so the parent can plan (and dispatch)
+        batch N+1 while the workers still apply batch N.  Returns the
+        number of (non-noop) plans dispatched.
+        """
+        if self._closed:
+            raise ClusterError("shard worker pool is closed")
+        # Bound drain-only sessions: each batch journals one entry with
+        # its packed payload in-band, and the room-making loop below
+        # collects without checkpointing, so the limit must be enforced
+        # here too — otherwise a mutate-only session that never reads,
+        # snapshots, or sends another command grows the journal without
+        # bound.  Amortized cost: one pipeline sync + mark-shared round
+        # trip per ``journal_limit`` drains.
+        if len(self._journal) >= self.journal_limit:
+            self._auto_checkpoint()
+        plans = [plan for plan in batch if not plan.is_noop]
+        if not plans:
+            return 0
+        workers = set()
+        for plan in plans:
+            workers.update(self._workers_for_plan(plan))
+        if not workers:
+            return 0
+        targets = tuple(sorted(workers))
+        # Make pipeline room *before* journaling the new batch: a
+        # recovery triggered by this collect replays the journal, and
+        # the new entry must not be replayed before it was ever sent.
+        while len(self._inflight) >= self.max_inflight_batches:
+            self._collect_batch(self._inflight.pop(0))
+        started = time.perf_counter()
+        packed = PlanBatch(plans).packed()
+        sections = packed.section_lengths()
+        # Stage the payload *before* journaling: slot allocation can
+        # raise (shm exhaustion), and a journaled-but-never-dispatched
+        # batch would be replayed into only a respawned worker later,
+        # silently diverging the shards.  Nothing between the journal
+        # append and the sends below can throw.
+        words = packed.word_count()
+        slot = self._staging_slot(words * 8)
+        packed.write_words(
+            np.ndarray((words,), dtype=np.int64, buffer=slot.segment.buf)
+        )
+        journal_cmd = ApplyBatchCmd(
+            count=packed.count, sections=sections, packed=packed
+        )
+        live_cmd = ApplyBatchCmd(
+            count=packed.count,
+            sections=sections,
+            staging=slot.name,
+            words=words,
+        )
+        self._journal.append(
+            _JournalEntry(workers=targets, cmds=journal_cmd)
+        )
+        dead = set()
+        for worker_id in targets:
+            try:
+                self._workers[worker_id].conn.send(live_cmd)
+            except (BrokenPipeError, OSError):
+                dead.add(worker_id)
+        self.stats.commands += 1
+        self.stats.batches += 1
+        self.stats.staged_bytes += packed.nbytes()
+        self.stats.ipc_bytes += _CMD_OVERHEAD_BYTES * len(targets)
+        self._inflight.append(
+            _InflightBatch(
+                workers=targets,
+                count=len(plans),
+                journal_cmd=journal_cmd,
+                slot=slot.name,
+                send_seconds=time.perf_counter() - started,
+                dead=dead,
+            )
+        )
+        return len(plans)
+
+    def sync_batches(self) -> None:
+        """Collect every outstanding pipelined batch reply (idempotent)."""
+        if self._closed or self._syncing or not self._inflight:
+            return
+        self._syncing = True
+        try:
+            while self._inflight:
+                self._collect_batch(self._inflight.pop(0))
+        finally:
+            self._syncing = False
+        if self.on_batches_drained is not None:
+            self.on_batches_drained()
+
+    def _collect_batch(self, record: _InflightBatch) -> None:
+        """Collect one batch's replies; fold metrics; recover the dead."""
+        started = time.perf_counter()
+        per_shard: Dict[int, float] = {}
+        slowest = 0.0
+        first_error: Optional[str] = None
+        for worker_id in record.workers:
+            if worker_id in record.recovered:
+                continue
+            handle = self._workers[worker_id]
+            try:
+                if worker_id in record.dead:
+                    raise _WorkerDied(worker_id)
+                reply = self._recv(
+                    handle, timeout=self._cmd_timeout(record.journal_cmd)
+                )
+            except _WorkerDied:
+                reply = self._recover(
+                    worker_id, record.journal_cmd, journaled=True
+                )
+                # The replay rolled this worker through *every*
+                # journaled batch, including any still in flight: mark
+                # them collected so nothing waits on a reply that will
+                # never ride the (new) pipe.
+                for later in self._inflight:
+                    if worker_id in later.workers:
+                        later.recovered.add(worker_id)
+                slowest = max(slowest, reply.seconds)
+                continue
+            if not reply.ok:
+                if first_error is None:
+                    first_error = (
+                        f"worker {worker_id} failed applying a plan "
+                        f"batch:\n{reply.error}"
+                    )
+                continue
+            self._ingest(handle, reply)
+            for gid, seconds in reply.per_shard_seconds.items():
+                per_shard[gid] = per_shard.get(gid, 0.0) + seconds
+            slowest = max(slowest, reply.seconds)
+        if first_error is not None:
+            raise ClusterError(first_error)
+        self.apply_metrics.record_batch(per_shard, plans=record.count)
+        self.stats.plans += record.count
+        collect_wall = time.perf_counter() - started
+        # IPC attribution — the same net formula the per-plan path uses
+        # (parent wall on the exchange minus worker busy time), applied
+        # at batch granularity: the parent's wall here is dispatch plus
+        # collect (the gap in between was useful planning work, not
+        # waiting), and on a contended box the dispatch wall itself is
+        # largely the woken worker *doing the apply* on the parent's
+        # timeslice, which is work, not wire overhead.
+        self.stats.ipc_seconds += max(
+            0.0, record.send_seconds + collect_wall - slowest
+        )
+
+    def _staging_slot(self, nbytes: int) -> _StagingSlot:
+        """A staging slot free of in-flight references, grown to fit."""
+        nbytes = max(int(nbytes), 8)
+        busy = {record.slot for record in self._inflight}
+        free = [
+            (index, slot)
+            for index, slot in enumerate(self._staging)
+            if slot.name not in busy
+        ]
+        for _, slot in free:
+            if slot.nbytes >= nbytes:
+                return slot
+        if free:
+            # Every free slot is too small: replace the largest with a
+            # doubled fresh segment (workers cache staging attachments
+            # by name, so the dead name simply ages out of their
+            # caches).  Replacing the largest keeps slot sizes converging
+            # instead of churning segments on alternating batch sizes.
+            index, slot = max(free, key=lambda pair: pair[1].nbytes)
+            try:
+                slot.segment.close()
+                slot.segment.unlink()
+            except OSError:
+                pass
+            self._staging[index] = self._new_staging(
+                max(nbytes, 2 * slot.nbytes)
+            )
+            return self._staging[index]
+        slot = self._new_staging(nbytes)
+        self._staging.append(slot)
+        return slot
+
+    def _new_staging(self, nbytes: int) -> _StagingSlot:
+        self._staging_gen += 1
+        name = f"{self._prefix}stg{self._staging_gen}"
+        segment = create_segment(name, max(nbytes, _MIN_STAGING_BYTES))
+        return _StagingSlot(name=name, segment=segment, nbytes=segment.size)
 
     def set_entry(self, row: int, col: int, value: float) -> None:
         owner = self._owner_of_row(row)
@@ -824,6 +1114,10 @@ class ShardWorkerPool:
 
     def apply_report(self) -> dict:
         """Executor gauges: per-shard/per-worker apply time vs IPC."""
+        # Fold any pipelined replies into the gauges first, so the
+        # report never undercounts a batch that was dispatched but not
+        # yet collected.
+        self.sync_batches()
         report = {
             "mode": "process",
             "workers": self.num_workers,
@@ -836,7 +1130,15 @@ class ShardWorkerPool:
                     for w, s in sorted(self.stats.worker_seconds.items())
                 },
                 "ipc_seconds": self.stats.ipc_seconds,
+                "ipc_bytes": self.stats.ipc_bytes,
+                "staged_bytes": self.stats.staged_bytes,
+                "ipc_per_plan_ms": (
+                    self.stats.ipc_seconds / self.stats.plans * 1e3
+                    if self.stats.plans
+                    else 0.0
+                ),
                 "commands": self.stats.commands,
+                "plan_batches": self.stats.batches,
                 "crashes": self.stats.crashes,
                 "respawns": self.stats.respawns,
                 "replayed_commands": self.stats.replayed_commands,
@@ -854,7 +1156,17 @@ class ShardWorkerPool:
         """Stop every worker and unlink every segment (idempotent)."""
         if self._closed:
             return
+        try:
+            # Best-effort: let in-flight batches land so workers see a
+            # quiet pipe before the shutdown command.
+            self.sync_batches()
+        except Exception:
+            pass
+        if self._closed:
+            # A crash during the final sync may have closed us already.
+            return
         self._closed = True
+        self._inflight.clear()
         for handle in self._workers:
             try:
                 handle.conn.send(ShutdownCmd())
@@ -874,6 +1186,13 @@ class ShardWorkerPool:
                 handle.conn.close()
             except OSError:
                 pass
+        for slot in self._staging:
+            try:
+                slot.segment.close()
+                slot.segment.unlink()
+            except OSError:
+                pass
+        self._staging.clear()
         self._segments.release_all()
         sweep_segments(self._prefix)
         try:

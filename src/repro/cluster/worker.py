@@ -26,9 +26,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..executor.topk_index import ShardTopK
+from ..incremental.plan import PackedPlanBatch
 from .messages import (
     AddNodeCmd,
     AddRowsCmd,
+    ApplyBatchCmd,
     ApplyPlanCmd,
     MarkSharedCmd,
     MetricsCmd,
@@ -45,6 +47,40 @@ from .messages import (
 from .shm import attach_segment, create_segment, ndarray_view, segment_nbytes
 
 _FLOAT_DTYPE = np.float64
+
+
+class _StagingReader:
+    """Cached attachments to the parent's batch-staging segments.
+
+    The pool cycles batches through a tiny reusable slot ring, so a
+    worker normally re-reads the same one or two segment names forever;
+    a name changes only when the parent grew a slot.  Attachments are
+    cached by name and the cache is bounded — anything beyond the last
+    few names is a dead slot the parent already replaced.
+    """
+
+    _CACHE_LIMIT = 4
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, object] = {}
+
+    def words(self, name: str, count: int) -> np.ndarray:
+        """An int64 view of the first ``count`` words of segment ``name``."""
+        segment = self._segments.get(name)
+        if segment is None:
+            segment = attach_segment(name)
+            self._segments[name] = segment
+            while len(self._segments) > self._CACHE_LIMIT:
+                for old in list(self._segments):
+                    if old != name:
+                        self._segments.pop(old).close()
+                        break
+        return np.ndarray((count,), dtype=np.int64, buffer=segment.buf)
+
+    def close(self) -> None:
+        for segment in self._segments.values():
+            segment.close()
+        self._segments.clear()
 
 
 class _WorkerShard:
@@ -348,6 +384,7 @@ class WorkerShardStore:
 def worker_loop(conn, init: WorkerInit) -> None:
     """The worker process entry point: dispatch commands until shutdown."""
     store = WorkerShardStore(init)
+    staging = _StagingReader()
     index: Optional[ShardTopK] = None
     transition_version: Optional[int] = None
     if init.topk is not None:
@@ -373,6 +410,21 @@ def worker_loop(conn, init: WorkerInit) -> None:
                     break
                 elif isinstance(cmd, ApplyPlanCmd):
                     store.apply_plan(cmd.plan)
+                elif isinstance(cmd, ApplyBatchCmd):
+                    # One round trip per drain: rebuild the batch — from
+                    # the shared-memory staging words (zero-copy views)
+                    # on the live path, in-band on crash replay — and
+                    # apply its plans strictly in order with the exact
+                    # per-plan arithmetic of the unbatched path.
+                    packed = cmd.packed
+                    if packed is None:
+                        packed = PackedPlanBatch.from_words(
+                            staging.words(cmd.staging, cmd.words),
+                            cmd.count,
+                            cmd.sections,
+                        )
+                    for plan in packed.plans():
+                        store.apply_plan(plan)
                 elif isinstance(cmd, SetEntryCmd):
                     store.set_entry(cmd.row, cmd.col, cmd.value)
                 elif isinstance(cmd, AddRowsCmd):
@@ -424,5 +476,6 @@ def worker_loop(conn, init: WorkerInit) -> None:
                 reply.topk_changes = index.collect_changes()
             conn.send(reply)
     finally:
+        staging.close()
         store.close()
         conn.close()

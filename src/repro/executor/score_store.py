@@ -64,10 +64,16 @@ class ApplyMetrics:
     per_shard_seconds: Dict[int, float] = field(default_factory=dict)
     last_plan_seconds: float = 0.0
     last_per_shard_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Apply commands that carried more than one plan (the cluster's
+    #: batched-drain path; always 0 for purely per-plan executors).
+    batches: int = 0
+    #: Plans that arrived inside batched commands.
+    batched_plans: int = 0
+    last_batch_size: int = 0
 
-    def record(self, per_shard: Dict[int, float]) -> None:
-        """Fold one plan's per-shard timings into the gauges."""
-        self.plans += 1
+    def record(self, per_shard: Dict[int, float], plans: int = 1) -> None:
+        """Fold one apply command's per-shard timings into the gauges."""
+        self.plans += plans
         total = sum(per_shard.values())
         self.seconds += total
         self.last_plan_seconds = total
@@ -77,6 +83,19 @@ class ApplyMetrics:
                 self.per_shard_seconds.get(shard_id, 0.0) + seconds
             )
 
+    def record_batch(self, per_shard: Dict[int, float], plans: int) -> None:
+        """Fold one whole drain batch (``plans`` plans, one command)."""
+        self.record(per_shard, plans=plans)
+        self.batches += 1
+        self.batched_plans += plans
+        self.last_batch_size = plans
+
+    def batch_size(self) -> float:
+        """Mean plans per batched apply command (0.0 before any batch)."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_plans / self.batches
+
     def report(self) -> dict:
         """JSON-friendly summary (keys stringified for serialization)."""
         return {
@@ -84,6 +103,9 @@ class ApplyMetrics:
             "apply_seconds": self.seconds,
             "mean_plan_seconds": self.seconds / self.plans if self.plans else 0.0,
             "last_plan_seconds": self.last_plan_seconds,
+            "batches": self.batches,
+            "batch_size": self.batch_size(),
+            "last_batch_size": self.last_batch_size,
             "per_shard_seconds": {
                 str(shard): seconds
                 for shard, seconds in sorted(self.per_shard_seconds.items())
@@ -386,15 +408,53 @@ class ScoreStore:
         """
         if plan.is_noop:
             return
-        left, right = plan.panels()
-        block = left @ right.T
         self._shard_timing = {}
-        self._scatter_add(plan.rows_union, plan.cols_union, block)
-        self._scatter_add(plan.cols_union, plan.rows_union, block.T)
+        self._apply_plan_scatter(plan)
         self.apply_metrics.record(self._shard_timing)
         self.version += 1
         if self._topk is not None:
             self._topk.on_plan(plan)
+
+    def _apply_plan_scatter(self, plan) -> None:
+        """The one copy of the per-plan apply arithmetic.
+
+        Every executor path (per-plan apply, batched apply, the cluster
+        planning overlay via inheritance) funnels through this — the
+        bit-equivalence gate rides on them staying one implementation.
+        Timings land in ``self._shard_timing`` (caller resets it).
+        """
+        left, right = plan.panels()
+        block = left @ right.T
+        self._scatter_add(plan.rows_union, plan.cols_union, block)
+        self._scatter_add(plan.cols_union, plan.rows_union, block.T)
+
+    def apply_batch(self, batch, planned_on=None) -> None:
+        """Apply a :class:`~repro.incremental.plan.PlanBatch` in order.
+
+        Each plan runs the identical per-plan union-support GEMM +
+        scatter as :meth:`apply_plan` (see :class:`PlanBatch` on why the
+        GEMMs are deliberately not fused across plans), so the result is
+        bit-identical to the sequential per-plan path.  The in-process
+        store gains no round trips to amortize — the batched gauges
+        exist so the cluster executor's :class:`ShardClient` can expose
+        the same surface — but the batch is still recorded as one
+        command in :class:`ApplyMetrics`.  ``planned_on`` (a planning
+        overlay, on the cluster path) is ignored here: this store *is*
+        the authoritative state the plans were planned against.
+        """
+        live = [plan for plan in batch if not plan.is_noop]
+        if not live:
+            return
+        timing: Dict[int, float] = {}
+        for plan in live:
+            self._shard_timing = {}
+            self._apply_plan_scatter(plan)
+            for shard_id, seconds in self._shard_timing.items():
+                timing[shard_id] = timing.get(shard_id, 0.0) + seconds
+            self.version += 1
+            if self._topk is not None:
+                self._topk.on_plan(plan)
+        self.apply_metrics.record_batch(timing, plans=len(live))
 
     def _scatter_shard(
         self,

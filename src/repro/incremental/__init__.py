@@ -26,13 +26,22 @@ from .inc_usr import inc_usr_delta, inc_usr_update, UnitUpdateResult
 from .inc_sr import inc_sr_update
 from .affected import AffectedAreaStats
 from .inc_svd import IncSVDSimRank
-from .plan import UpdatePlan, apply_plan_dense, plan_rank_one, plan_unit_update
+from .plan import (
+    PackedPlanBatch,
+    PlanBatch,
+    UpdatePlan,
+    apply_plan_dense,
+    plan_rank_one,
+    plan_unit_update,
+)
 from .workspace import UpdateWorkspace
 from .engine import DynamicSimRank, UpdateStats
 
 __all__ = [
     "rank_one_decomposition",
     "UpdatePlan",
+    "PackedPlanBatch",
+    "PlanBatch",
     "plan_rank_one",
     "plan_unit_update",
     "apply_plan_dense",

@@ -112,6 +112,14 @@ class DynamicSimRank:
     start_method:
         Multiprocessing start method override for the pool (the
         default, ``spawn``, is the only one promised correct).
+    plan_batching:
+        When True (default) and the executor supports it (the process
+        pool does), :meth:`apply_consolidated` plans the whole drain
+        against a parent-side overlay and ships it as **one**
+        :class:`~repro.incremental.plan.PlanBatch` command instead of
+        one round trip per row group — bit-identical either way.  Set
+        False to force the per-plan wire path (the benchmark's
+        comparison axis).
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class DynamicSimRank:
         executor: str = "inproc",
         workers: int = 2,
         start_method: Optional[str] = None,
+        plan_batching: bool = True,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigError(
@@ -139,6 +148,7 @@ class DynamicSimRank:
         self._algorithm = algorithm
         self._executor = executor
         self._paranoid = bool(paranoid)
+        self._plan_batching = bool(plan_batching)
         self._store = TransitionStore.from_graph(self._graph)
         self._workspace = UpdateWorkspace(self._graph.num_nodes)
         if initial_scores is None:
@@ -185,6 +195,11 @@ class DynamicSimRank:
     def executor(self) -> str:
         """Which executor owns the score shards (``inproc``/``process``)."""
         return self._executor
+
+    @property
+    def plan_batching(self) -> bool:
+        """Whether consolidated drains ship as one batched command."""
+        return self._plan_batching
 
     def close(self) -> None:
         """Release executor resources (worker processes, shared memory).
@@ -382,19 +397,40 @@ class DynamicSimRank:
 
         started = time.perf_counter()
         row_updates = consolidate_batch(batch, self._graph)
+        batched = (
+            self._plan_batching
+            and len(row_updates) > 0
+            and getattr(self._scores, "supports_plan_batches", False)
+        )
+        # Batched drains plan every row group against a parent-side
+        # copy-on-write overlay — each group planned on the scores the
+        # previous group's plan produced, applied with the *same*
+        # arithmetic the executor will run — then ship the whole drain
+        # as one pipelined PlanBatch command instead of one round trip
+        # per group.  One loop serves both paths (only the score target
+        # and the deferred dispatch differ), so they cannot drift.
+        view = self._scores.planning_view() if batched else None
+        scores = view if batched else self._scores
+        plans = []
         for row_update in row_updates:
             plan = plan_composite_row_update(
                 self._graph,
                 self._store,
-                self._scores,
+                scores,
                 row_update,
                 self._config,
                 workspace=self._workspace,
             )
-            self._scores.apply_plan(plan)
+            scores.apply_plan(plan)
+            if batched:
+                plans.append(plan)
             row_update.apply_to(self._graph)
             # Row-granular surgery on the dual store (no CSR rebuild).
             self._store.set_row_from_graph(self._graph, row_update.target)
+        if batched:
+            from .plan import PlanBatch
+
+            self._scores.apply_batch(PlanBatch(plans), planned_on=view)
         elapsed = time.perf_counter() - started
         self._version += 1
         for update in batch:

@@ -104,7 +104,9 @@ class UpdatePlan:
         Sorted unions of the left/right factor supports — exactly the
         rows/columns of ``S`` the plan will touch.
     affected:
-        Theorem 4 affected-area statistics recorded while planning.
+        Theorem 4 affected-area statistics recorded while planning
+        (``None`` on plans rebuilt from the packed wire encoding —
+        application never reads them).
     vectors:
         The Theorem 1–3 precomputation the plan was built from (kept
         for diagnostics; may alias pooled workspace buffers, in which
@@ -116,7 +118,7 @@ class UpdatePlan:
     right_factors: List[SparseVector]
     rows_union: np.ndarray
     cols_union: np.ndarray
-    affected: AffectedAreaStats
+    affected: Optional[AffectedAreaStats]
     vectors: Optional[UpdateVectors] = field(default=None, repr=False)
 
     @property
@@ -181,6 +183,221 @@ class UpdatePlan:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+
+
+@dataclass
+class PackedPlanBatch:
+    """A :class:`PlanBatch` flattened into five contiguous arrays.
+
+    This is the wire format of the cluster's batched drain path: every
+    factor support/value vector and union of every plan in a drain is
+    concatenated into a handful of buffers, so the whole batch ships as
+    **one** message whose payload is a single contiguous word block —
+    either staged in a reusable shared-memory segment (zero bytes cross
+    the pipe) or pickled in-band (the crash-replay journal).
+
+    Layout (all elements are 8-byte words):
+
+    * ``targets``  — ``int64[K]``, the target row of each plan;
+    * ``ranks``    — ``int64[K]``, factor pairs per plan;
+    * ``lens``     — ``int64``: per plan ``rows_union_len,
+      cols_union_len`` then per factor pair ``left_len, right_len``;
+    * ``idx``      — ``int64``: per plan ``rows_union, cols_union`` then
+      per factor pair ``left_indices, right_indices``;
+    * ``val``      — ``float64``: per factor pair ``left_values,
+      right_values``.
+
+    Unpacking is zero-copy: the rebuilt plans hold *views* into these
+    arrays (or into the shared-memory words they were read from).
+    """
+
+    targets: np.ndarray
+    ranks: np.ndarray
+    lens: np.ndarray
+    idx: np.ndarray
+    val: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.targets.size)
+
+    def word_count(self) -> int:
+        """Total 8-byte words across all five arrays."""
+        return int(
+            self.targets.size
+            + self.ranks.size
+            + self.lens.size
+            + self.idx.size
+            + self.val.size
+        )
+
+    def nbytes(self) -> int:
+        return self.word_count() * 8
+
+    def section_lengths(self) -> Tuple[int, int, int]:
+        """``(lens, idx, val)`` element counts (targets/ranks = count)."""
+        return int(self.lens.size), int(self.idx.size), int(self.val.size)
+
+    def write_words(self, out: np.ndarray) -> int:
+        """Serialize into ``out`` (int64, caller-allocated); return words.
+
+        ``val`` is bit-copied through an int64 view, so the float64
+        payload survives exactly.
+        """
+        cursor = 0
+        for part in (
+            self.targets,
+            self.ranks,
+            self.lens,
+            self.idx,
+            self.val.view(np.int64),
+        ):
+            out[cursor : cursor + part.size] = part
+            cursor += part.size
+        return cursor
+
+    @classmethod
+    def from_words(
+        cls, words: np.ndarray, count: int, sections: Tuple[int, int, int]
+    ) -> "PackedPlanBatch":
+        """Rebuild from a word block — pure views, no copies."""
+        lens_len, idx_len, val_len = sections
+        bounds = np.cumsum([count, count, lens_len, idx_len, val_len])
+        if words.size < int(bounds[-1]):
+            raise ValueError(
+                f"packed plan batch needs {int(bounds[-1])} words, "
+                f"got {words.size}"
+            )
+        return cls(
+            targets=words[: bounds[0]],
+            ranks=words[bounds[0] : bounds[1]],
+            lens=words[bounds[1] : bounds[2]],
+            idx=words[bounds[2] : bounds[3]],
+            val=words[bounds[3] : bounds[4]].view(np.float64),
+        )
+
+    def plans(self) -> List["UpdatePlan"]:
+        """Rebuild the batch's plans as views into the packed arrays.
+
+        The rebuilt plans carry everything :meth:`UpdatePlan.panels` and
+        the executors' scatter paths read — factors and support unions —
+        bit-identical to the originals.  Planning-time diagnostics
+        (``affected``, ``vectors``) do not ride the wire.
+        """
+        out: List[UpdatePlan] = []
+        len_at = 0
+        idx_at = 0
+        val_at = 0
+        for k in range(self.count):
+            rows_len = int(self.lens[len_at])
+            cols_len = int(self.lens[len_at + 1])
+            len_at += 2
+            rows_union = self.idx[idx_at : idx_at + rows_len]
+            idx_at += rows_len
+            cols_union = self.idx[idx_at : idx_at + cols_len]
+            idx_at += cols_len
+            left: List[SparseVector] = []
+            right: List[SparseVector] = []
+            for _ in range(int(self.ranks[k])):
+                left_len = int(self.lens[len_at])
+                right_len = int(self.lens[len_at + 1])
+                len_at += 2
+                left_idx = self.idx[idx_at : idx_at + left_len]
+                idx_at += left_len
+                right_idx = self.idx[idx_at : idx_at + right_len]
+                idx_at += right_len
+                left_val = self.val[val_at : val_at + left_len]
+                val_at += left_len
+                right_val = self.val[val_at : val_at + right_len]
+                val_at += right_len
+                left.append((left_idx, left_val))
+                right.append((right_idx, right_val))
+            out.append(
+                UpdatePlan(
+                    target=int(self.targets[k]),
+                    left_factors=left,
+                    right_factors=right,
+                    rows_union=rows_union,
+                    cols_union=cols_union,
+                    affected=None,
+                )
+            )
+        return out
+
+
+@dataclass
+class PlanBatch:
+    """An ordered sequence of :class:`UpdatePlan` objects — one drain.
+
+    The batch is the executor contract of the pipelined cluster path:
+    the parent plans a whole drain (each plan against the scores left by
+    the previous one), then ships the batch in a single command, and the
+    workers apply the plans **in order** with exactly the per-plan
+    union-support GEMM + scatter arithmetic of the unbatched path.
+    Application is deliberately *not* fused across plans: folding the
+    batch into one wider GEMM reorders BLAS reductions wherever two
+    plans' supports overlap, which breaks the bit-equivalence gate
+    against the in-process executor.  Batching amortizes the per-message
+    round trip, not the arithmetic.
+    """
+
+    plans: List[UpdatePlan]
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self):
+        return iter(self.plans)
+
+    @property
+    def is_noop(self) -> bool:
+        return all(plan.is_noop for plan in self.plans)
+
+    @property
+    def total_rank(self) -> int:
+        return sum(plan.rank for plan in self.plans)
+
+    def nbytes(self) -> int:
+        return sum(plan.nbytes() for plan in self.plans)
+
+    def packed(self) -> PackedPlanBatch:
+        """Flatten into the contiguous wire encoding (fresh arrays)."""
+        targets = np.empty(len(self.plans), dtype=np.int64)
+        ranks = np.empty(len(self.plans), dtype=np.int64)
+        lens: List[int] = []
+        idx_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for k, plan in enumerate(self.plans):
+            targets[k] = plan.target
+            ranks[k] = plan.rank
+            lens.append(plan.rows_union.size)
+            lens.append(plan.cols_union.size)
+            idx_parts.append(plan.rows_union)
+            idx_parts.append(plan.cols_union)
+            for (l_idx, l_val), (r_idx, r_val) in zip(
+                plan.left_factors, plan.right_factors
+            ):
+                lens.append(l_idx.size)
+                lens.append(r_idx.size)
+                idx_parts.append(l_idx)
+                idx_parts.append(r_idx)
+                val_parts.append(l_val)
+                val_parts.append(r_val)
+        return PackedPlanBatch(
+            targets=targets,
+            ranks=ranks,
+            lens=np.asarray(lens, dtype=np.int64),
+            idx=(
+                np.concatenate(idx_parts).astype(np.int64, copy=False)
+                if idx_parts
+                else _EMPTY_IDX
+            ),
+            val=(
+                np.concatenate(val_parts)
+                if val_parts
+                else _EMPTY_VAL
+            ),
+        )
 
 
 def plan_rank_one(

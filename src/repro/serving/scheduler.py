@@ -43,6 +43,10 @@ class SchedulerStats:
     drained_updates: int = 0
     drained_batches: int = 0
     drained_groups: int = 0
+    #: Largest row-group count any single drain produced — on the
+    #: process executor this is the largest plan batch one wire command
+    #: carried, so the batching win is visible from the queue side too.
+    max_drained_groups: int = 0
 
     def coalescing_ratio(self) -> float:
         """Mean updates represented per drained row group (≥ 1.0)."""
@@ -163,6 +167,8 @@ class UpdateScheduler:
         self._pending = 0
         self.stats.drained_updates += len(updates)
         self.stats.drained_groups += groups
+        if groups > self.stats.max_drained_groups:
+            self.stats.max_drained_groups = groups
         if updates:
             self.stats.drained_batches += 1
         return UpdateBatch(updates)

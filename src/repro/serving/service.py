@@ -63,10 +63,16 @@ class SimRankService:
         with :meth:`start_background_writer`).
     executor, workers, start_method:
         ``executor="process"`` moves the score shards into a
-        :mod:`repro.cluster` pool of ``workers`` processes; drains fan
-        each plan out over the pool while reads and snapshot pins stay
+        :mod:`repro.cluster` pool of ``workers`` processes; each drain
+        ships as **one** batched plan command over the pool (with the
+        payload staged in shared memory and dispatch pipelined against
+        the previous drain) while reads and snapshot pins stay
         zero-copy through shared memory.  Results (scores, rankings,
         snapshots) are bit-identical to the in-process executor.
+    plan_batching:
+        Set False to force the per-plan wire path on the process
+        executor (one round trip per row group; the benchmark's
+        comparison axis).  Ignored in-process.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class SimRankService:
         executor: str = "inproc",
         workers: int = 2,
         start_method: Optional[str] = None,
+        plan_batching: bool = True,
     ) -> None:
         if writer not in WRITER_MODES:
             raise ConfigError(
@@ -99,6 +106,7 @@ class SimRankService:
             executor=executor,
             workers=workers,
             start_method=start_method,
+            plan_batching=plan_batching,
             **engine_kwargs,
         )
         self._scheduler = UpdateScheduler()
@@ -334,6 +342,7 @@ class SimRankService:
                 "drained_updates": stats.drained_updates,
                 "drained_batches": stats.drained_batches,
                 "drained_groups": stats.drained_groups,
+                "max_drained_groups": stats.max_drained_groups,
                 "coalescing_ratio": stats.coalescing_ratio(),
             },
         }

@@ -13,7 +13,10 @@ thread so the serving loop is genuinely concurrent:
   :class:`~repro.serving.snapshot.SnapshotView`.  Readers pin the
   published view with a single attribute read — they never touch
   mutable state, never take the apply lock, and therefore never block
-  on a drain, no matter how long it runs.
+  on a drain, no matter how long it runs.  On the process executor the
+  whole drain ships to the shard workers as **one** batched plan
+  command (payload staged in shared memory), so a drain of ``g`` row
+  groups pays one pipe round trip instead of ``g``.
 * **bounded queue with backpressure** — ``max_pending`` caps the net
   queued updates.  At capacity the configured policy decides:
 
@@ -63,6 +66,9 @@ class WriterStats:
     drains: int = 0
     drained_updates: int = 0
     row_groups: int = 0
+    #: Largest consolidated drain this writer applied — on the process
+    #: executor, the largest plan batch it shipped in one command.
+    max_row_groups: int = 0
     publishes: int = 0
     blocked_submits: int = 0
     blocked_seconds: float = 0.0
@@ -78,6 +84,12 @@ class WriterStats:
         if self.drains == 0:
             return 0.0
         return self.apply_seconds / self.drains
+
+    def mean_row_groups(self) -> float:
+        """Mean consolidated row groups per applied drain batch."""
+        if self.drains == 0:
+            return 0.0
+        return self.row_groups / self.drains
 
 
 class BackgroundWriter:
@@ -358,6 +370,8 @@ class BackgroundWriter:
             self.stats.drains += 1
             self.stats.drained_updates += len(batch)
             self.stats.row_groups += groups
+            if groups > self.stats.max_row_groups:
+                self.stats.max_row_groups = groups
             self.stats.apply_seconds += elapsed
             if elapsed > self.stats.max_apply_seconds:
                 self.stats.max_apply_seconds = elapsed
@@ -399,6 +413,8 @@ class BackgroundWriter:
             "drains": self.stats.drains,
             "drained_updates": self.stats.drained_updates,
             "row_groups": self.stats.row_groups,
+            "max_row_groups": self.stats.max_row_groups,
+            "mean_row_groups": self.stats.mean_row_groups(),
             "publishes": self.stats.publishes,
             "blocked_submits": self.stats.blocked_submits,
             "blocked_seconds": self.stats.blocked_seconds,

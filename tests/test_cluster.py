@@ -364,6 +364,168 @@ class TestClusterMetrics:
             service.close()
 
 
+class TestBatchedPipeline:
+    """Batched drains: pipelined dispatch, crash-mid-batch exactly-once."""
+
+    def test_drain_dispatch_is_pipelined(self, workload):
+        """drain() returns while the workers still apply the batch."""
+        graph, scores, updates = workload
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            pool = service.engine.score_store.pool
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGSTOP)
+            try:
+                service.submit_many(updates[:10])
+                service.drain()
+                # Workers are frozen, so the only way drain() came back
+                # is an uncollected in-flight batch.
+                assert pool.inflight_batches() >= 1
+            finally:
+                for pid in pool.worker_pids():
+                    os.kill(pid, signal.SIGCONT)
+            # Any authoritative read settles the pipeline.
+            ref = SimRankService(
+                graph, CFG, initial_scores=scores, shard_rows=32
+            )
+            try:
+                ref.submit_many(updates[:10])
+                ref.drain()
+                assert np.array_equal(
+                    service.engine.similarities(), ref.engine.similarities()
+                )
+            finally:
+                ref.close()
+            assert pool.inflight_batches() == 0
+        finally:
+            service.close()
+
+    def test_sigkill_between_dispatch_and_reply(self, workload):
+        """SIGKILL after dispatch, before the reply: replay is exactly-once.
+
+        SIGSTOP pins the worker so the batch is provably dispatched but
+        unanswered when SIGKILL lands; the journal replay must rebuild
+        the bit-identical state (each batch applied exactly once) and a
+        reader pinned before the crash must stay bit-stable.
+        """
+        graph, scores, updates = workload
+        ref = SimRankService(graph, CFG, initial_scores=scores, shard_rows=32)
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            pool = service.engine.score_store.pool
+            chunk = 10
+            # Warm up a few drains, then pin a reader.
+            for begin in range(0, 3 * chunk, chunk):
+                part = updates[begin : begin + chunk]
+                ref.submit_many(part)
+                service.submit_many(part)
+                ref.drain()
+                service.drain()
+            pinned = service.snapshot()
+            frozen = pinned.similarities()
+            frozen_top = pinned.top_k(10)
+            # Freeze worker 0, dispatch a batch it can never answer,
+            # then kill it mid-batch.
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGSTOP)
+            part = updates[3 * chunk : 4 * chunk]
+            ref.submit_many(part)
+            service.submit_many(part)
+            ref.drain()
+            service.drain()
+            assert pool.inflight_batches() >= 1
+            os.kill(victim, signal.SIGKILL)
+            # Keep streaming after the crash.
+            for begin in range(4 * chunk, len(updates), chunk):
+                part = updates[begin : begin + chunk]
+                ref.submit_many(part)
+                service.submit_many(part)
+                ref.drain()
+                service.drain()
+            assert np.array_equal(
+                service.engine.similarities(), ref.engine.similarities()
+            )
+            assert pool.stats.crashes >= 1
+            assert pool.stats.respawns >= 1
+            assert service.top_k(10) == ref.top_k(10)
+            assert np.array_equal(pinned.similarities(), frozen)
+            assert pinned.top_k(10) == frozen_top
+        finally:
+            ref.close()
+            service.close()
+
+    def test_batch_wire_gauges(self, workload):
+        """ipc_bytes / staged_bytes / batch_size make batching observable."""
+        graph, scores, updates = workload
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            chunk = 10
+            for begin in range(0, 50, chunk):
+                service.submit_many(updates[begin : begin + chunk])
+                service.drain()
+            report = service.metrics_report()
+            executor = report["executor"]
+            assert executor["plan_batches"] >= 5
+            assert executor["batch_size"] > 1.0
+            assert executor["last_batch_size"] >= 1
+            # The payload rode shared memory, not the pipes.
+            assert executor["staged_bytes"] > executor["ipc_bytes"]
+            assert executor["ipc_per_plan_ms"] >= 0.0
+            assert (
+                report["scheduler"]["max_drained_groups"]
+                >= executor["last_batch_size"]
+            )
+        finally:
+            service.close()
+
+    def test_journal_stays_bounded_under_batches(self, workload):
+        """Drain-only sessions (no reads, no snapshots) stay bounded.
+
+        The assertion runs *inside* the loop: between drains nothing
+        else syncs or checkpoints the pool, so this is exactly the
+        mutate-only session the journal limit exists for.
+        """
+        graph, scores, updates = workload
+        service = SimRankService(
+            graph,
+            CFG,
+            initial_scores=scores,
+            shard_rows=32,
+            executor="process",
+            workers=2,
+        )
+        try:
+            pool = service.engine.score_store.pool
+            pool.journal_limit = 3
+            for begin in range(0, len(updates), 5):
+                service.submit_many(updates[begin : begin + 5])
+                service.drain()
+                assert pool.journal_length() <= 3
+        finally:
+            service.close()
+
+
 class TestJournalBounds:
     """The crash-replay journal must stay bounded without snapshots."""
 
