@@ -30,6 +30,13 @@ perf gate (precompute ``S`` once, stream the next edge arrivals)::
 
 Exits non-zero if isolation is violated (in either mode) or fewer than
 ``--min-updates`` updates were applied.
+
+With ``--workers N --faults [SEED]`` the run doubles as a recovery
+smoke test: a deterministic, fully-recoverable fault schedule (worker
+crashes, stalls, staging-allocation failures, payload corruption — no
+poison batches) is armed on the pool, and the benchmark additionally
+fails unless at least one seeded fault actually fired while every
+serving gate still passed.
 """
 
 from __future__ import annotations
@@ -69,11 +76,33 @@ def _time_queries(view, pairs, sources) -> Dict:
     }
 
 
-def _executor_kwargs(workers: int) -> Dict:
-    """Service kwargs for the requested executor (0 => in-process)."""
-    if workers > 0:
-        return {"executor": "process", "workers": workers}
-    return {}
+def _executor_kwargs(
+    workers: int, fault_seed: Optional[int] = None
+) -> Dict:
+    """Service kwargs for the requested executor (0 => in-process).
+
+    A ``fault_seed`` arms a deterministic fault schedule on the pool
+    (crashes, stalls, staging failures, payload corruption — never
+    poison, so the run must complete) and enables the ``rebuild``
+    degraded policy as a final safety net.  The bench's isolation and
+    min-updates gates then double as a recovery smoke test.
+    """
+    if workers <= 0:
+        return {}
+    kwargs: Dict = {"executor": "process", "workers": workers}
+    if fault_seed is not None:
+        from ..cluster import FaultPlan
+
+        kwargs["executor_options"] = {
+            "fault_plan": FaultPlan.seeded(
+                fault_seed,
+                workers,
+                horizon=6,
+                kinds=("crash", "stall", "shm_fail", "corrupt"),
+            )
+        }
+        kwargs["degraded_policy"] = "rebuild"
+    return kwargs
 
 
 def run_serving_bench(
@@ -86,6 +115,7 @@ def run_serving_bench(
     seed: int = 7,
     shard_rows: int = 128,
     workers: int = 0,
+    fault_seed: Optional[int] = None,
 ) -> Dict:
     """Run the pinned-reader / draining-writer scenario; return a report."""
     graph, config, initial, updates = _workload(
@@ -101,7 +131,7 @@ def run_serving_bench(
         config,
         initial_scores=initial,
         shard_rows=shard_rows,
-        **_executor_kwargs(workers),
+        **_executor_kwargs(workers, fault_seed),
     )
 
     rng = np.random.default_rng(seed)
@@ -153,6 +183,7 @@ def _sync_scenario(
 
     engine = service.engine
     memory = service.memory_report()
+    metrics = service.metrics_report()
     report = {
         "benchmark": "serving-snapshot-isolation",
         "workload": {
@@ -201,6 +232,8 @@ def _sync_scenario(
             "snapshot_pinned_bytes": view.nbytes(),
             "transition_store_bytes": memory["transition_store_bytes"],
         },
+        "executor": metrics["executor"],
+        "degraded": metrics.get("degraded"),
     }
     return report
 
@@ -218,6 +251,7 @@ def run_background_bench(
     policy: str = "block",
     top_k: int = 10,
     workers: int = 0,
+    fault_seed: Optional[int] = None,
 ) -> Dict:
     """Readers pin published views while the background writer drains.
 
@@ -247,7 +281,7 @@ def run_background_bench(
         drain_interval=drain_interval,
         max_pending=max_pending,
         backpressure=policy,
-        **_executor_kwargs(workers),
+        **_executor_kwargs(workers, fault_seed),
     )
     try:
         return _background_scenario(
@@ -347,6 +381,7 @@ def _background_scenario(
         "wall_seconds": wall_seconds,
         "writer": metrics["writer"],
         "executor": metrics["executor"],
+        "degraded": metrics.get("degraded"),
         "reader": {
             "snapshot_pins": len(pin_seconds),
             "pin_mean_seconds": statistics.fmean(pin_seconds),
@@ -416,7 +451,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the scenarios on the process executor with N shard "
         "workers (0 keeps the in-process executor)",
     )
+    parser.add_argument(
+        "--faults",
+        type=int,
+        nargs="?",
+        const=11,
+        default=None,
+        metavar="SEED",
+        help="arm a seeded, recoverable fault schedule on the pool "
+        "(crash/stall/shm_fail/corrupt) and require the run to survive "
+        "it; needs --workers >= 1 (optional value overrides the seed)",
+    )
     args = parser.parse_args(argv)
+    if args.faults is not None and args.workers <= 0:
+        parser.error("--faults requires --workers >= 1")
 
     violations: List[str] = []
     applied_counts: List[int] = []
@@ -429,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             shard_rows=args.shard_rows,
             workers=args.workers,
+            fault_seed=args.faults,
         )
         violations.extend(
             key for key, ok in report["isolation"].items() if not ok
@@ -455,6 +504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_pending=args.max_pending,
             policy=args.backpressure,
             workers=args.workers,
+            fault_seed=args.faults,
         )
         report["background_writer"] = background
         violations.extend(
@@ -481,6 +531,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.faults is not None:
+        # The isolation/min-updates gates above already proved the run
+        # completed correctly; here we prove it did so *under fire* —
+        # the seeded schedule must actually have injected something.
+        fired = 0
+        for section in (
+            report.get("executor"),
+            report.get("background_writer", {}).get("executor"),
+        ):
+            if section:
+                fired += len(section.get("faults", {}).get("fired", []))
+        if fired == 0:
+            print(
+                "SERVING GATE FAIL: --faults was set but no fault from "
+                "the seeded schedule fired (pool replaced, or schedule "
+                "beyond the command horizon)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"fault smoke ok: {fired} seeded fault(s) fired and the "
+            f"serving gates still passed",
+            file=sys.stderr,
+        )
     summary = []
     if "writer" in report:
         summary.append(

@@ -126,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the scores across N worker processes "
         "(repro.cluster pool); 0 keeps the in-process executor",
     )
+    serve.add_argument(
+        "--degraded-policy",
+        choices=("reject", "queue", "rebuild"),
+        default="reject",
+        help="what to do if the worker pool dies mid-serve: stay up "
+        "read-only and reject writes, keep queueing writes, or rebuild "
+        "the score state in-process and keep writing",
+    )
 
     return parser
 
@@ -201,7 +209,11 @@ def command_serve(args: argparse.Namespace) -> int:
     batch = load_update_file(args.updates)
     executor_kwargs = {}
     if args.workers > 0:
-        executor_kwargs = {"executor": "process", "workers": args.workers}
+        executor_kwargs = {
+            "executor": "process",
+            "workers": args.workers,
+            "degraded_policy": args.degraded_policy,
+        }
     service = SimRankService(graph, _config(args), **executor_kwargs)
     if args.workers > 0:
         print(

@@ -10,6 +10,15 @@ transition payloads on topology change) over command pipes, and the
 in-process :class:`~repro.executor.score_store.ScoreStore` so the
 engine, the background writer, and the snapshot readers run unchanged.
 
+Failure model (see the README's "Failure model" table): a
+:class:`~repro.cluster.supervisor.WorkerSupervisor` drives adaptive
+reply deadlines, a token-bucket respawn budget with backoff, and
+poison-batch quarantine; :mod:`repro.cluster.faults` injects seeded
+fault schedules for the chaos suite; and
+:func:`~repro.cluster.recovery.rebuild_score_store` reassembles an
+in-process store from a failed pool's frozen base + journal so the
+serving layer can degrade gracefully instead of dying.
+
 Select it with ``SimRankService(executor="process", workers=N)`` or
 ``python -m repro serve ... --workers N``.
 """
@@ -21,7 +30,8 @@ from .client import (
     SharedScoreSnapshot,
     build_client,
 )
-from .messages import SegmentSpec, WorkerInit
+from .faults import FaultAction, FaultInjector, FaultPlan
+from .messages import SegmentSpec, WorkerInit, word_checksums
 from .pool import (
     DEFAULT_COMMAND_TIMEOUT,
     DEFAULT_MAX_RESPAWNS,
@@ -29,21 +39,39 @@ from .pool import (
     PoolStats,
     ShardWorkerPool,
 )
+from .recovery import rebuild_score_store
+from .supervisor import (
+    AdaptiveDeadline,
+    QuarantinedBatch,
+    RespawnBudget,
+    WorkerHealth,
+    WorkerSupervisor,
+)
 from .worker import WorkerShardStore, worker_loop
 
 __all__ = [
+    "AdaptiveDeadline",
     "DEFAULT_COMMAND_TIMEOUT",
     "DEFAULT_MAX_RESPAWNS",
     "DEFAULT_START_METHOD",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
     "PlanningOverlay",
     "PoolStats",
     "PoolTopK",
+    "QuarantinedBatch",
+    "RespawnBudget",
     "SegmentSpec",
     "ShardClient",
     "ShardWorkerPool",
     "SharedScoreSnapshot",
+    "WorkerHealth",
     "WorkerInit",
     "WorkerShardStore",
+    "WorkerSupervisor",
     "build_client",
+    "rebuild_score_store",
+    "word_checksums",
     "worker_loop",
 ]

@@ -305,6 +305,15 @@ class ShardClient(ScoreStore):
     def close(self) -> None:
         self._pool.close()
 
+    def heartbeat(self) -> bool:
+        """Probe worker liveness between drains (see pool.heartbeat).
+
+        Raises :class:`~repro.exceptions.PoolUnrecoverableError` once
+        the pool has failed — the background writer's idle heartbeat
+        uses this to discover a dead pool without waiting for a drain.
+        """
+        return self._pool.heartbeat()
+
     def _drop_overlay(self) -> None:
         """Pipeline drained: the mirror is authoritative again."""
         self._overlay.clear()

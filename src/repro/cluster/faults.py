@@ -1,0 +1,257 @@
+"""Deterministic seeded fault injection for the shard-worker pool.
+
+The chaos suite needs reproducible failure schedules — "worker 1 dies
+while command 7 is in flight" must mean the same thing on every run —
+so faults are expressed as a :class:`FaultPlan`: a list of
+:class:`FaultAction` records fired by explicit hooks the pool calls at
+well-defined points in its dispatch path.  Nothing here is probabilistic
+at runtime; :meth:`FaultPlan.seeded` derives a schedule from a seed
+once, up front, PROSE-style (seeded search over schedules rather than
+hand-picked crash points).
+
+Fault kinds (all injected parent-side, so production workers carry zero
+injection code):
+
+``crash``
+    SIGKILL the target worker right as a command is sent to it — the
+    classic mid-dispatch crash that exercises journal replay.
+``poison``
+    SIGKILL the target on *every* batch command sent to it from the
+    trigger point on, including replay resends.  The same journal entry
+    kills the fresh respawn, which is exactly the deterministic-failure
+    signature the quarantine logic must catch.
+``stall``
+    SIGSTOP the worker and SIGCONT it after ``delay`` seconds — replies
+    arrive but only after the adaptive deadline has (or has not) fired.
+``shm_fail``
+    The next staging-slot allocation raises ``OSError``, modelling shm
+    exhaustion.  Fires before the journal append, so the pool state is
+    untouched and the caller may retry or fall back to per-plan sends.
+``corrupt``
+    Flip one 64-bit word of the staged batch after the checksums were
+    computed — caught by the per-section checksums in
+    :func:`repro.cluster.messages.word_checksums` and repaired by
+    resending the intact journal copy.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultAction", "FaultInjector", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash", "poison", "stall", "shm_fail", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: do ``kind`` to ``worker_id`` at ``at_command``.
+
+    ``at_command`` counts dispatched pool commands (the pool's own
+    logical clock, starting at 1 with the constructor's init ping), so a
+    schedule is stable across timing jitter.  ``delay`` is only
+    meaningful for ``stall`` (seconds until SIGCONT).
+    """
+
+    kind: str
+    worker_id: int
+    at_command: int
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_command < 2:
+            # Command 1 is the constructor's init ping; injecting there
+            # would fail pool construction, which is not a failure mode
+            # this harness models.
+            raise ValueError("at_command must be >= 2")
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of fault actions."""
+
+    actions: List[FaultAction] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        workers: int,
+        horizon: int,
+        max_faults: int = 3,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """Derive a schedule from ``seed`` over ``horizon`` commands."""
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(1, max_faults + 1))
+        actions = []
+        for _ in range(count):
+            kind = str(rng.choice(list(kinds)))
+            actions.append(
+                FaultAction(
+                    kind=kind,
+                    worker_id=int(rng.integers(0, max(1, workers))),
+                    at_command=int(rng.integers(2, max(3, horizon))),
+                    delay=float(rng.uniform(0.05, 0.4))
+                    if kind == "stall"
+                    else 0.0,
+                )
+            )
+        actions.sort(key=lambda a: a.at_command)
+        return cls(actions=actions, seed=seed)
+
+    def describe(self) -> str:
+        parts = [
+            f"{a.kind}@{a.at_command}->w{a.worker_id}" for a in self.actions
+        ]
+        return f"FaultPlan(seed={self.seed}: {', '.join(parts) or 'empty'})"
+
+
+class FaultInjector:
+    """Runtime driver for a :class:`FaultPlan`, owned by one pool.
+
+    The pool calls the ``on_*`` hooks; the injector keeps a logical
+    command clock and fires each action exactly once (``poison`` stays
+    armed until the pool fails, by design).  All process signalling is
+    wrapped so a target that already exited never raises.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.clock = 0
+        self.fired: List[FaultAction] = []
+        self._pending = list(plan.actions)
+        self._poisoned: dict = {}  # worker_id -> trigger clock
+        self._shm_fail_armed = False
+        self._corrupt_armed: Optional[FaultAction] = None
+        self._rng = np.random.default_rng(
+            plan.seed if plan.seed is not None else 0
+        )
+
+    # ---------------------------------------------------------- #
+    # Hooks (called by ShardWorkerPool)
+    # ---------------------------------------------------------- #
+
+    def on_command(self, pool) -> None:
+        """A new pool command is being dispatched: advance the clock."""
+        self.clock += 1
+        due = [a for a in self._pending if a.at_command <= self.clock]
+        for action in due:
+            self._pending.remove(action)
+            self._arm(pool, action)
+
+    def on_send(self, pool, worker_id: int, cmd) -> None:
+        """About to send ``cmd`` to ``worker_id`` (incl. replay resends)."""
+        trigger = self._poisoned.get(worker_id)
+        if trigger is not None and type(cmd).__name__ == "ApplyBatchCmd":
+            self._kill(pool, worker_id)
+
+    def on_staging(self, pool) -> None:
+        """A staging slot is about to be allocated."""
+        if self._shm_fail_armed:
+            self._shm_fail_armed = False
+            raise OSError(
+                "injected fault: shared-memory staging allocation failed"
+            )
+
+    def on_staged(self, pool, words: np.ndarray) -> None:
+        """Batch words staged and checksummed: corruption window."""
+        action = self._corrupt_armed
+        if action is None or words.size == 0:
+            return
+        self._corrupt_armed = None
+        position = int(self._rng.integers(0, words.size))
+        words[position] ^= np.int64(0x5A5A5A5A5A5A5A5A)
+        self.fired.append(action)
+
+    # ---------------------------------------------------------- #
+    # Action firing
+    # ---------------------------------------------------------- #
+
+    def _arm(self, pool, action: FaultAction) -> None:
+        worker_id = action.worker_id % max(1, pool.num_workers)
+        if action.kind == "crash":
+            self._kill(pool, worker_id)
+            self.fired.append(action)
+        elif action.kind == "poison":
+            self._poisoned[worker_id] = self.clock
+            self.fired.append(action)
+        elif action.kind == "stall":
+            self._stall(pool, worker_id, action.delay)
+            self.fired.append(action)
+        elif action.kind == "shm_fail":
+            self._shm_fail_armed = True
+            self.fired.append(action)
+        elif action.kind == "corrupt":
+            self._corrupt_armed = action
+
+    def _kill(self, pool, worker_id: int) -> None:
+        process = self._process(pool, worker_id)
+        if process is None or process.pid is None:
+            return
+        try:
+            os.kill(process.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            return
+        process.join(1.0)
+
+    def _stall(self, pool, worker_id: int, delay: float) -> None:
+        process = self._process(pool, worker_id)
+        if process is None or process.pid is None:
+            return
+        pid = process.pid
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except (ProcessLookupError, OSError):
+            return
+
+        def _resume() -> None:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except (ProcessLookupError, OSError):
+                pass
+
+        timer = threading.Timer(max(0.01, delay), _resume)
+        timer.daemon = True
+        timer.start()
+
+    @staticmethod
+    def _process(pool, worker_id: int):
+        handles = getattr(pool, "_workers", None)
+        if not handles or worker_id >= len(handles):
+            return None
+        handle = handles[worker_id]
+        process = getattr(handle, "process", None)
+        if process is None or not process.is_alive():
+            return None
+        return process
+
+    # ---------------------------------------------------------- #
+    # Reporting
+    # ---------------------------------------------------------- #
+
+    def report(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "clock": self.clock,
+            "scheduled": len(self.plan.actions),
+            "fired": [
+                {
+                    "kind": a.kind,
+                    "worker_id": a.worker_id,
+                    "at_command": a.at_command,
+                }
+                for a in self.fired
+            ],
+            "pending": len(self._pending),
+            "poisoned_workers": sorted(self._poisoned),
+        }

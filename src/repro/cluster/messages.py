@@ -22,6 +22,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+
+def word_checksums(
+    words: "np.ndarray", count: int, sections: Tuple[int, int, int]
+) -> Tuple[int, ...]:
+    """Per-section XOR checksums over a packed batch's word block.
+
+    The packed layout is five contiguous sections — targets, ranks,
+    lens, idx, val-as-int64 — so five independent checksums localize a
+    corruption to the section it hit (and a flipped word can never
+    cancel against another section).  XOR reduction is order-free and
+    runs at memory bandwidth, keeping the staging hot path cheap.
+    """
+    lens_len, idx_len, val_len = sections
+    bounds = [0, count, 2 * count, 2 * count + lens_len]
+    bounds.append(bounds[-1] + idx_len)
+    bounds.append(bounds[-1] + val_len)
+    sums = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        section = words[lo:hi]
+        if section.size == 0:
+            sums.append(0)
+        else:
+            sums.append(int(np.bitwise_xor.reduce(section)))
+    return tuple(sums)
+
 
 @dataclass(frozen=True)
 class SegmentSpec:
@@ -102,6 +129,10 @@ class ApplyBatchCmd:
     words: int = 0
     #: In-band PackedPlanBatch (replay path), or None.
     packed: Optional[object] = None
+    #: Per-section XOR checksums of the staged words (live path only;
+    #: ``None`` disables verification, e.g. unsupervised pools and the
+    #: inline replay path where the pipe itself is integrity-checked).
+    checksums: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -192,6 +223,10 @@ class Reply:
     worker_id: int
     ok: bool
     error: Optional[str] = None
+    #: The staged batch failed checksum verification — the parent should
+    #: resend the intact journal copy in-band rather than treat this as
+    #: an application error.
+    corrupt: bool = False
     #: Wall-clock seconds the worker spent handling the command.
     seconds: float = 0.0
     #: Scatter wall time per (global) shard id for mutating commands.

@@ -37,13 +37,20 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ClusterError, DimensionError, WorkerCrashError
+from ..exceptions import (
+    ClusterError,
+    DimensionError,
+    PoisonBatchError,
+    PoolUnrecoverableError,
+    WorkerCrashError,
+)
 from ..executor.score_store import (
     DEFAULT_SHARD_ROWS,
     ApplyMetrics,
     _Shard,
 )
 from ..incremental.plan import PlanBatch
+from .faults import FaultInjector
 from .messages import (
     AddNodeCmd,
     AddRowsCmd,
@@ -59,14 +66,23 @@ from .messages import (
     TopKConfigCmd,
     TopKRescanCmd,
     WorkerInit,
+    word_checksums,
 )
 from .shm import (
     attach_segment,
     create_segment,
     ndarray_view,
     pool_prefix,
+    reap_orphans,
+    register_pool,
     segment_nbytes,
     sweep_segments,
+    unregister_pool,
+)
+from .supervisor import (
+    DEFAULT_DEADLINE_FLOOR,
+    QuarantinedBatch,
+    WorkerSupervisor,
 )
 from .worker import worker_loop
 
@@ -99,6 +115,11 @@ DEFAULT_MAX_INFLIGHT_BATCHES = 2
 
 #: Smallest staging-slot allocation (slots grow by doubling).
 _MIN_STAGING_BYTES = 1 << 16
+
+#: One orphan sweep is registered per process (not per pool): manifests
+#: from SIGKILL'd sessions are reaped by whichever process constructs a
+#: pool next, and again when this process exits.
+_REAPER_REGISTERED = False
 
 
 class _WorkerDied(Exception):
@@ -150,6 +171,9 @@ class PoolStats:
     crashes: int = 0
     respawns: int = 0
     replayed_commands: int = 0
+    #: Staged batches that failed checksum verification and were
+    #: repaired by resending the intact journal copy in-band.
+    corruptions: int = 0
     cow_copies: int = 0
     ipc_seconds: float = 0.0
     #: Approximate payload bytes that crossed the command pipes (plan
@@ -193,6 +217,9 @@ class _InflightBatch:
     dead: set = field(default_factory=set)
     #: Workers already rolled through this batch by a journal replay.
     recovered: set = field(default_factory=set)
+    #: The journal entry backing this batch — crash attribution for the
+    #: poison-quarantine logic keys on its identity.
+    entry: object = None
 
 
 class _SegmentTable:
@@ -261,6 +288,16 @@ class ShardWorkerPool:
         Journaled commands tolerated before an automatic checkpoint
         (snapshots checkpoint anyway; this bounds sessions that never
         pin one).
+    supervise:
+        Enables adaptive reply deadlines, respawn backoff, and staged
+        batch checksums.  ``False`` keeps the fixed
+        ``command_timeout``-scaled deadlines and skips checksumming —
+        the bench's unsupervised baseline.
+    deadline_floor:
+        Minimum adaptive deadline in seconds (absorbs 1-core CI boxes).
+    fault_plan:
+        A :class:`~repro.cluster.faults.FaultPlan` to inject — testing
+        only; never set in production.
     """
 
     def __init__(
@@ -272,6 +309,9 @@ class ShardWorkerPool:
         command_timeout: float = DEFAULT_COMMAND_TIMEOUT,
         max_respawns: int = DEFAULT_MAX_RESPAWNS,
         journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+        supervise: bool = True,
+        deadline_floor: float = DEFAULT_DEADLINE_FLOOR,
+        fault_plan=None,
     ) -> None:
         scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
         if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
@@ -289,7 +329,28 @@ class ShardWorkerPool:
         self.command_timeout = float(command_timeout)
         self.max_respawns = int(max_respawns)
         self.journal_limit = max(1, int(journal_limit))
+        self.supervise = bool(supervise)
+        #: Checksum the staged word block on the live batched path so a
+        #: corrupted staging slot is caught before any plan is applied.
+        self._checksums = bool(supervise)
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._failed = False
+        self._fail_reason: Optional[str] = None
+        #: Crash counts keyed by journal-entry identity — the poison
+        #: signature is the *same* entry killing two worker incarnations.
+        self._entry_crashes: Dict[int, int] = {}
         self.stats = PoolStats()
+        # Reap segments orphaned by SIGKILL'd sessions before creating
+        # our own, then register this pool's manifest so the next
+        # session can reap us if we die uncleanly.
+        global _REAPER_REGISTERED
+        if not _REAPER_REGISTERED:
+            atexit.register(reap_orphans)
+            _REAPER_REGISTERED = True
+        reap_orphans()
+        self._manifest = register_pool(self._prefix)
         self.apply_metrics = ApplyMetrics()
         self._segments = _SegmentTable()
         self._specs: Dict[int, SegmentSpec] = {}
@@ -333,6 +394,13 @@ class ShardWorkerPool:
             self.mirror_shards.append(_Shard(base, rows, buffer))
 
         count = min(int(workers), max(num_shards, 1))
+        self.supervisor = WorkerSupervisor(
+            num_workers=count,
+            command_timeout=self.command_timeout,
+            max_respawns=self.max_respawns,
+            enabled=self.supervise,
+            deadline_floor=float(deadline_floor),
+        )
         bounds = np.linspace(0, num_shards, count + 1).astype(int)
         for worker_id in range(count):
             lo, hi = int(bounds[worker_id]), int(bounds[worker_id + 1])
@@ -368,6 +436,15 @@ class ShardWorkerPool:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def failed(self) -> bool:
+        """Unrecoverable: mutations refused, read state still mapped."""
+        return self._failed
+
+    @property
+    def fail_reason(self) -> Optional[str]:
+        return self._fail_reason
 
     @property
     def topk(self):
@@ -433,6 +510,9 @@ class ShardWorkerPool:
         )
         process.start()
         child_conn.close()
+        # The first reply after a (re)spawn pays a cold interpreter
+        # start; the adaptive deadline must not hold it to warm p99s.
+        self.supervisor.mark_cold(worker_id)
         return _WorkerHandle(
             worker_id=worker_id,
             process=process,
@@ -468,21 +548,97 @@ class ShardWorkerPool:
             self._segments.release(spec.name)
         self._replay_base = None
 
-    def _recover(self, worker_id: int, cmd, journaled: bool):
+    def _fail(self, reason: str) -> None:
+        """Declare the pool unrecoverable; keep its read state alive.
+
+        Workers are killed and pipes closed, but the mapped segments,
+        the parent mirror, the replay base, and the journal are all
+        *retained*: pinned snapshots stay bit-stable, fresh parent-side
+        reads keep working, and
+        :func:`repro.cluster.recovery.rebuild_score_store` can assemble
+        an in-process store from base + journal.  Only :meth:`close`
+        releases the memory.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        self._fail_reason = reason
+        self._inflight.clear()
+        for handle in self._workers:
+            try:
+                handle.process.kill()
+            except Exception:
+                pass
+            try:
+                handle.process.join(2.0)
+            except Exception:
+                pass
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        for slot in self._staging:
+            try:
+                slot.segment.close()
+                slot.segment.unlink()
+            except OSError:
+                pass
+        self._staging.clear()
+
+    def _recover(self, worker_id: int, cmd, journaled: bool, entry=None):
         """Respawn a dead worker from the replay base and roll it forward.
 
         Returns the reply for the in-flight command: for a journaled
         command that reply is produced naturally by the replay (the
         journal's last entry *is* the in-flight command); otherwise the
         command is re-sent to the recovered worker.
+
+        ``entry`` is the journal entry whose dispatch (or replay)
+        killed the worker, when known.  The same entry killing two
+        worker incarnations is the poison signature: the entry is
+        quarantined and the pool fails rather than burning the rest of
+        the respawn budget on a deterministic crash.
         """
         handle = self._workers[worker_id]
         self.stats.crashes += 1
-        if handle.respawns >= self.max_respawns:
-            self.close()
+        if entry is not None:
+            key = id(entry)
+            crashes = self._entry_crashes.get(key, 0) + 1
+            self._entry_crashes[key] = crashes
+            if crashes >= 2:
+                journal_cmd = entry.command_for(worker_id)
+                index = next(
+                    (
+                        at
+                        for at, candidate in enumerate(self._journal)
+                        if candidate is entry
+                    ),
+                    -1,
+                )
+                record = QuarantinedBatch(
+                    journal_index=index,
+                    worker_ids=tuple(entry.workers),
+                    count=int(getattr(journal_cmd, "count", 1)),
+                    crashes=crashes,
+                    payload=getattr(journal_cmd, "packed", None)
+                    or journal_cmd,
+                )
+                self.supervisor.quarantine(record)
+                self._fail(f"poison batch quarantined: {record.describe()}")
+                raise PoisonBatchError(
+                    f"journaled command killed worker {worker_id} twice "
+                    f"and was quarantined ({record.describe()}); the pool "
+                    "is unrecoverable and now read-only",
+                    quarantine=record,
+                )
+        if not self.supervisor.begin_respawn(worker_id):
+            self._fail(
+                f"respawn budget exhausted after worker {worker_id} crashed"
+            )
             raise WorkerCrashError(
-                f"shard worker {worker_id} exceeded its respawn budget "
-                f"({self.max_respawns}); pool closed"
+                f"shard worker {worker_id} crashed and the pool's respawn "
+                "budget is exhausted; the pool is unrecoverable and now "
+                "read-only"
             )
         try:
             handle.process.terminate()
@@ -525,21 +681,29 @@ class ShardWorkerPool:
         self._workers[worker_id] = new_handle
 
         last_reply = None
-        for entry in self._journal:
-            if worker_id not in entry.workers:
+        for replay_entry in self._journal:
+            if worker_id not in replay_entry.workers:
                 continue
-            replay_cmd = entry.command_for(worker_id)
+            replay_cmd = replay_entry.command_for(worker_id)
             try:
+                if self._injector is not None:
+                    self._injector.on_send(self, worker_id, replay_cmd)
                 new_handle.conn.send(replay_cmd)
-                reply = self._recv(
-                    new_handle, timeout=self._cmd_timeout(replay_cmd)
+                reply = self._recv(new_handle, replay_cmd)
+            except (_WorkerDied, BrokenPipeError, OSError):
+                # Attribute the crash to the entry being replayed: a
+                # second kill on the same entry is the poison signature.
+                return self._recover(
+                    worker_id, cmd, journaled, entry=replay_entry
                 )
-            except _WorkerDied:
-                return self._recover(worker_id, cmd, journaled)
             if not reply.ok:
-                self.close()
-                raise ClusterError(
+                self._fail(
                     f"worker {worker_id} failed during crash replay:\n"
+                    f"{reply.error}"
+                )
+                raise PoolUnrecoverableError(
+                    f"worker {worker_id} failed during crash replay; the "
+                    f"pool is unrecoverable and now read-only:\n"
                     f"{reply.error}"
                 )
             self._ingest(new_handle, reply)
@@ -549,6 +713,7 @@ class ShardWorkerPool:
             self._topk.mark_shards_dirty(
                 range(new_handle.shard_lo, new_handle.shard_hi)
             )
+        self.supervisor.finish_respawn(worker_id)
         if journaled:
             if last_reply is None:
                 raise ClusterError(
@@ -557,8 +722,8 @@ class ShardWorkerPool:
             return last_reply
         try:
             new_handle.conn.send(cmd)
-            reply = self._recv(new_handle, timeout=self._cmd_timeout(cmd))
-        except _WorkerDied:
+            reply = self._recv(new_handle, cmd)
+        except (_WorkerDied, BrokenPipeError, OSError):
             return self._recover(worker_id, cmd, journaled)
         if not reply.ok:
             raise ClusterError(
@@ -610,24 +775,34 @@ class ShardWorkerPool:
     # Command plumbing
     # -------------------------------------------------------------- #
 
-    def _cmd_timeout(self, cmd) -> float:
-        """Reply deadline for one command, scaled to its work size.
+    def _recv(self, handle: _WorkerHandle, cmd=None):
+        """Wait for one reply under the worker's adaptive deadline.
 
-        A batched drain carries a whole drain's apply work in one
-        command; budgeting it the flat per-command timeout would
-        SIGKILL a legitimately busy worker on large drains (and crash
-        replay would re-send the same batch into the same timeout).
+        The deadline scales with the command's work size (a batched
+        drain is budgeted per plan) and, once the supervisor has enough
+        samples, with the worker's own observed reply latency — a
+        genuinely hung worker is declared dead within a few multiples
+        of its normal latency instead of a 2-minute constant.  Past
+        half the deadline the worker is marked ``suspect`` in the
+        health report; a reply observes the elapsed time back into the
+        deadline estimator and restores ``healthy``.
         """
-        return self.command_timeout * max(1, int(getattr(cmd, "count", 1)))
-
-    def _recv(self, handle: _WorkerHandle, timeout: Optional[float] = None):
-        deadline = time.monotonic() + (
-            self.command_timeout if timeout is None else timeout
-        )
+        units = max(1, int(getattr(cmd, "count", 1))) if cmd is not None else 1
+        budget = self.supervisor.deadline(handle.worker_id, units)
+        started = time.monotonic()
+        deadline = started + budget
+        suspect_at = started + budget / 2.0
+        suspected = False
         while True:
             try:
                 if handle.conn.poll(0.05):
-                    return handle.conn.recv()
+                    reply = handle.conn.recv()
+                    self.supervisor.observe_reply(
+                        handle.worker_id,
+                        time.monotonic() - started,
+                        units,
+                    )
+                    return reply
             except (EOFError, OSError):
                 raise _WorkerDied(handle.worker_id)
             if not handle.process.is_alive():
@@ -638,7 +813,11 @@ class ShardWorkerPool:
                 except (EOFError, OSError):
                     pass
                 raise _WorkerDied(handle.worker_id)
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if not suspected and now >= suspect_at:
+                self.supervisor.mark_suspect(handle.worker_id)
+                suspected = True
+            if now >= deadline:
                 try:
                     handle.process.kill()
                 except Exception:
@@ -668,13 +847,21 @@ class ShardWorkerPool:
         """Send one command set and synchronously collect every reply."""
         if self._closed:
             raise ClusterError("shard worker pool is closed")
+        if self._failed:
+            raise PoolUnrecoverableError(
+                self._fail_reason or "shard worker pool is unrecoverable"
+            )
         # The wire protocol is strictly FIFO per worker: any pipelined
         # batch replies still on the pipes must be collected before a
         # new request/response exchange starts.
         self.sync_batches()
         worker_ids = tuple(worker_ids)
+        if self._injector is not None:
+            self._injector.on_command(self)
+        entry = None
         if journaled:
-            self._journal.append(_JournalEntry(workers=worker_ids, cmds=cmds))
+            entry = _JournalEntry(workers=worker_ids, cmds=cmds)
+            self._journal.append(entry)
         self.stats.commands += 1
         command_for = (
             cmds.__getitem__ if isinstance(cmds, dict) else lambda w: cmds
@@ -682,6 +869,10 @@ class ShardWorkerPool:
         dead = set()
         for worker_id in worker_ids:
             try:
+                if self._injector is not None:
+                    self._injector.on_send(
+                        self, worker_id, command_for(worker_id)
+                    )
                 self._workers[worker_id].conn.send(command_for(worker_id))
             except (BrokenPipeError, OSError):
                 dead.add(worker_id)
@@ -694,14 +885,14 @@ class ShardWorkerPool:
             handle = self._workers[worker_id]
             if worker_id in dead:
                 replies[worker_id] = self._recover(
-                    worker_id, command_for(worker_id), journaled
+                    worker_id, command_for(worker_id), journaled, entry=entry
                 )
                 continue
             try:
-                reply = self._recv(handle)
+                reply = self._recv(handle, command_for(worker_id))
             except _WorkerDied:
                 replies[worker_id] = self._recover(
-                    worker_id, command_for(worker_id), journaled
+                    worker_id, command_for(worker_id), journaled, entry=entry
                 )
                 continue
             if not reply.ok and first_error is None:
@@ -786,6 +977,10 @@ class ShardWorkerPool:
         """
         if self._closed:
             raise ClusterError("shard worker pool is closed")
+        if self._failed:
+            raise PoolUnrecoverableError(
+                self._fail_reason or "shard worker pool is unrecoverable"
+            )
         # Bound drain-only sessions: each batch journals one entry with
         # its packed payload in-band, and the room-making loop below
         # collects without checkpointing, so the limit must be enforced
@@ -804,6 +999,8 @@ class ShardWorkerPool:
         if not workers:
             return 0
         targets = tuple(sorted(workers))
+        if self._injector is not None:
+            self._injector.on_command(self)
         # Make pipeline room *before* journaling the new batch: a
         # recovery triggered by this collect replays the journal, and
         # the new entry must not be replayed before it was ever sent.
@@ -819,9 +1016,19 @@ class ShardWorkerPool:
         # append and the sends below can throw.
         words = packed.word_count()
         slot = self._staging_slot(words * 8)
-        packed.write_words(
-            np.ndarray((words,), dtype=np.int64, buffer=slot.segment.buf)
+        staged = np.ndarray((words,), dtype=np.int64, buffer=slot.segment.buf)
+        packed.write_words(staged)
+        # Checksum the staged words *after* the write and hand the sums
+        # to the workers in-band: anything that corrupts the slot
+        # between here and the worker's read is caught before a single
+        # plan of the batch is applied.
+        checksums = (
+            word_checksums(staged, packed.count, sections)
+            if self._checksums
+            else None
         )
+        if self._injector is not None:
+            self._injector.on_staged(self, staged)
         journal_cmd = ApplyBatchCmd(
             count=packed.count, sections=sections, packed=packed
         )
@@ -830,13 +1037,15 @@ class ShardWorkerPool:
             sections=sections,
             staging=slot.name,
             words=words,
+            checksums=checksums,
         )
-        self._journal.append(
-            _JournalEntry(workers=targets, cmds=journal_cmd)
-        )
+        entry = _JournalEntry(workers=targets, cmds=journal_cmd)
+        self._journal.append(entry)
         dead = set()
         for worker_id in targets:
             try:
+                if self._injector is not None:
+                    self._injector.on_send(self, worker_id, live_cmd)
                 self._workers[worker_id].conn.send(live_cmd)
             except (BrokenPipeError, OSError):
                 dead.add(worker_id)
@@ -852,13 +1061,14 @@ class ShardWorkerPool:
                 slot=slot.name,
                 send_seconds=time.perf_counter() - started,
                 dead=dead,
+                entry=entry,
             )
         )
         return len(plans)
 
     def sync_batches(self) -> None:
         """Collect every outstanding pipelined batch reply (idempotent)."""
-        if self._closed or self._syncing or not self._inflight:
+        if self._closed or self._failed or self._syncing or not self._inflight:
             return
         self._syncing = True
         try:
@@ -882,12 +1092,55 @@ class ShardWorkerPool:
             try:
                 if worker_id in record.dead:
                     raise _WorkerDied(worker_id)
-                reply = self._recv(
-                    handle, timeout=self._cmd_timeout(record.journal_cmd)
-                )
-            except _WorkerDied:
+                reply = self._recv(handle, record.journal_cmd)
+                if not reply.ok and getattr(reply, "corrupt", False):
+                    # The staged words failed checksum verification in
+                    # shared memory; the worker applied nothing.  The
+                    # journal retains the packed payload intact (it
+                    # never touched the slot ring), so when no later
+                    # pipelined batch is queued for this worker the
+                    # repair is a plain in-band resend — still
+                    # exactly-once.
+                    self.stats.corruptions += 1
+                    if any(
+                        worker_id in later.workers
+                        for later in self._inflight
+                    ):
+                        # Later batches already sit in this worker's
+                        # pipe ahead of any resend: an in-band repair
+                        # would apply this batch *after* them, and the
+                        # reordered accumulation diverges from the
+                        # in-process run.  Roll the worker through the
+                        # journal instead — terminate, respawn from the
+                        # replay base, strictly ordered replay.  The
+                        # kill is deliberate, not the entry's doing, so
+                        # it carries no poison attribution (a shared
+                        # corrupted slot escalates every reader of the
+                        # batch, which would otherwise count as the
+                        # same entry killing two workers).
+                        reply = self._recover(
+                            worker_id,
+                            record.journal_cmd,
+                            journaled=True,
+                            entry=None,
+                        )
+                        for later in self._inflight:
+                            if worker_id in later.workers:
+                                later.recovered.add(worker_id)
+                        slowest = max(slowest, reply.seconds)
+                        continue
+                    if self._injector is not None:
+                        self._injector.on_send(
+                            self, worker_id, record.journal_cmd
+                        )
+                    handle.conn.send(record.journal_cmd)
+                    reply = self._recv(handle, record.journal_cmd)
+            except (_WorkerDied, BrokenPipeError, OSError):
                 reply = self._recover(
-                    worker_id, record.journal_cmd, journaled=True
+                    worker_id,
+                    record.journal_cmd,
+                    journaled=True,
+                    entry=record.entry,
                 )
                 # The replay rolled this worker through *every*
                 # journaled batch, including any still in flight: mark
@@ -927,6 +1180,11 @@ class ShardWorkerPool:
 
     def _staging_slot(self, nbytes: int) -> _StagingSlot:
         """A staging slot free of in-flight references, grown to fit."""
+        if self._injector is not None:
+            # shm_fail injection point: fires *before* the journal
+            # append, so a raised OSError leaves the pool untouched and
+            # the caller may retry or fall back to per-plan dispatch.
+            self._injector.on_staging(self)
         nbytes = max(int(nbytes), 8)
         busy = {record.slot for record in self._inflight}
         free = [
@@ -1062,6 +1320,9 @@ class ShardWorkerPool:
         self._drop_base()
         self._replay_base = self._capture_base()
         self._journal.clear()
+        # Dropped journal entries can never be replayed again, so their
+        # crash attributions are moot (and id() keys must not alias).
+        self._entry_crashes.clear()
 
     def _auto_checkpoint(self) -> None:
         """Self-anchored checkpoint: pin the live segments, drop the journal.
@@ -1112,6 +1373,55 @@ class ShardWorkerPool:
         self._command(self._all_workers(), PingCmd(), journaled=False)
         return True
 
+    def heartbeat(self) -> bool:
+        """Liveness probe safe to call between drains.
+
+        Returns ``False`` without touching the pipes while pipelined
+        batch replies are outstanding (the strict FIFO protocol means
+        the pending replies *are* the liveness signal); otherwise pings
+        every worker.  Raises :class:`PoolUnrecoverableError` once the
+        pool has failed, which is how the background writer's idle-loop
+        heartbeat discovers a dead pool without waiting for the next
+        drain.
+        """
+        if self._closed:
+            raise ClusterError("shard worker pool is closed")
+        if self._failed:
+            raise PoolUnrecoverableError(
+                self._fail_reason or "shard worker pool is unrecoverable"
+            )
+        if self._inflight:
+            return False
+        self.ping()
+        return True
+
+    # -------------------------------------------------------------- #
+    # Degraded-mode rebuild support
+    # -------------------------------------------------------------- #
+
+    def recovery_state(self):
+        """The in-process rebuild anchor: ``(base, journal, shard_rows)``.
+
+        Valid while the pool is merely *failed* (not closed): ``_fail``
+        retains the replay base's frozen segments and the journal
+        exactly so :func:`repro.cluster.recovery.rebuild_score_store`
+        can replay them parent-side.
+        """
+        if self._closed:
+            raise ClusterError("shard worker pool is closed")
+        return self._replay_base, list(self._journal), self._shard_rows
+
+    def base_segment_array(self, spec: SegmentSpec) -> np.ndarray:
+        """A private copy of one replay-base segment's live rows."""
+        segment = self._segments.acquire(spec.name)
+        try:
+            view = ndarray_view(
+                segment, (spec.rows_cap, spec.cols_cap), writable=False
+            )
+            return np.array(view[: spec.rows, :], dtype=_FLOAT_DTYPE)
+        finally:
+            self._segments.release(spec.name)
+
     def apply_report(self) -> dict:
         """Executor gauges: per-shard/per-worker apply time vs IPC."""
         # Fold any pipelined replies into the gauges first, so the
@@ -1142,10 +1452,15 @@ class ShardWorkerPool:
                 "crashes": self.stats.crashes,
                 "respawns": self.stats.respawns,
                 "replayed_commands": self.stats.replayed_commands,
+                "corruptions": self.stats.corruptions,
                 "journal_length": self.journal_length(),
                 "live_segments": self.live_segments(),
+                "failed": self._failed,
+                "supervisor": self.supervisor.report(),
             }
         )
+        if self._injector is not None:
+            report["faults"] = self._injector.report()
         return report
 
     # -------------------------------------------------------------- #
@@ -1195,6 +1510,7 @@ class ShardWorkerPool:
         self._staging.clear()
         self._segments.release_all()
         sweep_segments(self._prefix)
+        unregister_pool(self._manifest)
         try:
             atexit.unregister(self.close)
         except Exception:

@@ -1,0 +1,106 @@
+"""In-process rebuild from a failed pool's frozen base + journal.
+
+When the shard-worker pool declares itself unrecoverable it *retains*
+its crash-replay anchor: the replay base's frozen segments (never
+written after the last checkpoint, by the copy-on-write invariant) and
+the journal of every mutating command since.  Those two artifacts are
+exactly a recipe for the current score state, and nothing about the
+recipe requires worker processes — the journal's commands carry their
+payloads in-band (batches keep their packed plans; dense commands keep
+their blocks), and the parent can replay them against a plain
+in-process :class:`~repro.executor.score_store.ScoreStore`.
+
+:func:`rebuild_score_store` performs that replay.  Applying a plan to
+the full row range is bit-identical to the union of the workers' row
+slices (rows outside a plan's support receive nothing), so the rebuilt
+store matches what the pool would have held — which is what lets the
+serving layer's ``degraded_policy="rebuild"`` fail over to in-process
+execution and keep writing without the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ClusterError
+from ..executor.score_store import ScoreStore
+from .messages import (
+    AddNodeCmd,
+    AddRowsCmd,
+    ApplyBatchCmd,
+    ApplyPlanCmd,
+    ReplaceRowsCmd,
+    SetEntryCmd,
+    TopKConfigCmd,
+)
+
+__all__ = ["rebuild_score_store"]
+
+
+def _dense_from_blocks(cmds: dict, n: int, shard_rows: int) -> np.ndarray:
+    """Reassemble one dense matrix from per-worker shard blocks.
+
+    A block's row base is implied by its shard id — shards are
+    contiguous ``shard_rows`` row windows — so the union of every
+    worker's blocks tiles the full matrix the dense command carried.
+    """
+    dense = np.zeros((n, n), dtype=np.float64)
+    for cmd in cmds.values():
+        for gid, block in cmd.blocks.items():
+            block = np.asarray(block, dtype=np.float64)
+            base = gid * shard_rows
+            dense[base : base + block.shape[0], : block.shape[1]] = block
+    return dense
+
+
+def _apply_entry(store: ScoreStore, entry, shard_rows: int) -> None:
+    """Replay one journal entry against the in-process store."""
+    cmds = entry.cmds
+    cmd = next(iter(cmds.values())) if isinstance(cmds, dict) else cmds
+    if isinstance(cmd, ApplyBatchCmd):
+        if cmd.packed is None:
+            raise ClusterError(
+                "journaled batch lost its packed payload (pool bug)"
+            )
+        for plan in cmd.packed.plans():
+            store.apply_plan(plan)
+    elif isinstance(cmd, ApplyPlanCmd):
+        store.apply_plan(cmd.plan)
+    elif isinstance(cmd, SetEntryCmd):
+        store.set_entry(cmd.row, cmd.col, cmd.value)
+    elif isinstance(cmd, AddRowsCmd):
+        store.add_dense(_dense_from_blocks(cmds, store.num_nodes, shard_rows))
+    elif isinstance(cmd, ReplaceRowsCmd):
+        store.replace_dense(
+            _dense_from_blocks(cmds, store.num_nodes, shard_rows)
+        )
+    elif isinstance(cmd, AddNodeCmd):
+        store.add_node()
+    elif isinstance(cmd, TopKConfigCmd):
+        pass  # index state is derived; the caller rebuilds top-k lazily
+    else:
+        raise ClusterError(
+            f"journal replay met an unexpected command {type(cmd).__name__}"
+        )
+
+
+def rebuild_score_store(pool) -> ScoreStore:
+    """Assemble an in-process :class:`ScoreStore` from a failed pool.
+
+    Reads the replay base's frozen segments into a private dense
+    matrix, shards it at the pool's granularity, and replays the full
+    journal parent-side.  Safe while the pool is failed-but-not-closed;
+    raises :class:`ClusterError` on a closed pool (its segments are
+    gone).
+    """
+    base, journal, shard_rows = pool.recovery_state()
+    n = int(base.num_nodes)
+    scores = np.zeros((n, n), dtype=np.float64)
+    for gid in sorted(base.segments):
+        spec = base.segments[gid]
+        block = pool.base_segment_array(spec)
+        scores[spec.base : spec.base + spec.rows] = block[:, :n]
+    store = ScoreStore(scores, shard_rows=shard_rows)
+    for entry in journal:
+        _apply_entry(store, entry, shard_rows)
+    return store

@@ -30,13 +30,20 @@ otherwise unlink segments out from under live readers):
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 from multiprocessing import shared_memory
 from typing import Tuple
 
 import numpy as np
 
 _FLOAT_DTYPE = np.float64
+
+#: Per-pool manifest files live here: one tiny JSON per live pool
+#: recording ``{pid, prefix}`` so a later process can tell which
+#: ``/dev/shm`` prefixes belong to dead owners and sweep them.
+MANIFEST_DIR = os.path.join(tempfile.gettempdir(), "repro-shm")
 
 
 def pool_prefix() -> str:
@@ -86,6 +93,89 @@ def sweep_segments(prefix: str) -> int:
         try:
             os.unlink(os.path.join(shm_dir, entry))
             removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+# ------------------------------------------------------------------ #
+# Orphan reaper: per-pool manifests + stale-prefix sweeps
+# ------------------------------------------------------------------ #
+#
+# The tracker-based cleanup above only works while the process tree is
+# cooperating; a SIGKILL'd *session* (the parent itself) leaves its
+# whole prefix behind.  Each pool therefore registers a manifest file
+# recording its pid and prefix.  The next pool construction (or an
+# explicit reap) scans the manifests, probes each recorded pid, and
+# sweeps the prefixes of dead owners.
+
+
+def register_pool(prefix: str) -> str:
+    """Record a live pool's prefix; returns the manifest path."""
+    os.makedirs(MANIFEST_DIR, exist_ok=True)
+    path = os.path.join(MANIFEST_DIR, f"{prefix}.json")
+    payload = {"pid": os.getpid(), "prefix": prefix}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+    return path
+
+
+def unregister_pool(manifest_path: str) -> None:
+    """Remove a pool's manifest at orderly close."""
+    try:
+        os.unlink(manifest_path)
+    except OSError:
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def reap_orphans() -> int:
+    """Sweep segments whose owning pool process is gone.
+
+    Scans every manifest in :data:`MANIFEST_DIR`; for each one whose
+    recorded pid no longer exists, sweeps its segment prefix from
+    ``/dev/shm`` and removes the manifest.  Returns the number of
+    segments removed.  Called at pool startup and via ``atexit`` so
+    orphans from SIGKILL'd sessions are cleaned by the next session
+    rather than by chance.
+    """
+    removed = 0
+    if not os.path.isdir(MANIFEST_DIR):
+        return removed
+    for entry in os.listdir(MANIFEST_DIR):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(MANIFEST_DIR, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            pid = int(payload["pid"])
+            prefix = str(payload["prefix"])
+        except (OSError, ValueError, KeyError):
+            # Unreadable manifest: drop it, but never guess a prefix.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            continue
+        if _pid_alive(pid):
+            continue
+        removed += sweep_segments(prefix)
+        try:
+            os.unlink(path)
         except OSError:
             pass
     return removed

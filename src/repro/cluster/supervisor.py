@@ -1,0 +1,371 @@
+"""Worker supervision: adaptive deadlines, respawn budgets, quarantine.
+
+PR4 gave the pool exactly-once crash replay with two blunt knobs: a
+fixed per-command reply timeout and a hard per-worker respawn counter.
+This module replaces both with a supervision layer:
+
+* :class:`AdaptiveDeadline` — per-worker reply deadlines derived from
+  the observed per-unit apply-time distribution (p99 with a multiplier
+  and a floor), so a slow box widens its own deadlines instead of
+  false-tripping, and a genuinely hung worker is detected in a few
+  multiples of its normal latency rather than after a 2-minute constant.
+* :class:`RespawnBudget` — a token bucket over respawns with
+  exponential backoff + deterministic jitter between attempts.  A burst
+  of crashes drains the bucket and declares the pool unrecoverable; a
+  long-running pool that crashes once an hour refills and keeps going.
+* :class:`WorkerHealth` — a tiny per-worker state machine
+  (``healthy -> suspect -> respawning -> healthy | dead``) surfaced in
+  :meth:`ShardWorkerPool.apply_report` so operators can see which
+  worker is misbehaving before it dies.
+* :class:`QuarantinedBatch` — the poison-batch record: a journaled
+  command that killed its worker twice is captured with its packed
+  payload and journal position, and the pool fails cleanly instead of
+  burning the rest of the budget replaying a deterministic crash.
+
+Everything here is plain bookkeeping — no threads, no signals; the pool
+drives it synchronously from its dispatch/receive path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "AdaptiveDeadline",
+    "QuarantinedBatch",
+    "RespawnBudget",
+    "WorkerHealth",
+    "WorkerSupervisor",
+    "DEFAULT_DEADLINE_FLOOR",
+    "DEFAULT_DEADLINE_MULTIPLIER",
+]
+
+# Deadline = clamp(multiplier * p99(per-unit seconds) * units,
+#                  floor, command_timeout * units).
+# The floor absorbs 1-core CI boxes where a worker can be descheduled
+# for whole seconds; the command_timeout ceiling preserves the old
+# worst-case behaviour as an upper bound.
+DEFAULT_DEADLINE_FLOOR = 5.0
+DEFAULT_DEADLINE_MULTIPLIER = 8.0
+DEFAULT_MIN_SAMPLES = 8
+DEFAULT_SAMPLE_WINDOW = 128
+
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
+DEFAULT_REFILL_SECONDS = 60.0
+
+HEALTH_STATES = ("healthy", "suspect", "respawning", "dead")
+
+
+class AdaptiveDeadline:
+    """Per-worker reply deadlines from observed apply-time percentiles.
+
+    Each completed command contributes one *per-unit* latency sample
+    (elapsed seconds divided by the command's unit count — plans in a
+    batch, 1 for control commands).  Once a worker has enough samples
+    the deadline for a command of ``units`` units is::
+
+        min(command_timeout * units,
+            max(floor, multiplier * p99_per_unit * units))
+
+    Below ``min_samples`` — and for the first command after a (re)spawn,
+    where a cold interpreter is still importing numpy — the fallback
+    ``command_timeout * units`` is used unchanged.
+    """
+
+    def __init__(
+        self,
+        command_timeout: float,
+        floor: float = DEFAULT_DEADLINE_FLOOR,
+        multiplier: float = DEFAULT_DEADLINE_MULTIPLIER,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        window: int = DEFAULT_SAMPLE_WINDOW,
+    ) -> None:
+        self.command_timeout = float(command_timeout)
+        self.floor = float(floor)
+        self.multiplier = float(multiplier)
+        self.min_samples = int(min_samples)
+        self._samples: Dict[int, Deque[float]] = {}
+        self._window = int(window)
+        self._cold: Dict[int, bool] = {}
+
+    def observe(self, worker_id: int, seconds: float, units: int = 1) -> None:
+        """Record one reply: ``seconds`` elapsed for ``units`` units."""
+        per_unit = float(seconds) / max(1, int(units))
+        bucket = self._samples.setdefault(
+            worker_id, deque(maxlen=self._window)
+        )
+        bucket.append(per_unit)
+        self._cold[worker_id] = False
+
+    def mark_cold(self, worker_id: int) -> None:
+        """The worker just (re)spawned: next deadline uses the fallback."""
+        self._cold[worker_id] = True
+
+    def deadline(self, worker_id: int, units: int = 1) -> float:
+        """Reply deadline in seconds for a command of ``units`` units."""
+        units = max(1, int(units))
+        fallback = self.command_timeout * units
+        bucket = self._samples.get(worker_id)
+        if (
+            self._cold.get(worker_id, True)
+            or bucket is None
+            or len(bucket) < self.min_samples
+        ):
+            return fallback
+        ordered = sorted(bucket)
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        return min(fallback, max(self.floor, self.multiplier * p99 * units))
+
+    def samples(self, worker_id: int) -> int:
+        bucket = self._samples.get(worker_id)
+        return 0 if bucket is None else len(bucket)
+
+
+class RespawnBudget:
+    """Token bucket over respawns with exponential backoff + jitter.
+
+    The bucket starts full at ``capacity`` tokens and refills one token
+    per ``refill_seconds`` of wall clock.  Each respawn spends a token;
+    an empty bucket means the crash rate has exceeded what replay can
+    plausibly mask, and the pool gives up.  Between consecutive spends
+    the backoff doubles from ``base`` up to ``cap`` seconds, with a
+    deterministic seeded jitter so co-located pools don't thundering-herd
+    their respawns.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        base: float = DEFAULT_BACKOFF_BASE,
+        cap: float = DEFAULT_BACKOFF_CAP,
+        refill_seconds: float = DEFAULT_REFILL_SECONDS,
+        seed: int = 0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.capacity = max(0, int(capacity))
+        self.base = float(base)
+        self.cap = float(cap)
+        self.refill_seconds = float(refill_seconds)
+        self._tokens = float(self.capacity)
+        self._clock = clock
+        self._sleep = sleep
+        self._last = clock()
+        self._attempt = 0
+        self._spent = 0
+        # xorshift-ish deterministic jitter stream; no global RNG state.
+        self._jitter_state = (int(seed) * 2654435761 + 1) & 0xFFFFFFFF
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if self.refill_seconds > 0:
+            self._tokens = min(
+                float(self.capacity),
+                self._tokens + (now - self._last) / self.refill_seconds,
+            )
+        self._last = now
+
+    def _next_jitter(self) -> float:
+        x = self._jitter_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._jitter_state = x
+        return x / 0xFFFFFFFF
+
+    def try_spend(self) -> bool:
+        """Spend one token; ``False`` when the bucket is dry."""
+        self._refill()
+        if self._tokens < 1.0:
+            return False
+        self._tokens -= 1.0
+        self._spent += 1
+        return True
+
+    def backoff(self) -> float:
+        """Back off before the next respawn; returns the seconds slept."""
+        delay = min(self.cap, self.base * (2.0**self._attempt))
+        delay *= 1.0 + self._next_jitter()
+        self._attempt += 1
+        self._sleep(delay)
+        return delay
+
+    def reset_backoff(self) -> None:
+        """A worker survived a full command: crashes are not cascading."""
+        self._attempt = 0
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+
+@dataclass
+class WorkerHealth:
+    """One worker's supervision state and lifetime counters."""
+
+    worker_id: int
+    state: str = "healthy"
+    respawns: int = 0
+    suspect_events: int = 0
+    last_reply_seconds: float = 0.0
+
+    def mark(self, state: str) -> None:
+        if state not in HEALTH_STATES:
+            raise ValueError(f"unknown health state {state!r}")
+        if state == "suspect" and self.state != "suspect":
+            self.suspect_events += 1
+        self.state = state
+
+
+@dataclass(frozen=True)
+class QuarantinedBatch:
+    """A journaled command that deterministically kills its workers."""
+
+    journal_index: int
+    worker_ids: Tuple[int, ...]
+    count: int
+    crashes: int
+    payload: object = field(repr=False, default=None)
+
+    def describe(self) -> str:
+        return (
+            f"journal[{self.journal_index}] x{self.count} plans "
+            f"(workers {list(self.worker_ids)}, {self.crashes} crashes)"
+        )
+
+
+class WorkerSupervisor:
+    """Facade the pool drives: deadlines + budget + health + quarantine.
+
+    ``enabled=False`` keeps the exact pre-supervision behaviour (fixed
+    ``command_timeout * units`` deadlines, per-worker respawn counter
+    semantics preserved by the budget's capacity) so the bench can
+    measure the supervised/unsupervised overhead ratio honestly.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        command_timeout: float,
+        max_respawns: int,
+        enabled: bool = True,
+        deadline_floor: float = DEFAULT_DEADLINE_FLOOR,
+        deadline_multiplier: float = DEFAULT_DEADLINE_MULTIPLIER,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        refill_seconds: float = DEFAULT_REFILL_SECONDS,
+        seed: int = 0,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self._deadlines = AdaptiveDeadline(
+            command_timeout,
+            floor=deadline_floor,
+            multiplier=deadline_multiplier,
+        )
+        # The budget is shared across workers: capacity scales with the
+        # pool so one flaky worker can't starve the others' allowance.
+        self.budget = RespawnBudget(
+            capacity=max_respawns * max(1, num_workers),
+            base=backoff_base,
+            cap=backoff_cap,
+            refill_seconds=refill_seconds,
+            seed=seed,
+        )
+        self.health: Dict[int, WorkerHealth] = {
+            wid: WorkerHealth(wid) for wid in range(num_workers)
+        }
+        self.quarantined: List[QuarantinedBatch] = []
+
+    # ---------------------------------------------------------- #
+    # Deadlines
+    # ---------------------------------------------------------- #
+
+    def deadline(self, worker_id: int, units: int = 1) -> float:
+        if not self.enabled:
+            return self._deadlines.command_timeout * max(1, int(units))
+        return self._deadlines.deadline(worker_id, units)
+
+    def observe_reply(
+        self, worker_id: int, seconds: float, units: int = 1
+    ) -> None:
+        health = self._health(worker_id)
+        health.last_reply_seconds = float(seconds)
+        if health.state in ("suspect", "respawning"):
+            health.mark("healthy")
+        if self.enabled:
+            self._deadlines.observe(worker_id, seconds, units)
+        self.budget.reset_backoff()
+
+    def mark_cold(self, worker_id: int) -> None:
+        self._deadlines.mark_cold(worker_id)
+
+    # ---------------------------------------------------------- #
+    # Health transitions
+    # ---------------------------------------------------------- #
+
+    def _health(self, worker_id: int) -> WorkerHealth:
+        return self.health.setdefault(worker_id, WorkerHealth(worker_id))
+
+    def mark_suspect(self, worker_id: int) -> None:
+        health = self._health(worker_id)
+        if health.state == "healthy":
+            health.mark("suspect")
+
+    def begin_respawn(self, worker_id: int) -> bool:
+        """Spend a token and back off; ``False`` when the budget is dry."""
+        health = self._health(worker_id)
+        if not self.budget.try_spend():
+            health.mark("dead")
+            return False
+        health.mark("respawning")
+        health.respawns += 1
+        if self.enabled:
+            self.budget.backoff()
+        self._deadlines.mark_cold(worker_id)
+        return True
+
+    def finish_respawn(self, worker_id: int) -> None:
+        self._health(worker_id).mark("healthy")
+
+    def mark_dead(self, worker_id: int) -> None:
+        self._health(worker_id).mark("dead")
+
+    # ---------------------------------------------------------- #
+    # Quarantine
+    # ---------------------------------------------------------- #
+
+    def quarantine(self, record: QuarantinedBatch) -> None:
+        self.quarantined.append(record)
+
+    # ---------------------------------------------------------- #
+    # Reporting
+    # ---------------------------------------------------------- #
+
+    def report(self) -> dict:
+        states = {
+            wid: health.state for wid, health in sorted(self.health.items())
+        }
+        return {
+            "enabled": self.enabled,
+            "worker_states": states,
+            "suspect_events": sum(
+                h.suspect_events for h in self.health.values()
+            ),
+            "respawn_tokens": round(self.budget.tokens, 3),
+            "respawns_spent": self.budget.spent,
+            "quarantined_batches": len(self.quarantined),
+            "deadline_floor": self._deadlines.floor,
+            "deadline_samples": {
+                wid: self._deadlines.samples(wid)
+                for wid in sorted(self.health)
+            },
+        }

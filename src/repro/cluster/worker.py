@@ -43,6 +43,7 @@ from .messages import (
     TopKConfigCmd,
     TopKRescanCmd,
     WorkerInit,
+    word_checksums,
 )
 from .shm import attach_segment, create_segment, ndarray_view, segment_nbytes
 
@@ -418,13 +419,32 @@ def worker_loop(conn, init: WorkerInit) -> None:
                     # per-plan arithmetic of the unbatched path.
                     packed = cmd.packed
                     if packed is None:
-                        packed = PackedPlanBatch.from_words(
-                            staging.words(cmd.staging, cmd.words),
-                            cmd.count,
-                            cmd.sections,
-                        )
-                    for plan in packed.plans():
-                        store.apply_plan(plan)
+                        words = staging.words(cmd.staging, cmd.words)
+                        if cmd.checksums is not None:
+                            observed = word_checksums(
+                                words, cmd.count, cmd.sections
+                            )
+                            if observed != tuple(cmd.checksums):
+                                # Corrupted staging slot: refuse to
+                                # apply anything (a half-applied batch
+                                # would be unrecoverable) and flag the
+                                # parent to resend the intact journal
+                                # copy in-band.
+                                reply.ok = False
+                                reply.corrupt = True
+                                reply.error = (
+                                    "staged batch checksum mismatch: "
+                                    f"expected {tuple(cmd.checksums)}, "
+                                    f"observed {observed}"
+                                )
+                                words = None
+                        if words is not None:
+                            packed = PackedPlanBatch.from_words(
+                                words, cmd.count, cmd.sections
+                            )
+                    if packed is not None:
+                        for plan in packed.plans():
+                            store.apply_plan(plan)
                 elif isinstance(cmd, SetEntryCmd):
                     store.set_entry(cmd.row, cmd.col, cmd.value)
                 elif isinstance(cmd, AddRowsCmd):

@@ -44,7 +44,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..config import SimRankConfig
-from ..exceptions import ConfigError, GraphError
+from ..exceptions import ClusterError, ConfigError, GraphError, PoolUnrecoverableError
 from ..executor.score_store import DEFAULT_SHARD_ROWS, ScoreStore
 from ..graph.digraph import DynamicDiGraph
 from ..graph.transition import verify_transition_matrix
@@ -120,6 +120,12 @@ class DynamicSimRank:
         one round trip per row group — bit-identical either way.  Set
         False to force the per-plan wire path (the benchmark's
         comparison axis).
+    executor_options:
+        Extra keyword arguments forwarded to the ``"process"``
+        executor's :func:`~repro.cluster.build_client` →
+        :class:`~repro.cluster.ShardWorkerPool` (e.g. ``supervise``,
+        ``deadline_floor``, ``command_timeout``, ``max_respawns``,
+        ``fault_plan``).  Ignored for the in-process executor.
     """
 
     def __init__(
@@ -134,6 +140,7 @@ class DynamicSimRank:
         workers: int = 2,
         start_method: Optional[str] = None,
         plan_batching: bool = True,
+        executor_options: Optional[dict] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigError(
@@ -168,6 +175,7 @@ class DynamicSimRank:
                 shard_rows=shard_rows,
                 workers=workers,
                 start_method=start_method,
+                **(executor_options or {}),
             )
             # Topology changes ship the packed Q payload to workers.
             self._scores.transition_exporter = self._store.export_packed
@@ -176,6 +184,11 @@ class DynamicSimRank:
         self._topk_index = None
         self._history: List[UpdateStats] = []
         self._version = 0
+        # Failover bookkeeping: plans/row-updates whose graph + Q surgery
+        # already happened but whose score application died with the pool.
+        self._unapplied_plans: List = []
+        self._unapplied_row_updates: List = []
+        self._failed_client = None
 
     # ------------------------------------------------------------------ #
     # Read API
@@ -211,6 +224,9 @@ class DynamicSimRank:
         closer = getattr(self._scores, "close", None)
         if closer is not None:
             closer()
+        if self._failed_client is not None:
+            failed, self._failed_client = self._failed_client, None
+            failed.close()
 
     def __enter__(self) -> "DynamicSimRank":
         return self
@@ -412,7 +428,7 @@ class DynamicSimRank:
         view = self._scores.planning_view() if batched else None
         scores = view if batched else self._scores
         plans = []
-        for row_update in row_updates:
+        for index, row_update in enumerate(row_updates):
             plan = plan_composite_row_update(
                 self._graph,
                 self._store,
@@ -421,7 +437,22 @@ class DynamicSimRank:
                 self._config,
                 workspace=self._workspace,
             )
-            scores.apply_plan(plan)
+            try:
+                scores.apply_plan(plan)
+            except PoolUnrecoverableError:
+                # Only reachable on the per-plan wire path (the batched
+                # path applies to a local overlay).  The pool journals a
+                # command before dispatching it, so this plan is part of
+                # any rebuild from base + journal: finish the group's
+                # graph + Q surgery to stay consistent with that rebuilt
+                # score state, stash the untouched remainder for
+                # :meth:`failover_in_process`, and surface the failure.
+                row_update.apply_to(self._graph)
+                self._store.set_row_from_graph(
+                    self._graph, row_update.target
+                )
+                self._unapplied_row_updates = list(row_updates[index + 1 :])
+                raise
             if batched:
                 plans.append(plan)
             row_update.apply_to(self._graph)
@@ -430,7 +461,29 @@ class DynamicSimRank:
         if batched:
             from .plan import PlanBatch
 
-            self._scores.apply_batch(PlanBatch(plans), planned_on=view)
+            try:
+                self._scores.apply_batch(PlanBatch(plans), planned_on=view)
+            except PoolUnrecoverableError:
+                # The pool refuses (or fails) a batch *before* journaling
+                # it, so none of these plans reached the journal — but
+                # the graph and Q surgery above already happened.  Stash
+                # the plans; :meth:`failover_in_process` re-applies them
+                # to the rebuilt store to close the gap.
+                self._unapplied_plans = list(plans)
+                raise
+            except ClusterError:
+                raise
+            except Exception:
+                # Transient dispatch failure (e.g. staging-slot
+                # allocation): nothing was journaled or applied, the
+                # pool is still healthy, so ship the same plans one
+                # command at a time — bit-identical arithmetic.
+                for position, plan in enumerate(plans):
+                    try:
+                        self._scores.apply_plan(plan)
+                    except PoolUnrecoverableError:
+                        self._unapplied_plans = list(plans[position + 1 :])
+                        raise
         elapsed = time.perf_counter() - started
         self._version += 1
         for update in batch:
@@ -470,6 +523,91 @@ class DynamicSimRank:
         self._scores.set_entry(node, node, 1.0 - self._config.damping)
         self._version += 1
         return node
+
+    # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+
+    def executor_heartbeat(self) -> bool:
+        """Probe the executor's liveness (always True for in-process).
+
+        Delegates to the cluster client's ``heartbeat`` when running on
+        the process executor: raises
+        :class:`~repro.exceptions.PoolUnrecoverableError` if the pool
+        has failed, returns False if a probe was skipped because
+        pipelined batches are still in flight, True otherwise.
+        """
+        probe = getattr(self._scores, "heartbeat", None)
+        if probe is None:
+            return True
+        return probe()
+
+    def rebuilt_scores(self) -> ScoreStore:
+        """An in-process score store rebuilt from the (failed) pool.
+
+        Frozen replay base + journal, plus any stashed plans that were
+        planned but never journaled — exactly consistent with the live
+        graph and ``Q`` up to the stashed row updates, which is the
+        state a read-only degraded view should serve.  Does **not**
+        swap executors or consume the stashes; see
+        :meth:`failover_in_process` for the destructive version.
+        """
+        if self._executor != "process":
+            raise ClusterError(
+                "rebuilt_scores requires the 'process' executor"
+            )
+        from ..cluster.recovery import rebuild_score_store
+
+        store = rebuild_score_store(self._scores.pool)
+        for plan in self._unapplied_plans:
+            store.apply_plan(plan)
+        return store
+
+    def failover_in_process(self) -> int:
+        """Swap a dead process pool for a rebuilt in-process store.
+
+        Reassembles the score state from the failed pool's frozen
+        replay base + journal
+        (:func:`~repro.cluster.recovery.rebuild_score_store`), re-applies
+        any plans that were planned but never journaled, then finishes
+        the row updates the failed drain never reached — after which the
+        engine runs on the ``"inproc"`` executor as if nothing happened
+        (bit-identical scores).  The dead client is retained so its
+        shared-memory segments stay mapped until :meth:`close`.
+
+        Returns the number of stashed plans + row updates resumed.
+        Raises :class:`~repro.exceptions.ClusterError` when the engine
+        is not on the process executor.
+        """
+        if self._executor != "process":
+            raise ClusterError(
+                "failover_in_process requires the 'process' executor"
+            )
+        from .row_update import plan_composite_row_update
+
+        store = self.rebuilt_scores()
+        pending_plans = self._unapplied_plans
+        pending_updates = self._unapplied_row_updates
+        self._unapplied_plans = []
+        self._unapplied_row_updates = []
+        self._failed_client = self._scores
+        self._scores = store
+        self._executor = "inproc"
+        self._topk_index = None
+        for row_update in pending_updates:
+            plan = plan_composite_row_update(
+                self._graph,
+                self._store,
+                store,
+                row_update,
+                self._config,
+                workspace=self._workspace,
+            )
+            store.apply_plan(plan)
+            row_update.apply_to(self._graph)
+            self._store.set_row_from_graph(self._graph, row_update.target)
+        self._version += 1
+        return len(pending_plans) + len(pending_updates)
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -19,11 +19,16 @@ evolve.  This package puts the read/write split on top of the engine:
 * :mod:`repro.serving.service` — :class:`SimRankService`, the
   single-writer/many-readers session: ``submit`` enqueues, ``drain``
   (sync mode) or the background writer applies coalesced batches,
-  ``snapshot`` pins the current version.
+  ``snapshot`` pins the current version.  When the process executor's
+  worker pool becomes unrecoverable the service degrades gracefully
+  per its ``degraded_policy`` (:data:`DEGRADED_POLICIES`): reads keep
+  serving the last consistent view, mutations raise
+  :class:`~repro.exceptions.DegradedModeError` (or queue), or the
+  score state is rebuilt in-process and writing resumes.
 """
 
 from .scheduler import SchedulerStats, UpdateScheduler
-from .service import SimRankService
+from .service import DEGRADED_POLICIES, SimRankService
 from .snapshot import SnapshotView
 from .writer import BACKPRESSURE_POLICIES, BackgroundWriter, WriterStats
 
@@ -35,4 +40,5 @@ __all__ = [
     "BackgroundWriter",
     "WriterStats",
     "BACKPRESSURE_POLICIES",
+    "DEGRADED_POLICIES",
 ]

@@ -33,7 +33,11 @@ from typing import Iterable, Optional, Union
 import numpy as np
 
 from ..config import SimRankConfig
-from ..exceptions import ConfigError
+from ..exceptions import (
+    ConfigError,
+    DegradedModeError,
+    PoolUnrecoverableError,
+)
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate, UpdateBatch
 from ..incremental.engine import DynamicSimRank
@@ -46,6 +50,21 @@ from .writer import (
 )
 
 WRITER_MODES = ("sync", "background")
+
+#: What the service does when the shard-worker pool becomes
+#: unrecoverable mid-serve:
+#:
+#: ========== ========================================================
+#: ``reject``  stay up read-only — reads keep serving the last
+#:             consistent view, mutations raise
+#:             :class:`~repro.exceptions.DegradedModeError`
+#: ``queue``   like ``reject``, but submits keep landing in the
+#:             coalescing queue for a later repaired drain
+#: ``rebuild`` fail over: rebuild an in-process score store from the
+#:             pool's frozen base + journal and keep writing without
+#:             the pool (bit-identical scores)
+#: ========== ========================================================
+DEGRADED_POLICIES = ("reject", "queue", "rebuild")
 
 
 class SimRankService:
@@ -73,6 +92,13 @@ class SimRankService:
         Set False to force the per-plan wire path on the process
         executor (one round trip per row group; the benchmark's
         comparison axis).  Ignored in-process.
+    executor_options:
+        Extra keyword arguments for the process executor's worker pool
+        (``supervise``, ``deadline_floor``, ``command_timeout``,
+        ``max_respawns``, ``fault_plan``, ...).  Ignored in-process.
+    degraded_policy:
+        One of :data:`DEGRADED_POLICIES`; what happens when the pool
+        becomes unrecoverable (default ``"reject"``).
     """
 
     def __init__(
@@ -89,11 +115,18 @@ class SimRankService:
         workers: int = 2,
         start_method: Optional[str] = None,
         plan_batching: bool = True,
+        executor_options: Optional[dict] = None,
+        degraded_policy: str = "reject",
     ) -> None:
         if writer not in WRITER_MODES:
             raise ConfigError(
                 f"unknown writer mode {writer!r}; expected one of "
                 f"{WRITER_MODES}"
+            )
+        if degraded_policy not in DEGRADED_POLICIES:
+            raise ConfigError(
+                f"unknown degraded policy {degraded_policy!r}; expected "
+                f"one of {DEGRADED_POLICIES}"
             )
         engine_kwargs = {}
         if shard_rows is not None:
@@ -107,10 +140,17 @@ class SimRankService:
             workers=workers,
             start_method=start_method,
             plan_batching=plan_batching,
+            executor_options=executor_options,
             **engine_kwargs,
         )
         self._scheduler = UpdateScheduler()
         self._writer: Optional[BackgroundWriter] = None
+        self._degraded_policy = degraded_policy
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._degraded_view: Optional[SnapshotView] = None
+        self._failovers = 0
+        self._last_failover_resumed = 0
         if writer == "background":
             self.start_background_writer(
                 drain_interval=drain_interval,
@@ -131,12 +171,19 @@ class SimRankService:
         """Hand the drain loop to a dedicated writer thread."""
         if self._writer is not None:
             raise ConfigError("background writer already running")
+        heartbeat = (
+            self._engine.executor_heartbeat
+            if self._engine.executor == "process"
+            else None
+        )
         self._writer = BackgroundWriter(
             self._engine,
             self._scheduler,
             drain_interval=drain_interval,
             max_pending=max_pending,
             policy=policy,
+            on_fatal=self._on_pool_failure,
+            heartbeat=heartbeat,
         )
         self._writer.start()
         return self._writer
@@ -209,6 +256,107 @@ class SimRankService:
         return len(self._scheduler)
 
     # -------------------------------------------------------------- #
+    # Graceful degradation
+    # -------------------------------------------------------------- #
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is serving read-only from a frozen view."""
+        return self._degraded
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """What killed the pool, when :attr:`degraded` is True."""
+        return self._degraded_reason
+
+    @property
+    def degraded_policy(self) -> str:
+        """The configured pool-failure policy."""
+        return self._degraded_policy
+
+    @property
+    def failovers(self) -> int:
+        """Completed in-process failovers (``rebuild`` policy)."""
+        return self._failovers
+
+    def _build_degraded_view(self) -> Optional[SnapshotView]:
+        """A consistent read-only view rebuilt from the dead pool.
+
+        Base + journal + stashed plans — never the parent's live
+        mirror, which a mid-drain failure leaves torn across workers.
+        Returns None if even the rebuild fails (reads then raise).
+        """
+        try:
+            store = self._engine.rebuilt_scores()
+            return SnapshotView(
+                scores=store.snapshot(),
+                transitions=self._engine.transition_store.snapshot(),
+                config=self._engine.config,
+                version=self._engine.version,
+            )
+        except Exception:
+            return None
+
+    def _on_pool_failure(self, exc: BaseException) -> bool:
+        """Handle an unrecoverable pool: fail over or degrade read-only.
+
+        Runs under the writer's apply lock (background mode) or on the
+        draining thread (sync mode).  Returns True when the ``rebuild``
+        policy swapped in an in-process store and serving may continue
+        at full capability.
+        """
+        self._degraded = True
+        self._degraded_reason = f"{type(exc).__name__}: {exc}"
+        if self._degraded_policy == "rebuild":
+            try:
+                resumed = self._engine.failover_in_process()
+            except Exception:
+                pass  # fall through to read-only degradation
+            else:
+                self._degraded = False
+                self._degraded_reason = None
+                self._failovers += 1
+                self._last_failover_resumed = resumed
+                return True
+        view = self._writer.current_view if self._writer is not None else None
+        if view is None:
+            view = self._build_degraded_view()
+        self._degraded_view = view
+        return False
+
+    def _refuse_mutation(self, what: str) -> None:
+        raise DegradedModeError(
+            f"service is degraded ({self._degraded_reason}); {what} is "
+            f"unavailable under the {self._degraded_policy!r} policy"
+        )
+
+    def _degraded_read_view(self) -> SnapshotView:
+        view = self._degraded_view
+        if view is None:
+            raise DegradedModeError(
+                f"service is degraded ({self._degraded_reason}) and no "
+                "consistent view could be rebuilt from the failed pool"
+            )
+        return view
+
+    def _handle_pool_failure(self, exc: BaseException) -> bool:
+        """Thread-safe wrapper around :meth:`_on_pool_failure`.
+
+        Pipelined dispatch means a pool death can surface at *any* later
+        sync point — a read as easily as a drain — possibly on a reader
+        thread racing the writer's own heartbeat detection.  Serialize
+        on the apply lock and re-check who won.
+        """
+        if self._writer is not None:
+            with self._writer.apply_lock:
+                if self._degraded:
+                    return False
+                if self._engine.executor != "process":
+                    return True  # another thread already failed over
+                return self._on_pool_failure(exc)
+        return self._on_pool_failure(exc)
+
+    # -------------------------------------------------------------- #
     # Write path
     # -------------------------------------------------------------- #
 
@@ -224,6 +372,8 @@ class SimRankService:
 
     def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Queue a stream of updates for the next drain."""
+        if self._degraded and self._degraded_policy != "queue":
+            self._refuse_mutation("submit")
         if self._writer is not None:
             self._writer.submit_many(updates)
         else:
@@ -247,11 +397,24 @@ class SimRankService:
                 "the background writer owns the drain loop; use flush() "
                 "to wait for it (or stop_background_writer() first)"
             )
+        if self._degraded:
+            self._refuse_mutation("drain")
         batch = self._scheduler.drain()
         if not len(batch):
             return 0
         try:
             return self._engine.apply_consolidated(batch)
+        except PoolUnrecoverableError as exc:
+            # Unlike the transient branch below, do NOT re-queue: the
+            # engine's graph/Q already advanced for every journaled
+            # group and its stashes carry the rest, so re-submitting
+            # the batch would apply those updates twice after a
+            # rebuild.  Under the ``rebuild`` policy the failover
+            # finishes the interrupted drain in-process and the call
+            # succeeds (returning the resumed group count).
+            if self._on_pool_failure(exc):
+                return self._last_failover_resumed
+            raise
         except Exception:
             self._scheduler.submit_many(batch)
             raise
@@ -269,12 +432,43 @@ class SimRankService:
 
     def add_node(self) -> int:
         """Grow the node universe by one isolated node (applied live)."""
-        if self._writer is not None:
-            with self._writer.apply_lock:
-                node = self._engine.add_node()
+        if self._degraded:
+            self._refuse_mutation("add_node")
+        try:
+            if self._writer is not None:
+                with self._writer.apply_lock:
+                    node = self._engine.add_node()
+                    self._writer.publish()
+                return node
+            return self._engine.add_node()
+        except PoolUnrecoverableError as exc:
+            return self._add_node_failover(exc)
+
+    def _add_node_failover(self, exc: BaseException) -> int:
+        """Finish an add_node the dying pool interrupted, if possible.
+
+        Under ``rebuild`` the journal replay restores whatever the pool
+        acknowledged; the steps the engine never reached (growing the
+        store, the ``1 − C`` self-score, the version bump) are then
+        re-done idempotently against the rebuilt in-process store.
+        """
+        lock = self._writer.apply_lock if self._writer is not None else None
+        try:
+            if lock is not None:
+                lock.acquire()
+            if not self._on_pool_failure(exc):
+                raise exc
+            node = self._engine.graph.num_nodes - 1
+            store = self._engine.score_store
+            while store.num_nodes < self._engine.graph.num_nodes:
+                store.add_node()
+            store.set_entry(node, node, 1.0 - self._engine.config.damping)
+            if self._writer is not None:
                 self._writer.publish()
             return node
-        return self._engine.add_node()
+        finally:
+            if lock is not None:
+                lock.release()
 
     # -------------------------------------------------------------- #
     # Read path
@@ -285,10 +479,25 @@ class SimRankService:
 
         Background mode returns the writer's latest *published* view —
         one attribute read, so readers never block on an in-flight
-        drain.  Sync mode pins the live stores directly.
+        drain.  Sync mode pins the live stores directly.  A degraded
+        service keeps answering from the last consistent view (never
+        from the torn live mirror a mid-drain pool failure leaves
+        behind).
         """
+        if self._degraded:
+            return self._degraded_read_view()
         if self._writer is not None:
             return self._writer.current_view
+        try:
+            return self._pin_live()
+        except PoolUnrecoverableError as exc:
+            # Pipelined batches surface a mid-drain pool death at the
+            # next sync point — often a read like this one.
+            if self._handle_pool_failure(exc):
+                return self._pin_live()
+            return self._degraded_read_view()
+
+    def _pin_live(self) -> SnapshotView:
         return SnapshotView(
             scores=self._engine.score_store.snapshot(),
             transitions=self._engine.transition_store.snapshot(),
@@ -302,9 +511,16 @@ class SimRankService:
         Background mode reads the latest published view (consistent,
         at most one drain behind); sync mode reads the live store.
         """
+        if self._degraded:
+            return self._degraded_read_view().similarity(node_a, node_b)
         if self._writer is not None:
             return self._writer.current_view.similarity(node_a, node_b)
-        return self._engine.similarity(node_a, node_b)
+        try:
+            return self._engine.similarity(node_a, node_b)
+        except PoolUnrecoverableError as exc:
+            if self._handle_pool_failure(exc):
+                return self._engine.similarity(node_a, node_b)
+            return self._degraded_read_view().similarity(node_a, node_b)
 
     def top_k(self, k: int, include_self: bool = False):
         """Top-``k`` pairs at the latest version via the shard-heap path.
@@ -314,10 +530,21 @@ class SimRankService:
         scan); in background mode the query takes the writer's apply
         lock so it never interleaves with a drain.
         """
-        if self._writer is not None:
-            with self._writer.apply_lock:
-                return self._engine.top_k(k, include_self=include_self)
-        return self._engine.top_k(k, include_self=include_self)
+        if self._degraded:
+            return self._degraded_read_view().top_k(
+                k, include_self=include_self
+            )
+        try:
+            if self._writer is not None:
+                with self._writer.apply_lock:
+                    return self._engine.top_k(k, include_self=include_self)
+            return self._engine.top_k(k, include_self=include_self)
+        except PoolUnrecoverableError as exc:
+            if self._handle_pool_failure(exc):
+                return self.top_k(k, include_self=include_self)
+            return self._degraded_read_view().top_k(
+                k, include_self=include_self
+            )
 
     def memory_report(self) -> dict:
         """Layered memory accounting including scheduler state."""
@@ -359,6 +586,12 @@ class SimRankService:
             report["executor"] = self._engine.score_store.apply_report()
         if self._writer is not None:
             report["writer"] = self._writer.report()
+        report["degraded"] = {
+            "degraded": self._degraded,
+            "policy": self._degraded_policy,
+            "reason": self._degraded_reason,
+            "failovers": self._failovers,
+        }
         index = self._engine.topk_index
         if index is not None:
             report["topk"] = {

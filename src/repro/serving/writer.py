@@ -31,10 +31,20 @@ thread so the serving loop is genuinely concurrent:
                      so the caller sheds load explicitly
   ========== =========================================================
 
-* **fail-stop on bad batches** — if the engine rejects a batch the
-  updates are re-queued (nothing is lost), the error is stored, and the
-  loop pauses instead of spinning on the same poison batch;
-  :meth:`flush` re-raises the error and :meth:`clear_error` resumes.
+* **fail-stop on bad batches, auto-resume on transient ones** — if the
+  engine rejects a batch the updates are re-queued (nothing is lost),
+  the error is stored, and the loop pauses instead of spinning on the
+  same poison batch; :meth:`flush` re-raises the error and
+  :meth:`clear_error` resumes immediately.  Transient failures also
+  self-heal: the loop schedules its own resume with capped exponential
+  backoff (``min(30, 0.5·2^k)`` seconds), counted in
+  :attr:`WriterStats.resume_attempts`.  A *fatal* executor failure
+  (:class:`~repro.exceptions.PoolUnrecoverableError`) is different:
+  the engine's graph already advanced, so the batch is **not**
+  re-queued (re-applying it would double-count), auto-resume is
+  disabled, and the optional ``on_fatal`` callback gets one chance to
+  fail the executor over (see the service's ``degraded_policy``) —
+  if it returns True the writer republishes and keeps draining.
 """
 
 from __future__ import annotations
@@ -44,7 +54,11 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from ..exceptions import BackpressureError, ConfigError
+from ..exceptions import (
+    BackpressureError,
+    ConfigError,
+    PoolUnrecoverableError,
+)
 from ..graph.updates import EdgeUpdate
 from .snapshot import SnapshotView
 
@@ -78,6 +92,11 @@ class WriterStats:
     apply_seconds: float = 0.0
     max_apply_seconds: float = 0.0
     errors: int = 0
+    #: Automatic resumes after transient apply failures (fatal executor
+    #: failures never auto-resume; see the class docstring).
+    resume_attempts: int = 0
+    #: Idle-loop executor liveness probes issued.
+    heartbeats: int = 0
 
     def mean_apply_seconds(self) -> float:
         """Mean wall-clock seconds per applied drain batch."""
@@ -108,6 +127,20 @@ class BackgroundWriter:
         Bound on net queued updates before backpressure applies.
     policy:
         One of :data:`BACKPRESSURE_POLICIES`.
+    on_fatal:
+        Optional callback invoked (under the apply lock) when a drain
+        or heartbeat dies with
+        :class:`~repro.exceptions.PoolUnrecoverableError`.  Return True
+        to signal the executor was failed over and draining may
+        continue; anything else (or raising) leaves the loop paused
+        with the error stored and auto-resume disabled.
+    heartbeat:
+        Optional zero-argument executor liveness probe called from the
+        idle loop every ``heartbeat_interval`` seconds — lets the
+        writer detect a dead pool *between* drains instead of on the
+        next mutation.  Failures take the same path as drain failures.
+    heartbeat_interval:
+        Seconds between idle liveness probes.
     """
 
     def __init__(
@@ -117,6 +150,9 @@ class BackgroundWriter:
         drain_interval: float = DEFAULT_DRAIN_INTERVAL,
         max_pending: int = DEFAULT_MAX_PENDING,
         policy: str = "block",
+        on_fatal=None,
+        heartbeat=None,
+        heartbeat_interval: float = 1.0,
     ) -> None:
         if policy not in BACKPRESSURE_POLICIES:
             raise ConfigError(
@@ -146,6 +182,16 @@ class BackgroundWriter:
         self._stopping = False
         self._drain_on_stop = True
         self._error: Optional[BaseException] = None
+        self.on_fatal = on_fatal
+        self.heartbeat = heartbeat
+        self.heartbeat_interval = float(heartbeat_interval)
+        self._last_heartbeat = 0.0
+        #: Whether the stored error is an unrecoverable executor failure
+        #: (no auto-resume; ``clear_error`` still works if the caller
+        #: repaired the executor out of band).
+        self._fatal = False
+        self._resume_at: Optional[float] = None
+        self._resume_backoff = 0
 
     # -------------------------------------------------------------- #
     # Lifecycle
@@ -228,10 +274,23 @@ class BackgroundWriter:
         """The apply failure currently pausing the loop, if any."""
         return self._error
 
+    @property
+    def paused(self) -> bool:
+        """Whether the loop is paused on a stored apply failure."""
+        return self._error is not None
+
+    @property
+    def fatal(self) -> bool:
+        """Whether the stored failure is an unrecoverable executor one."""
+        return self._error is not None and self._fatal
+
     def clear_error(self) -> None:
         """Resume draining after the caller repaired the queue."""
         with self._cond:
             self._error = None
+            self._fatal = False
+            self._resume_at = None
+            self._resume_backoff = 0
             self._cond.notify_all()
         self._wake.set()
 
@@ -330,6 +389,18 @@ class BackgroundWriter:
             batch = None
             with self._cond:
                 stopping = self._stopping
+                if (
+                    self._error is not None
+                    and not self._fatal
+                    and self._resume_at is not None
+                    and time.monotonic() >= self._resume_at
+                ):
+                    # Auto-resume after a transient failure: the batch
+                    # was re-queued, so retrying is lossless.
+                    self._error = None
+                    self._resume_at = None
+                    self.stats.resume_attempts += 1
+                    self._cond.notify_all()
                 paused = self._error is not None
                 if not paused and (not stopping or self._drain_on_stop):
                     candidate = self._scheduler.drain()
@@ -338,6 +409,8 @@ class BackgroundWriter:
                         self._inflight = len(candidate)
             if batch is not None:
                 self._apply(batch)
+            elif not stopping and not paused:
+                self._maybe_heartbeat()
             if stopping:
                 with self._cond:
                     done = (
@@ -348,6 +421,68 @@ class BackgroundWriter:
                 if done:
                     return
 
+    def _maybe_heartbeat(self) -> None:
+        """Probe executor liveness from the idle loop (best effort)."""
+        if self.heartbeat is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.heartbeat_interval:
+            return
+        self._last_heartbeat = now
+        try:
+            with self._apply_lock:
+                self.stats.heartbeats += 1
+                self.heartbeat()
+        except Exception as exc:
+            self._on_failure(exc, batch=None)
+
+    def _on_failure(self, exc: BaseException, batch) -> None:
+        """Route one drain/heartbeat failure: failover, requeue, pause.
+
+        Fatal pool failures never re-queue the batch — the engine's
+        graph already advanced for it and the pool's journal + the
+        engine's stashes carry the score side, so re-submitting would
+        apply the same updates twice after a rebuild.
+        """
+        fatal = isinstance(exc, PoolUnrecoverableError)
+        handled = False
+        if fatal and self.on_fatal is not None:
+            try:
+                with self._apply_lock:
+                    handled = bool(self.on_fatal(exc))
+                    if handled:
+                        self.publish()
+            except Exception:
+                handled = False
+        with self._cond:
+            self.stats.errors += 1
+            if handled:
+                # The executor was failed over and the interrupted
+                # drain completed through the engine's stashes: account
+                # the batch as drained and keep the loop running.
+                if batch is not None:
+                    self.stats.drains += 1
+                    self.stats.drained_updates += len(batch)
+                self._inflight = 0
+                self._cond.notify_all()
+                return
+            if batch is not None and not fatal:
+                # Transient failure: nothing was journaled or applied,
+                # so re-queue losslessly and schedule an auto-resume
+                # with capped exponential backoff.
+                self._scheduler.submit_many(batch)
+            if not fatal:
+                self._resume_at = time.monotonic() + min(
+                    30.0, 0.5 * 2.0**self._resume_backoff
+                )
+                self._resume_backoff += 1
+            else:
+                self._resume_at = None
+            self._inflight = 0
+            self._error = exc
+            self._fatal = fatal
+            self._cond.notify_all()
+
     def _apply(self, batch) -> None:
         started = time.perf_counter()
         try:
@@ -355,18 +490,14 @@ class BackgroundWriter:
                 groups = self._engine.apply_consolidated(batch)
                 self.publish()
         except Exception as exc:
-            # Re-queue everything (nothing is lost) and pause: retrying
-            # the same poison batch every interval would spin forever.
-            with self._cond:
-                self._scheduler.submit_many(batch)
-                self._inflight = 0
-                self._error = exc
-                self.stats.errors += 1
-                self._cond.notify_all()
+            # Pause instead of spinning on the same poison batch; see
+            # _on_failure for the requeue/failover split.
+            self._on_failure(exc, batch)
             return
         elapsed = time.perf_counter() - started
         with self._cond:
             self._inflight = 0
+            self._resume_backoff = 0
             self.stats.drains += 1
             self.stats.drained_updates += len(batch)
             self.stats.row_groups += groups
@@ -424,6 +555,10 @@ class BackgroundWriter:
             "mean_apply_seconds": self.stats.mean_apply_seconds(),
             "max_apply_seconds": self.stats.max_apply_seconds,
             "errors": self.stats.errors,
+            "writer_paused": self.paused,
+            "fatal": self.fatal,
+            "resume_attempts": self.stats.resume_attempts,
+            "heartbeats": self.stats.heartbeats,
         }
 
     def __repr__(self) -> str:

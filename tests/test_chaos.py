@@ -1,0 +1,305 @@
+"""Chaos soak: seeded fault schedules against a fault-free oracle.
+
+The dichotomy the robustness layer promises, checked per seed:
+every deterministic fault schedule (crashes, stalls, staging failures,
+payload corruption, poison batches) must leave the service either
+
+* **bit-identical** to a fault-free in-process run of the same drain
+  sequence (all faults were recoverable and recovery was exactly-once),
+  or
+* in a **clean degraded state**: mutations refused with the typed
+  error, reads served from a consistent (never torn) view, gauges
+  reporting the quarantine,
+
+and in both cases with zero leaked shm segments (the module-wide
+``shm_guard`` diff asserts that after every test, including the kills).
+
+Schedules are pure data (`FaultPlan.seeded`), so every run here is
+reproducible from its printed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.cluster import FaultAction, FaultPlan
+from repro.exceptions import DegradedModeError, PoolUnrecoverableError
+from repro.graph.generators import erdos_renyi_digraph
+from repro.graph.updates import EdgeUpdate
+from repro.serving import SimRankService
+from repro.simrank.matrix import matrix_simrank
+
+from _streams import random_update_stream
+
+pytestmark = pytest.mark.usefixtures("shm_guard")
+
+CFG = SimRankConfig(damping=0.6, iterations=7)
+CHUNK = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = erdos_renyi_digraph(48, 0.06, seed=23)
+    scores = matrix_simrank(graph, CFG)
+    updates = random_update_stream(graph, 12, seed=29)
+    oracle = _oracle(graph, scores, updates, CHUNK)
+    return graph, scores, updates, oracle
+
+
+def _oracle(graph, scores, updates, chunk):
+    """Fault-free in-process run with the same drain boundaries."""
+    service = SimRankService(graph, CFG, initial_scores=scores)
+    try:
+        for begin in range(0, len(updates), chunk):
+            service.submit_many(updates[begin : begin + chunk])
+            service.drain()
+        return service.engine.similarities()
+    finally:
+        service.close()
+
+
+def _pool_service(graph, scores, plan, **kwargs):
+    return SimRankService(
+        graph,
+        CFG,
+        initial_scores=scores,
+        shard_rows=16,
+        executor="process",
+        workers=2,
+        executor_options={"fault_plan": plan, **kwargs.pop("options", {})},
+        **kwargs,
+    )
+
+
+def _drive(service, updates, chunk=CHUNK):
+    """Drain the stream in chunks with a read sync point per chunk.
+
+    Batched dispatch is pipelined, so a chunk's failure often surfaces
+    at the next sync point; the snapshot per chunk both advances the
+    pool's command clock (so mid-horizon schedule entries fire) and
+    forces detection.  Stops early once the pool is unrecoverable.
+    """
+    for begin in range(0, len(updates), chunk):
+        try:
+            service.submit_many(updates[begin : begin + chunk])
+            service.drain()
+            service.snapshot()
+        except (PoolUnrecoverableError, DegradedModeError):
+            break
+    try:
+        service.similarity(0, 1)  # final sync point
+    except (PoolUnrecoverableError, DegradedModeError):
+        pass
+
+
+class TestSeededSchedules:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_recovered_or_cleanly_degraded(self, workload, seed):
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan.seeded(seed, workers=2, horizon=14)
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="reject"
+        )
+        try:
+            _drive(service, updates)
+            if service.degraded:
+                # Clean degradation: typed refusal, consistent reads.
+                with pytest.raises(DegradedModeError):
+                    service.submit(EdgeUpdate.insert(0, 1))
+                view = service.snapshot()
+                matrix = view.similarities()
+                np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+                assert len(service.top_k(5)) == 5
+                report = service.metrics_report()["degraded"]
+                assert report["degraded"] is True
+                assert report["reason"]
+            else:
+                # Every fault was absorbed: exactly-once, bit-identical.
+                assert np.array_equal(
+                    service.engine.similarities(), oracle
+                ), plan.describe()
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("seed", (0, 2, 4))
+    def test_rebuild_policy_always_reaches_oracle(self, workload, seed):
+        """With the rebuild policy even a poisoned pool ends bit-identical:
+        the service fails over to an in-process store rebuilt from the
+        frozen segments + journal and keeps draining."""
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan.seeded(seed, workers=2, horizon=14)
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="rebuild"
+        )
+        try:
+            _drive(service, updates)
+            assert not service.degraded
+            assert np.array_equal(
+                service.engine.similarities(), oracle
+            ), plan.describe()
+            if service.failovers:
+                assert service.executor == "inproc"
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("seed", (1, 3, 6, 9))
+    def test_recoverable_kinds_are_transparent(self, workload, seed):
+        """Schedules without poison must never degrade the service."""
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan.seeded(
+            seed,
+            workers=2,
+            horizon=14,
+            kinds=("crash", "stall", "shm_fail", "corrupt"),
+        )
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="reject"
+        )
+        try:
+            _drive(service, updates)
+            assert not service.degraded, plan.describe()
+            assert service.failovers == 0
+            assert np.array_equal(
+                service.engine.similarities(), oracle
+            ), plan.describe()
+        finally:
+            service.close()
+
+
+class TestSingleFaultKinds:
+    def test_corruption_caught_and_resent(self, workload):
+        """A flipped word in the staged payload is caught by the section
+        checksums and repaired from the journal copy — never applied."""
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="corrupt", worker_id=0, at_command=2),
+            )
+        )
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="reject"
+        )
+        try:
+            pool = service.engine.score_store.pool
+            _drive(service, updates)
+            assert pool.stats.corruptions >= 1
+            assert pool.stats.crashes == 0
+            assert np.array_equal(service.engine.similarities(), oracle)
+            faults = service.metrics_report()["executor"]["faults"]
+            assert any(f["kind"] == "corrupt" for f in faults["fired"])
+        finally:
+            service.close()
+
+    def test_corruption_under_pipelined_dispatch_stays_ordered(
+        self, workload
+    ):
+        """Checksum failure while later batches are already queued in
+        the worker's pipe must not repair via in-band resend — that
+        would apply the batch after its successors and the reordered
+        accumulation diverges by ULPs.  The pool escalates to a
+        journal replay (kill + respawn), which is strictly ordered."""
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="corrupt", worker_id=0, at_command=2),
+            )
+        )
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="reject"
+        )
+        try:
+            pool = service.engine.score_store.pool
+            # No reads between drains: the pipeline stays full, so the
+            # corrupt batch's repair races batches already dispatched.
+            for begin in range(0, len(updates), CHUNK):
+                service.submit_many(updates[begin : begin + CHUNK])
+                service.drain()
+            final = service.engine.similarities()  # settles the pipeline
+            assert pool.stats.corruptions >= 1
+            assert pool.stats.respawns >= 1  # escalated, not resent
+            assert np.array_equal(final, oracle)
+        finally:
+            service.close()
+
+    def test_shm_allocation_failure_falls_back(self, workload):
+        """Staging-slot exhaustion fires before the journal append, so
+        the drain retries on the per-plan wire path, bit-identically."""
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan(
+            actions=(
+                FaultAction(kind="shm_fail", worker_id=0, at_command=2),
+            )
+        )
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="reject"
+        )
+        try:
+            _drive(service, updates)
+            assert not service.degraded
+            assert np.array_equal(service.engine.similarities(), oracle)
+        finally:
+            service.close()
+
+    def test_short_stall_rides_out_under_deadline(self, workload):
+        """A stall shorter than the deadline floor is absorbed without
+        declaring a crash — no respawn, no replay."""
+        graph, scores, updates, oracle = workload
+        plan = FaultPlan(
+            actions=(
+                FaultAction(
+                    kind="stall", worker_id=1, at_command=3, delay=0.2
+                ),
+            )
+        )
+        service = _pool_service(
+            graph, scores, plan, degraded_policy="reject"
+        )
+        try:
+            pool = service.engine.score_store.pool
+            _drive(service, updates)
+            assert pool.stats.crashes == 0
+            assert np.array_equal(service.engine.similarities(), oracle)
+        finally:
+            service.close()
+
+    def test_long_hang_trips_adaptive_deadline(self, workload):
+        """Once the per-worker p99 estimate is warm, a genuine hang is
+        declared dead at the (small) adaptive deadline instead of the
+        2-minute fixed timeout, and replay still converges bit-exactly."""
+        graph, scores, updates, oracle = workload
+        # Warm-up drains push >= min_samples replies per worker before
+        # the stall fires, so the adaptive path (not the cold fallback)
+        # is what detects the hang.
+        plan = FaultPlan(
+            actions=(
+                FaultAction(
+                    kind="stall", worker_id=0, at_command=11, delay=30.0
+                ),
+            )
+        )
+        service = _pool_service(
+            graph,
+            scores,
+            plan,
+            degraded_policy="reject",
+            options={"deadline_floor": 0.3, "command_timeout": 60.0},
+        )
+        try:
+            pool = service.engine.score_store.pool
+            for update in updates[:9]:  # commands 2..10: warm the p99
+                service.submit(update)
+                service.drain()
+            for update in updates[9:]:  # command 11 dispatches the stall
+                service.submit(update)
+                service.drain()
+            final = service.engine.similarities()  # settles the pipeline
+            assert pool.stats.crashes >= 1
+            assert pool.stats.respawns >= 1
+            # The same stream drained per-update must match the chunked
+            # oracle only after identical boundaries; recompute it.
+            expected = _oracle(graph, scores, updates, chunk=1)
+            assert np.array_equal(final, expected)
+        finally:
+            service.close()

@@ -26,6 +26,9 @@ from repro.simrank.matrix import matrix_simrank
 
 from _streams import random_update_stream
 
+# Every test in this module must leave zero shm segments behind.
+pytestmark = pytest.mark.usefixtures("shm_guard")
+
 CFG = SimRankConfig(damping=0.6, iterations=8)
 
 

@@ -1,0 +1,244 @@
+"""Unit tests for the supervision primitives (no subprocesses).
+
+AdaptiveDeadline, RespawnBudget, WorkerHealth, and the WorkerSupervisor
+facade are plain bookkeeping driven synchronously by the pool, so they
+are tested here as pure units with injected clocks; the integration
+behaviour (kills, quarantine, degradation) lives in test_chaos.py and
+test_degraded.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.cluster.messages import word_checksums
+from repro.cluster.supervisor import (
+    AdaptiveDeadline,
+    QuarantinedBatch,
+    RespawnBudget,
+    WorkerHealth,
+    WorkerSupervisor,
+)
+
+
+class TestAdaptiveDeadline:
+    def test_cold_worker_uses_fallback(self):
+        deadline = AdaptiveDeadline(command_timeout=10.0, floor=0.5)
+        assert deadline.deadline(0) == 10.0
+        assert deadline.deadline(0, units=3) == 30.0
+
+    def test_warm_worker_tracks_p99(self):
+        deadline = AdaptiveDeadline(
+            command_timeout=100.0, floor=0.0, multiplier=8.0, min_samples=8
+        )
+        for _ in range(50):
+            deadline.observe(0, 0.01)
+        # p99 of a constant stream is the constant itself.
+        assert deadline.deadline(0) == pytest.approx(0.08)
+        assert deadline.deadline(0, units=4) == pytest.approx(0.32)
+
+    def test_floor_absorbs_fast_workers(self):
+        deadline = AdaptiveDeadline(
+            command_timeout=100.0, floor=5.0, min_samples=4
+        )
+        for _ in range(20):
+            deadline.observe(1, 1e-5)
+        assert deadline.deadline(1) == 5.0
+
+    def test_deadline_never_exceeds_fixed_timeout(self):
+        deadline = AdaptiveDeadline(
+            command_timeout=1.0, floor=0.0, multiplier=8.0, min_samples=4
+        )
+        for _ in range(20):
+            deadline.observe(0, 10.0)  # pathological samples
+        assert deadline.deadline(0) == 1.0
+
+    def test_mark_cold_resets_to_fallback(self):
+        deadline = AdaptiveDeadline(
+            command_timeout=50.0, floor=0.0, min_samples=4
+        )
+        for _ in range(10):
+            deadline.observe(0, 0.01)
+        assert deadline.deadline(0) < 50.0
+        deadline.mark_cold(0)
+        assert deadline.deadline(0) == 50.0
+        # One observed reply warms it back up.
+        deadline.observe(0, 0.01)
+        assert deadline.deadline(0) < 50.0
+
+    def test_per_worker_isolation(self):
+        deadline = AdaptiveDeadline(
+            command_timeout=50.0, floor=0.0, min_samples=4
+        )
+        for _ in range(10):
+            deadline.observe(0, 0.001)
+            deadline.observe(1, 0.1)
+        assert deadline.deadline(1) > deadline.deadline(0)
+
+
+class TestRespawnBudget:
+    def _budget(self, capacity, refill_seconds=60.0, start=0.0):
+        clock = {"now": start}
+        sleeps = []
+        budget = RespawnBudget(
+            capacity,
+            base=0.05,
+            cap=2.0,
+            refill_seconds=refill_seconds,
+            clock=lambda: clock["now"],
+            sleep=sleeps.append,
+        )
+        return budget, clock, sleeps
+
+    def test_spend_until_dry(self):
+        budget, _, _ = self._budget(2)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.spent == 2
+
+    def test_refills_over_time(self):
+        budget, clock, _ = self._budget(1, refill_seconds=10.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        clock["now"] += 10.0
+        assert budget.try_spend()
+
+    def test_backoff_doubles_and_jitters(self):
+        budget, _, sleeps = self._budget(8)
+        delays = [budget.backoff() for _ in range(4)]
+        assert sleeps == delays
+        # Exponential base with up to +100% jitter, never less than base.
+        for attempt, delay in enumerate(delays):
+            base = 0.05 * 2.0**attempt
+            assert base <= delay <= 2.0 * base * 2.0
+        budget.reset_backoff()
+        assert budget.backoff() <= 0.05 * 2.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        first = RespawnBudget(4, seed=7, sleep=lambda _: None)
+        second = RespawnBudget(4, seed=7, sleep=lambda _: None)
+        assert [first.backoff() for _ in range(3)] == [
+            second.backoff() for _ in range(3)
+        ]
+
+
+class TestWorkerHealth:
+    def test_suspect_events_count_transitions(self):
+        health = WorkerHealth(0)
+        health.mark("suspect")
+        health.mark("suspect")  # staying suspect is one event
+        health.mark("healthy")
+        health.mark("suspect")
+        assert health.suspect_events == 2
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(ValueError):
+            WorkerHealth(0).mark("zombie")
+
+
+class TestWorkerSupervisor:
+    def test_disabled_keeps_fixed_deadlines(self):
+        sup = WorkerSupervisor(
+            2, command_timeout=7.0, max_respawns=3, enabled=False
+        )
+        for _ in range(50):
+            sup.observe_reply(0, 0.001)
+        assert sup.deadline(0) == 7.0
+        assert sup.deadline(0, units=5) == 35.0
+
+    def test_enabled_adapts_after_warmup(self):
+        sup = WorkerSupervisor(
+            2, command_timeout=60.0, max_respawns=3, deadline_floor=0.5
+        )
+        for _ in range(50):
+            sup.observe_reply(0, 0.001)
+        assert sup.deadline(0) == 0.5  # floor, far below the fixed timeout
+
+    def test_respawn_lifecycle_and_budget_exhaustion(self):
+        sup = WorkerSupervisor(
+            1,
+            command_timeout=5.0,
+            max_respawns=2,
+            backoff_base=0.0,
+            refill_seconds=1e9,
+        )
+        assert sup.begin_respawn(0)
+        assert sup.health[0].state == "respawning"
+        sup.finish_respawn(0)
+        assert sup.health[0].state == "healthy"
+        assert sup.begin_respawn(0)
+        sup.finish_respawn(0)
+        assert not sup.begin_respawn(0)  # budget dry
+        assert sup.health[0].state == "dead"
+
+    def test_reply_clears_suspect(self):
+        sup = WorkerSupervisor(2, command_timeout=5.0, max_respawns=3)
+        sup.mark_suspect(1)
+        assert sup.health[1].state == "suspect"
+        sup.observe_reply(1, 0.01)
+        assert sup.health[1].state == "healthy"
+
+    def test_report_shape(self):
+        sup = WorkerSupervisor(2, command_timeout=5.0, max_respawns=3)
+        sup.quarantine(
+            QuarantinedBatch(
+                journal_index=4, worker_ids=(0,), count=3, crashes=2
+            )
+        )
+        report = sup.report()
+        assert report["enabled"] is True
+        assert report["worker_states"] == {0: "healthy", 1: "healthy"}
+        assert report["quarantined_batches"] == 1
+        assert report["respawn_tokens"] == 6.0  # 3 per worker, shared
+
+
+class TestQuarantinedBatch:
+    def test_describe_names_journal_position(self):
+        record = QuarantinedBatch(
+            journal_index=7, worker_ids=(0, 1), count=12, crashes=2
+        )
+        assert "journal[7]" in record.describe()
+        assert "12 plans" in record.describe()
+
+
+class TestFaultPlanUnits:
+    def test_seeded_is_deterministic(self):
+        first = FaultPlan.seeded(3, workers=2, horizon=20)
+        second = FaultPlan.seeded(3, workers=2, horizon=20)
+        assert first.actions == second.actions
+        assert first.seed == 3
+
+    def test_seeded_respects_kind_filter(self):
+        plan = FaultPlan.seeded(
+            5, workers=2, horizon=20, max_faults=3, kinds=("crash",)
+        )
+        assert plan.actions
+        assert all(action.kind == "crash" for action in plan.actions)
+
+    def test_injector_clock_fires_once(self):
+        plan = FaultPlan.seeded(9, workers=2, horizon=10)
+        injector = FaultInjector(plan)
+        assert injector.clock == 0
+        report = injector.report()
+        assert report["scheduled"] == len(plan.actions)
+        assert report["pending"] == len(plan.actions)
+
+
+class TestChecksums:
+    def test_sections_localize_corruption(self):
+        import numpy as np
+
+        # Packed layout: targets(8), ranks(8), lens(12), idx(16), val(16).
+        words = np.arange(60, dtype=np.int64)
+        clean = word_checksums(words, 8, sections=(12, 16, 16))
+        corrupted = words.copy()
+        corrupted[30] ^= np.int64(1 << 17)  # inside the idx section
+        dirty = word_checksums(corrupted, 8, sections=(12, 16, 16))
+        differing = [
+            i for i, (a, b) in enumerate(zip(clean, dirty)) if a != b
+        ]
+        assert differing == [3]
+        # Identical payload => identical checksums (order-free XOR).
+        assert clean == word_checksums(words.copy(), 8, sections=(12, 16, 16))
