@@ -90,6 +90,7 @@ def run_cluster_bench(
     batch: str = "both",
     supervision: str = "on",
     repeats: int = 1,
+    precision: str = "float64",
 ) -> Dict:
     """Run the scaling curve; returns the JSON-ready report.
 
@@ -110,6 +111,12 @@ def run_cluster_bench(
     one-sided (contention only ever adds latency), so min-of-N makes
     tight ratio gates like ``--max-supervision-ratio`` stable where a
     single shot is a coin flip.
+
+    ``precision`` sets the score-store storage dtype for *every* run
+    in the curve, including the in-process oracle — scatter-time
+    casting is identical across executors, so the bit-equivalence gate
+    stays exact per dtype (a float32 pool run must equal the float32
+    in-process run bit for bit).
     """
     worker_counts = list(worker_counts) if worker_counts else [0, 1, 2]
     if batch not in ("both", "on", "off"):
@@ -140,6 +147,7 @@ def run_cluster_bench(
             "seed": seed,
             "batch_axis": batch,
             "supervision_axis": supervision,
+            "precision": precision,
         },
         "curve": [],
         "bit_identical": True,
@@ -184,6 +192,7 @@ def run_cluster_bench(
                     config,
                     initial_scores=initial,
                     shard_rows=shard_rows,
+                    precision=precision,
                     **kwargs,
                 )
                 try:
@@ -193,14 +202,16 @@ def run_cluster_bench(
                     run_topk = time.perf_counter() - topk_started
                     run_final = service.engine.similarities()
                     run_executor = service.metrics_report()["executor"]
+                    run_store_bytes = service.engine.score_store.nbytes()
                 finally:
                     service.close()
                 if best[combo] is None or run_seconds < best[combo][0]:
                     best[combo] = (
-                        run_seconds, run_topk, run_final, run_executor
+                        run_seconds, run_topk, run_final, run_executor,
+                        run_store_bytes,
                     )
         for batching, supervised in combos:
-            drain_seconds, topk_seconds, final, executor = best[
+            drain_seconds, topk_seconds, final, executor, store_bytes = best[
                 (batching, supervised)
             ]
             if baseline_matrix is None:
@@ -225,6 +236,13 @@ def run_cluster_bench(
                 "ipc_per_plan_ms": executor.get("ipc_per_plan_ms", 0.0),
                 "ipc_bytes": executor.get("ipc_bytes", 0),
                 "staged_bytes": executor.get("staged_bytes", 0),
+                "score_dtype": executor.get(
+                    "score_dtype", final.dtype.name
+                ),
+                "score_store_bytes": store_bytes,
+                "wire_bytes_per_update": (
+                    executor.get("ipc_bytes", 0) / len(updates)
+                ),
                 "plan_batches": executor.get("plan_batches", 0),
                 "batch_size": executor.get("batch_size", 0.0),
                 "per_worker_seconds": executor.get("per_worker_seconds", {}),
@@ -311,6 +329,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "unsupervised (requires --supervision both)",
     )
     parser.add_argument(
+        "--precision",
+        choices=("float64", "float32"),
+        default="float64",
+        help="score-store storage dtype for every run in the curve; "
+        "the bit-equivalence gate compares executors at the same dtype",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=1,
@@ -337,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch=args.batch,
         supervision=args.supervision,
         repeats=args.repeats,
+        precision=args.precision,
     )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     print(rendered)

@@ -116,6 +116,7 @@ def run_serving_bench(
     shard_rows: int = 128,
     workers: int = 0,
     fault_seed: Optional[int] = None,
+    precision: str = "float64",
 ) -> Dict:
     """Run the pinned-reader / draining-writer scenario; return a report."""
     graph, config, initial, updates = _workload(
@@ -131,6 +132,7 @@ def run_serving_bench(
         config,
         initial_scores=initial,
         shard_rows=shard_rows,
+        precision=precision,
         **_executor_kwargs(workers, fault_seed),
     )
 
@@ -199,6 +201,8 @@ def _sync_scenario(
             "seed": seed,
             "executor": service.executor,
             "workers": workers,
+            "precision": service.precision,
+            "score_dtype": service.engine.score_store.dtype.name,
         },
         "writer": {
             "queued_updates": queued,
@@ -252,6 +256,7 @@ def run_background_bench(
     top_k: int = 10,
     workers: int = 0,
     fault_seed: Optional[int] = None,
+    precision: str = "float64",
 ) -> Dict:
     """Readers pin published views while the background writer drains.
 
@@ -281,6 +286,7 @@ def run_background_bench(
         drain_interval=drain_interval,
         max_pending=max_pending,
         backpressure=policy,
+        precision=precision,
         **_executor_kwargs(workers, fault_seed),
     )
     try:
@@ -452,6 +458,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workers (0 keeps the in-process executor)",
     )
     parser.add_argument(
+        "--precision",
+        choices=("float64", "float32", "auto"),
+        default="float64",
+        help="score-store storage precision for both scenarios "
+        "(float64 is the bit-identity reference; float32 halves the "
+        "score memory; auto runs the precision autotuner first)",
+    )
+    parser.add_argument(
         "--faults",
         type=int,
         nargs="?",
@@ -478,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             shard_rows=args.shard_rows,
             workers=args.workers,
             fault_seed=args.faults,
+            precision=args.precision,
         )
         violations.extend(
             key for key, ok in report["isolation"].items() if not ok
@@ -505,6 +520,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             policy=args.backpressure,
             workers=args.workers,
             fault_seed=args.faults,
+            precision=args.precision,
         )
         report["background_writer"] = background
         violations.extend(

@@ -12,7 +12,7 @@ Commands
     ``+ source target`` or ``- source target`` per line.
 ``similar <edges.txt> <node> [-k 10]``
     Top-k most similar nodes to one node (single-source query).
-``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N]``
+``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N] [--precision float32|auto]``
     Serving-layer demo: precompute scores, pin a read snapshot, queue
     the updates through the coalescing scheduler, drain them (inline,
     or via the background writer thread with ``--writer background``),
@@ -127,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.cluster pool); 0 keeps the in-process executor",
     )
     serve.add_argument(
+        "--precision",
+        choices=("float64", "float32", "auto"),
+        default="float64",
+        help="score-store storage precision: float64 (bit-identity "
+        "reference), float32 (half the score memory), or auto (run the "
+        "accuracy-gated precision autotuner before serving)",
+    )
+    serve.add_argument(
         "--degraded-policy",
         choices=("reject", "queue", "rebuild"),
         default="reject",
@@ -214,7 +222,22 @@ def command_serve(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "degraded_policy": args.degraded_policy,
         }
-    service = SimRankService(graph, _config(args), **executor_kwargs)
+    service = SimRankService(
+        graph, _config(args), precision=args.precision, **executor_kwargs
+    )
+    if args.precision != "float64":
+        store = service.engine.score_store
+        plan = service.precision_plan
+        detail = (
+            f" (autotuned plan: store {plan.store_dtype}, "
+            f"{len(plan.demoted_shards())} shard overrides)"
+            if plan is not None
+            else ""
+        )
+        print(
+            f"precision {args.precision}: score store dtype "
+            f"{store.dtype.name}{detail}"
+        )
     if args.workers > 0:
         print(
             f"process executor: {service.engine.score_store.pool.num_workers} "

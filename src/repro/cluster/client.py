@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import DimensionError
+from ..exceptions import ClusterError, DimensionError
 from ..executor.score_store import ScoreSnapshot, ScoreStore, _Shard
 from ..executor.topk_index import Pair, ScoredPair, TopKStats, _key
 from ..incremental.plan import PlanBatch
@@ -64,6 +64,7 @@ class PlanningOverlay(ScoreStore):
         # matrix.
         self._n = client.num_nodes
         self._shard_rows = client.shard_rows
+        self._dtype = client.dtype
         self._topk = None
         self.version = 0
         self.cow_copies = 0
@@ -274,6 +275,7 @@ class ShardClient(ScoreStore):
         self._pool = pool
         self._n = pool.num_nodes
         self._shard_rows = pool.shard_rows
+        self._dtype = pool.dtype
         self._shards = pool.mirror_shards
         self._topk = None
         self._shard_timing = {}
@@ -410,7 +412,7 @@ class ShardClient(ScoreStore):
         self.version += dispatched
 
     def add_dense(self, delta: np.ndarray) -> None:
-        delta = np.asarray(delta, dtype=np.float64)
+        delta = np.asarray(delta, dtype=self._dtype)
         if delta.shape != self.shape:
             raise DimensionError(f"delta shape {delta.shape} != {self.shape}")
         self._pool.add_rows(delta)
@@ -419,7 +421,7 @@ class ShardClient(ScoreStore):
             self._topk.invalidate_all()
 
     def replace_dense(self, scores: np.ndarray) -> None:
-        scores = np.asarray(scores, dtype=np.float64)
+        scores = np.asarray(scores, dtype=self._dtype)
         if scores.shape != self.shape:
             raise DimensionError(
                 f"scores shape {scores.shape} != {self.shape}"
@@ -434,6 +436,27 @@ class ShardClient(ScoreStore):
         self.version += 1
         if self._topk is not None:
             self._topk.on_entry(row, col)
+
+    def set_shard_dtype(self, index: int, dtype) -> bool:
+        """Per-shard demotion is an in-process-only capability.
+
+        Pool shards live in worker-owned shared-memory segments at one
+        uniform dtype (carried on every
+        :class:`~repro.cluster.messages.SegmentSpec`); retyping a parent
+        mirror buffer would silently diverge from the worker's view.
+        Choose the precision up front via the pool's ``dtype`` option.
+        """
+        raise ClusterError(
+            "per-shard dtype changes are not supported on the process "
+            "executor; construct the pool with dtype='float32' instead"
+        )
+
+    def set_dtype(self, dtype) -> int:
+        """See :meth:`set_shard_dtype` — uniform pool dtype is fixed at build."""
+        raise ClusterError(
+            "dtype changes are not supported on the process executor; "
+            "construct the pool with dtype='float32' instead"
+        )
 
     def add_node(self) -> int:
         transitions = (

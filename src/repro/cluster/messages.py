@@ -56,6 +56,10 @@ class SegmentSpec:
 
     ``base``/``rows`` are the shard's global row window; ``rows_cap`` ×
     ``cols_cap`` is the allocated segment shape (growth headroom).
+    ``dtype`` is the segment's storage dtype — the wire-level carrier
+    of the precision seam, so crash replay and respawns rebuild shards
+    at the precision they were demoted to (the default keeps old
+    pickles readable).
     """
 
     shard_id: int
@@ -64,6 +68,7 @@ class SegmentSpec:
     rows: int
     rows_cap: int
     cols_cap: int
+    dtype: str = "float64"
 
 
 @dataclass
@@ -174,6 +179,9 @@ class AddNodeCmd:
     own_tail: bool
     shard_hi: int
     transitions: Optional[dict] = None
+    #: Storage dtype for a freshly opened tail shard (existing shards
+    #: keep their own dtype through growth).
+    dtype: str = "float64"
 
 
 @dataclass

@@ -85,8 +85,11 @@ from .supervisor import (
     WorkerSupervisor,
 )
 from .worker import worker_loop
+from ..dtypes import DEFAULT_FLOAT_DTYPE, resolve_dtype
 
-_FLOAT_DTYPE = np.float64
+#: Backwards-compatible alias; the definition lives in
+#: :mod:`repro.dtypes` (one source of truth for the dtype seam).
+_FLOAT_DTYPE = DEFAULT_FLOAT_DTYPE
 
 #: ``spawn`` is the only start method the pool promises correctness
 #: under: respawning a crashed worker can happen on the background
@@ -298,6 +301,11 @@ class ShardWorkerPool:
     fault_plan:
         A :class:`~repro.cluster.faults.FaultPlan` to inject — testing
         only; never set in production.
+    dtype:
+        Score storage dtype for every segment (float64 default; the
+        bit-identity reference).  Carried on each
+        :class:`~repro.cluster.messages.SegmentSpec`, so respawns and
+        crash replay rebuild shards at the same precision.
     """
 
     def __init__(
@@ -312,8 +320,10 @@ class ShardWorkerPool:
         supervise: bool = True,
         deadline_floor: float = DEFAULT_DEADLINE_FLOOR,
         fault_plan=None,
+        dtype=None,
     ) -> None:
-        scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
+        self._dtype = resolve_dtype(dtype)
+        scores = np.asarray(scores, dtype=self._dtype)
         if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
             raise DimensionError(
                 f"scores must be square, got shape {scores.shape}"
@@ -378,8 +388,12 @@ class ShardWorkerPool:
             base = gid * self._shard_rows
             rows = min(self._shard_rows, self._n - base)
             name = f"{self._prefix}s{gid}"
-            segment = create_segment(name, segment_nbytes((rows, self._n)))
-            buffer = ndarray_view(segment, (rows, self._n), writable=True)
+            segment = create_segment(
+                name, segment_nbytes((rows, self._n), dtype=self._dtype)
+            )
+            buffer = ndarray_view(
+                segment, (rows, self._n), writable=True, dtype=self._dtype
+            )
             np.copyto(buffer, scores[base : base + rows])
             buffer.flags.writeable = False
             self._segments.adopt(name, segment)
@@ -390,6 +404,7 @@ class ShardWorkerPool:
                 rows=rows,
                 rows_cap=rows,
                 cols_cap=self._n,
+                dtype=self._dtype.name,
             )
             self.mirror_shards.append(_Shard(base, rows, buffer))
 
@@ -424,6 +439,16 @@ class ShardWorkerPool:
     @property
     def shard_rows(self) -> int:
         return self._shard_rows
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The pool's score storage dtype (uniform across segments)."""
+        return self._dtype
+
+    @property
+    def score_dtype(self) -> str:
+        """Serializable name of the pool's score storage dtype."""
+        return self._dtype.name
 
     @property
     def num_shards(self) -> int:
@@ -752,7 +777,10 @@ class ShardWorkerPool:
             return
         segment = self._segments.acquire(spec.name)
         buffer = ndarray_view(
-            segment, (spec.rows_cap, spec.cols_cap), writable=False
+            segment,
+            (spec.rows_cap, spec.cols_cap),
+            writable=False,
+            dtype=spec.dtype,
         )
         if current is not None:
             self._segments.release(current.name)
@@ -1276,6 +1304,7 @@ class ShardWorkerPool:
                 own_tail=(handle.worker_id == owner),
                 shard_hi=handle.shard_hi,
                 transitions=transitions,
+                dtype=self._dtype.name,
             )
             for handle in self._workers
         }
@@ -1416,9 +1445,12 @@ class ShardWorkerPool:
         segment = self._segments.acquire(spec.name)
         try:
             view = ndarray_view(
-                segment, (spec.rows_cap, spec.cols_cap), writable=False
+                segment,
+                (spec.rows_cap, spec.cols_cap),
+                writable=False,
+                dtype=spec.dtype,
             )
-            return np.array(view[: spec.rows, :], dtype=_FLOAT_DTYPE)
+            return np.array(view[: spec.rows, :])
         finally:
             self._segments.release(spec.name)
 
@@ -1431,6 +1463,7 @@ class ShardWorkerPool:
         report = {
             "mode": "process",
             "workers": self.num_workers,
+            "score_dtype": self._dtype.name,
         }
         report.update(self.apply_metrics.report())
         report.update(

@@ -100,7 +100,16 @@ def rebuild_score_store(pool) -> ScoreStore:
         spec = base.segments[gid]
         block = pool.base_segment_array(spec)
         scores[spec.base : spec.base + spec.rows] = block[:, :n]
-    store = ScoreStore(scores, shard_rows=shard_rows)
+    # Rebuild at the pool's storage dtype.  Staging the base through a
+    # float64 dense is lossless for every supported dtype (float32 ->
+    # float64 -> float32 round-trips exactly), and replaying plans into
+    # the reduced-precision store casts at scatter time exactly like the
+    # workers did — so the rebuilt store is bit-identical per dtype.
+    store = ScoreStore(
+        scores,
+        shard_rows=shard_rows,
+        dtype=getattr(pool, "score_dtype", None),
+    )
     for entry in journal:
         _apply_entry(store, entry, shard_rows)
     return store

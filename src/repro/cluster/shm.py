@@ -38,7 +38,11 @@ from typing import Tuple
 
 import numpy as np
 
-_FLOAT_DTYPE = np.float64
+from ..dtypes import DEFAULT_FLOAT_DTYPE, resolve_dtype
+
+#: Backwards-compatible alias; the definition lives in
+#: :mod:`repro.dtypes` (one source of truth for the dtype seam).
+_FLOAT_DTYPE = DEFAULT_FLOAT_DTYPE
 
 #: Per-pool manifest files live here: one tiny JSON per live pool
 #: recording ``{pid, prefix}`` so a later process can tell which
@@ -62,17 +66,26 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
 
 
 def ndarray_view(
-    segment: shared_memory.SharedMemory, shape: Tuple[int, int], writable: bool
+    segment: shared_memory.SharedMemory,
+    shape: Tuple[int, int],
+    writable: bool,
+    dtype=None,
 ) -> np.ndarray:
-    """A C-ordered float64 array over the segment's buffer."""
-    view = np.ndarray(shape, dtype=_FLOAT_DTYPE, buffer=segment.buf)
+    """A C-ordered float array over the segment's buffer.
+
+    ``dtype`` is the segment's storage dtype (float64 default); both
+    sides of a segment must agree on it — the pool ships it on every
+    :class:`~repro.cluster.messages.SegmentSpec`.
+    """
+    view = np.ndarray(shape, dtype=resolve_dtype(dtype), buffer=segment.buf)
     view.flags.writeable = writable
     return view
 
 
-def segment_nbytes(shape: Tuple[int, int]) -> int:
-    """Bytes needed for a float64 array of ``shape``."""
-    return int(np.prod(shape, dtype=np.int64)) * np.dtype(_FLOAT_DTYPE).itemsize
+def segment_nbytes(shape: Tuple[int, int], dtype=None) -> int:
+    """Bytes needed for a float array of ``shape`` at ``dtype``."""
+    itemsize = resolve_dtype(dtype).itemsize
+    return int(np.prod(shape, dtype=np.int64)) * itemsize
 
 
 def sweep_segments(prefix: str) -> int:

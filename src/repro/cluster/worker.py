@@ -47,8 +47,6 @@ from .messages import (
 )
 from .shm import attach_segment, create_segment, ndarray_view, segment_nbytes
 
-_FLOAT_DTYPE = np.float64
-
 
 class _StagingReader:
     """Cached attachments to the parent's batch-staging segments.
@@ -134,7 +132,10 @@ class WorkerShardStore:
         for spec in init.segments:
             segment = attach_segment(spec.name)
             buffer = ndarray_view(
-                segment, (spec.rows_cap, spec.cols_cap), writable=True
+                segment,
+                (spec.rows_cap, spec.cols_cap),
+                writable=True,
+                dtype=spec.dtype,
             )
             self._shards[spec.shard_id] = _WorkerShard(spec, segment, buffer)
 
@@ -182,16 +183,22 @@ class WorkerShardStore:
             rows=shard.rows,
             rows_cap=shard.buffer.shape[0],
             cols_cap=shard.buffer.shape[1],
+            dtype=shard.buffer.dtype.name,
         )
 
     def _replace_segment(
         self, shard_id: int, shape: Tuple[int, int]
     ) -> np.ndarray:
-        """Move a shard into a fresh segment of ``shape`` (copying)."""
+        """Move a shard into a fresh segment of ``shape`` (copying).
+
+        The replacement keeps the shard's storage dtype — copy-on-write
+        and growth never change precision.
+        """
         shard = self._shards[shard_id]
         name = self._next_name()
-        segment = create_segment(name, segment_nbytes(shape))
-        buffer = ndarray_view(segment, shape, writable=True)
+        dtype = shard.buffer.dtype
+        segment = create_segment(name, segment_nbytes(shape, dtype=dtype))
+        buffer = ndarray_view(segment, shape, writable=True, dtype=dtype)
         old = shard.buffer
         copy_rows = min(old.shape[0], shape[0])
         copy_cols = min(old.shape[1], shape[1])
@@ -315,7 +322,13 @@ class WorkerShardStore:
         if self._topk is not None:
             self._topk.invalidate_all()
 
-    def add_node(self, num_nodes: int, own_tail: bool, shard_hi: int) -> None:
+    def add_node(
+        self,
+        num_nodes: int,
+        own_tail: bool,
+        shard_hi: int,
+        dtype: str = "float64",
+    ) -> None:
         """Grow to ``num_nodes``: column capacity everywhere, rows at tail.
 
         Mirrors :meth:`ScoreStore.add_node`'s doubling policy, except
@@ -354,8 +367,12 @@ class WorkerShardStore:
             else:
                 name = self._next_name()
                 shape = (1, max(self._n, 1))
-                segment = create_segment(name, segment_nbytes(shape))
-                buffer = ndarray_view(segment, shape, writable=True)
+                segment = create_segment(
+                    name, segment_nbytes(shape, dtype=dtype)
+                )
+                buffer = ndarray_view(
+                    segment, shape, writable=True, dtype=dtype
+                )
                 spec = SegmentSpec(
                     shard_id=tail_id,
                     name=name,
@@ -363,6 +380,7 @@ class WorkerShardStore:
                     rows=1,
                     rows_cap=1,
                     cols_cap=shape[1],
+                    dtype=buffer.dtype.name,
                 )
                 shard = _WorkerShard(spec, segment, buffer)
                 shard.shared = False  # fresh allocation, provably private
@@ -452,7 +470,9 @@ def worker_loop(conn, init: WorkerInit) -> None:
                 elif isinstance(cmd, ReplaceRowsCmd):
                     store.replace_rows(cmd.blocks)
                 elif isinstance(cmd, AddNodeCmd):
-                    store.add_node(cmd.num_nodes, cmd.own_tail, cmd.shard_hi)
+                    store.add_node(
+                        cmd.num_nodes, cmd.own_tail, cmd.shard_hi, cmd.dtype
+                    )
                     if cmd.transitions is not None:
                         transition_version = int(cmd.transitions["version"])
                 elif isinstance(cmd, MarkSharedCmd):

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..dtypes import DEFAULT_FLOAT_DTYPE, resolve_dtype
 from ..exceptions import DimensionError
 
 #: Default rows per shard.  Small enough that copy-on-write divergence
@@ -43,7 +44,9 @@ from ..exceptions import DimensionError
 #: overhead is negligible against the union-support GEMM.
 DEFAULT_SHARD_ROWS = 512
 
-_FLOAT_DTYPE = np.float64
+#: Backwards-compatible alias; the definition lives in
+#: :mod:`repro.dtypes` (one source of truth for the dtype seam).
+_FLOAT_DTYPE = DEFAULT_FLOAT_DTYPE
 
 
 @dataclass
@@ -160,14 +163,24 @@ class ScoreSnapshot:
         view = self._views[row // self.shard_rows]
         return float(view[row % self.shard_rows, col])
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Widest shard dtype — what dense reads materialize into."""
+        if not self._views:
+            return DEFAULT_FLOAT_DTYPE
+        dtypes = {view.dtype for view in self._views}
+        if len(dtypes) == 1:
+            return dtypes.pop()
+        return np.result_type(*dtypes)
+
     def row(self, row: int) -> np.ndarray:
-        """A copy of frozen row ``row``."""
+        """A copy of frozen row ``row`` (in the shard's own dtype)."""
         view = self._views[row // self.shard_rows]
-        return np.array(view[row % self.shard_rows], dtype=_FLOAT_DTYPE)
+        return np.array(view[row % self.shard_rows])
 
     def column(self, col: int) -> np.ndarray:
         """A copy of frozen column ``col``."""
-        out = np.empty(self.num_nodes, dtype=_FLOAT_DTYPE)
+        out = np.empty(self.num_nodes, dtype=self.dtype)
         cursor = 0
         for view in self._views:
             out[cursor : cursor + view.shape[0]] = view[:, col]
@@ -177,7 +190,7 @@ class ScoreSnapshot:
     def to_array(self) -> np.ndarray:
         """Materialize the full frozen matrix (a fresh copy)."""
         if not self._views:
-            return np.zeros((0, 0), dtype=_FLOAT_DTYPE)
+            return np.zeros((0, 0), dtype=DEFAULT_FLOAT_DTYPE)
         return np.concatenate(self._views, axis=0)
 
     def iter_blocks(self):
@@ -206,9 +219,13 @@ class ScoreStore:
     """The executor-side owner of ``S``; applies kernel update plans."""
 
     def __init__(
-        self, scores: np.ndarray, shard_rows: int = DEFAULT_SHARD_ROWS
+        self,
+        scores: np.ndarray,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        dtype=None,
     ) -> None:
-        scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
+        self._dtype = resolve_dtype(dtype)
+        scores = np.asarray(scores, dtype=self._dtype)
         if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
             raise DimensionError(
                 f"scores must be square, got shape {scores.shape}"
@@ -236,16 +253,19 @@ class ScoreStore:
             # are), and the row-block scatter path is several times
             # slower on F-ordered shards.
             buffer = np.array(
-                scores[base : base + rows], dtype=_FLOAT_DTYPE, order="C"
+                scores[base : base + rows], dtype=self._dtype, order="C"
             )
             self._shards.append(_Shard(base, rows, buffer))
 
     @classmethod
     def from_dense(
-        cls, scores: np.ndarray, shard_rows: int = DEFAULT_SHARD_ROWS
+        cls,
+        scores: np.ndarray,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        dtype=None,
     ) -> "ScoreStore":
         """Shard a dense score matrix (the initial batch precomputation)."""
-        return cls(scores, shard_rows=shard_rows)
+        return cls(scores, shard_rows=shard_rows, dtype=dtype)
 
     # -------------------------------------------------------------- #
     # Shape / reads
@@ -267,6 +287,25 @@ class ScoreStore:
     def shard_rows(self) -> int:
         """Rows per shard (all shards but the last are full)."""
         return self._shard_rows
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The store's default storage dtype (new shards allocate in it)."""
+        return self._dtype
+
+    def _read_dtype(self) -> np.dtype:
+        """Widest shard dtype — the dtype dense reads materialize into.
+
+        Uniform stores read in their own dtype; a mixed store (some
+        shards demoted by a precision plan) promotes reads so no score
+        loses precision on the way out.
+        """
+        if not self._shards:
+            return self._dtype
+        dtypes = {shard.buffer.dtype for shard in self._shards}
+        if len(dtypes) == 1:
+            return dtypes.pop()
+        return np.result_type(*dtypes)
 
     def _live(self, shard: _Shard) -> np.ndarray:
         """The shard's live ``rows × n`` window (read-only by contract)."""
@@ -326,14 +365,14 @@ class ScoreStore:
         """A copy of row ``row`` (into ``out`` when given)."""
         shard = self._shards[row // self._shard_rows]
         if out is None:
-            out = np.empty(self._n, dtype=_FLOAT_DTYPE)
+            out = np.empty(self._n, dtype=shard.buffer.dtype)
         np.copyto(out, shard.buffer[row - shard.base, : self._n])
         return out
 
     def column(self, col: int, out: Optional[np.ndarray] = None) -> np.ndarray:
         """A copy of column ``col`` — a contiguous gather across shards."""
         if out is None:
-            out = np.empty(self._n, dtype=_FLOAT_DTYPE)
+            out = np.empty(self._n, dtype=self._read_dtype())
         for shard in self._shards:
             out[shard.base : shard.base + shard.rows] = shard.buffer[
                 : shard.rows, col
@@ -343,7 +382,9 @@ class ScoreStore:
     def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Dense ``S @ x``, one GEMV per shard."""
         if out is None:
-            out = np.empty(self._n, dtype=_FLOAT_DTYPE)
+            out = np.empty(
+                self._n, dtype=np.result_type(self._read_dtype(), x.dtype)
+            )
         for shard in self._shards:
             np.dot(
                 self._live(shard),
@@ -381,7 +422,7 @@ class ScoreStore:
     def to_array(self) -> np.ndarray:
         """Materialize the full matrix as one fresh dense copy."""
         if not self._shards:
-            return np.zeros((0, 0), dtype=_FLOAT_DTYPE)
+            return np.zeros((0, 0), dtype=self._dtype)
         return np.concatenate(
             [self._live(shard) for shard in self._shards], axis=0
         )
@@ -516,8 +557,12 @@ class ScoreStore:
             self._topk.invalidate_all()
 
     def replace_dense(self, scores: np.ndarray) -> None:
-        """Overwrite all scores (batch recomputation path)."""
-        scores = np.asarray(scores, dtype=_FLOAT_DTYPE)
+        """Overwrite all scores (batch recomputation path).
+
+        The assignment casts into each shard's own dtype, so demoted
+        shards stay demoted across a rewrite.
+        """
+        scores = np.asarray(scores)
         if scores.shape != self.shape:
             raise DimensionError(
                 f"scores shape {scores.shape} != {self.shape}"
@@ -556,7 +601,7 @@ class ScoreStore:
             if self._n > shard.buffer.shape[1]:
                 grown = np.zeros(
                     (shard.buffer.shape[0], max(2 * shard.buffer.shape[1], self._n)),
-                    dtype=_FLOAT_DTYPE,
+                    dtype=shard.buffer.dtype,
                 )
                 grown[:, : shard.buffer.shape[1]] = shard.buffer
                 shard.buffer = grown
@@ -568,7 +613,7 @@ class ScoreStore:
                     self._shard_rows, max(2 * tail.buffer.shape[0], 1)
                 )
                 grown = np.zeros(
-                    (rows_cap, tail.buffer.shape[1]), dtype=_FLOAT_DTYPE
+                    (rows_cap, tail.buffer.shape[1]), dtype=tail.buffer.dtype
                 )
                 grown[: tail.rows] = tail.buffer[: tail.rows]
                 tail.buffer = grown
@@ -576,7 +621,7 @@ class ScoreStore:
             tail.rows += 1
         else:
             base = node
-            buffer = np.zeros((1, max(self._n, 1)), dtype=_FLOAT_DTYPE)
+            buffer = np.zeros((1, max(self._n, 1)), dtype=self._dtype)
             self._shards.append(_Shard(base, 1, buffer))
         self.version += 1
         if self._topk is not None:
@@ -608,24 +653,91 @@ class ScoreStore:
     # -------------------------------------------------------------- #
 
     def nbytes(self) -> int:
-        """Logical bytes of the live ``n × n`` scores."""
-        return self._n * self._n * np.dtype(_FLOAT_DTYPE).itemsize
+        """Logical bytes of the live ``n × n`` scores.
+
+        Dtype-aware: each shard is charged its *own* itemsize, so a
+        store with demoted float32 shards reports the memory it
+        actually holds, not the float64 estimate.
+        """
+        return sum(
+            shard.rows * self._n * shard.buffer.dtype.itemsize
+            for shard in self._shards
+        )
 
     def buffer_bytes(self) -> int:
         """Allocated bytes across all shard buffers (slack included)."""
         return sum(shard.buffer.nbytes for shard in self._shards)
 
     def shard_report(self) -> List[dict]:
-        """Per-shard accounting (rows, allocation, sharing state)."""
+        """Per-shard accounting (rows, allocation, dtype, sharing state)."""
         return [
             {
                 "base": shard.base,
                 "rows": shard.rows,
                 "buffer_bytes": shard.buffer.nbytes,
+                "dtype": shard.buffer.dtype.name,
                 "shared": shard.shared,
             }
             for shard in self._shards
         ]
+
+    def shard_dtypes(self) -> List[str]:
+        """Each shard's storage dtype name, in shard order."""
+        return [shard.buffer.dtype.name for shard in self._shards]
+
+    def dtype_report(self) -> dict:
+        """Dtype-aware accounting for the observability surface.
+
+        ``score_dtype_bytes`` is the live-score footprint at actual
+        per-shard itemsize; ``shards_by_dtype`` counts shards per
+        storage dtype (all under one key until a precision plan demotes
+        a subset).
+        """
+        counts: Dict[str, int] = {}
+        for shard in self._shards:
+            name = shard.buffer.dtype.name
+            counts[name] = counts.get(name, 0) + 1
+        return {
+            "score_dtype": self._dtype.name,
+            "score_dtype_bytes": self.nbytes(),
+            "shards_by_dtype": counts,
+        }
+
+    # -------------------------------------------------------------- #
+    # Precision
+    # -------------------------------------------------------------- #
+
+    def set_shard_dtype(self, index: int, dtype) -> bool:
+        """Convert one shard's storage to ``dtype`` (the demotion seam).
+
+        Returns True when the shard actually changed.  Conversion
+        allocates a fresh private buffer (so pinned snapshots keep
+        their frozen views untouched) and counts as a mutation: a
+        float64→float32 demotion rounds the stored scores.
+        """
+        target = resolve_dtype(dtype)
+        shard = self._shards[index]
+        if shard.buffer.dtype == target:
+            return False
+        shard.buffer = np.array(shard.buffer, dtype=target, order="C")
+        shard.shared = False  # fresh allocation, provably private
+        self.version += 1
+        if self._topk is not None:
+            self._topk.invalidate_all()
+        return True
+
+    def set_dtype(self, dtype) -> int:
+        """Convert every shard (and the store default) to ``dtype``.
+
+        Returns the number of shards converted.
+        """
+        target = resolve_dtype(dtype)
+        self._dtype = target
+        return sum(
+            1
+            for index in range(len(self._shards))
+            if self.set_shard_dtype(index, target)
+        )
 
     def shared_shard_count(self) -> int:
         """Shards currently marked copy-on-write (pinned by snapshots)."""

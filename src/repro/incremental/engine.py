@@ -44,6 +44,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..config import SimRankConfig
+from ..dtypes import resolve_dtype
 from ..exceptions import ClusterError, ConfigError, GraphError, PoolUnrecoverableError
 from ..executor.score_store import DEFAULT_SHARD_ROWS, ScoreStore
 from ..graph.digraph import DynamicDiGraph
@@ -126,6 +127,13 @@ class DynamicSimRank:
         :class:`~repro.cluster.ShardWorkerPool` (e.g. ``supervise``,
         ``deadline_floor``, ``command_timeout``, ``max_respawns``,
         ``fault_plan``).  Ignored for the in-process executor.
+    score_dtype:
+        Storage dtype of the score shards (``"float64"`` default,
+        ``"float32"`` opt-in).  Planning and the union-support GEMM stay
+        float64 everywhere; reduced precision applies where blocks are
+        scattered into shard storage — identically in both executors, so
+        a float32 process run is bit-identical to a float32 in-process
+        run.  The float64 default is the bit-identity reference.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class DynamicSimRank:
         start_method: Optional[str] = None,
         plan_batching: bool = True,
         executor_options: Optional[dict] = None,
+        score_dtype: Optional[str] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigError(
@@ -156,6 +165,7 @@ class DynamicSimRank:
         self._executor = executor
         self._paranoid = bool(paranoid)
         self._plan_batching = bool(plan_batching)
+        self._score_dtype = resolve_dtype(score_dtype)
         self._store = TransitionStore.from_graph(self._graph)
         self._workspace = UpdateWorkspace(self._graph.num_nodes)
         if initial_scores is None:
@@ -170,17 +180,21 @@ class DynamicSimRank:
         if executor == "process":
             from ..cluster import build_client
 
+            options = dict(executor_options or {})
+            options.setdefault("dtype", self._score_dtype)
             self._scores = build_client(
                 scores,
                 shard_rows=shard_rows,
                 workers=workers,
                 start_method=start_method,
-                **(executor_options or {}),
+                **options,
             )
             # Topology changes ship the packed Q payload to workers.
             self._scores.transition_exporter = self._store.export_packed
         else:
-            self._scores = ScoreStore(scores, shard_rows=shard_rows)
+            self._scores = ScoreStore(
+                scores, shard_rows=shard_rows, dtype=self._score_dtype
+            )
         self._topk_index = None
         self._history: List[UpdateStats] = []
         self._version = 0
@@ -213,6 +227,11 @@ class DynamicSimRank:
     def plan_batching(self) -> bool:
         """Whether consolidated drains ship as one batched command."""
         return self._plan_batching
+
+    @property
+    def score_dtype(self) -> np.dtype:
+        """The configured storage dtype of the score shards."""
+        return self._score_dtype
 
     def close(self) -> None:
         """Release executor resources (worker processes, shared memory).
@@ -630,6 +649,7 @@ class DynamicSimRank:
             damping=np.asarray([self._config.damping]),
             iterations=np.asarray([self._config.iterations], dtype=np.int64),
             algorithm=np.asarray([self._algorithm]),
+            score_dtype=np.asarray([self._score_dtype.name]),
         )
 
     @classmethod
@@ -644,11 +664,17 @@ class DynamicSimRank:
             damping=float(payload["damping"][0]),
             iterations=int(payload["iterations"][0]),
         )
+        score_dtype = (
+            str(payload["score_dtype"][0])
+            if "score_dtype" in payload.files
+            else None
+        )
         return cls(
             graph,
             config,
             algorithm=str(payload["algorithm"][0]),
             initial_scores=payload["scores"],
+            score_dtype=score_dtype,
         )
 
     # ------------------------------------------------------------------ #
@@ -684,7 +710,7 @@ class DynamicSimRank:
 
     def memory_report(self) -> dict:
         """Layered memory accounting: Q store, workspace, score shards."""
-        return {
+        report = {
             "transition_store_bytes": self._store.buffer_bytes(),
             "transition_slack_bytes": self._store.slack_bytes(),
             "workspace_bytes": self._workspace.nbytes(),
@@ -694,3 +720,5 @@ class DynamicSimRank:
             "score_shared_shards": self._scores.shared_shard_count(),
             "score_cow_copies": self._scores.cow_copies,
         }
+        report.update(self._scores.dtype_report())
+        return report

@@ -135,17 +135,24 @@ class UpdatePlan:
         """Entries of the (untransposed) scatter block, ``|rows|·|cols|``."""
         return int(self.rows_union.size) * int(self.cols_union.size)
 
-    def panels(self) -> Tuple[np.ndarray, np.ndarray]:
+    def panels(self, dtype=None) -> Tuple[np.ndarray, np.ndarray]:
         """Densify the factors over the union supports: ``(L, R)``.
 
         ``L`` is ``|rows_union| × rank`` and ``R`` is
         ``|cols_union| × rank`` so the scatter block is one GEMM
         ``L @ R.T`` — the fancy-indexed scatter-add is the slow part,
         the GEMM is nearly free.
+
+        ``dtype`` selects the panel (and hence GEMM) precision; the
+        default is float64, which every executor uses regardless of the
+        score store's storage dtype — reduced-precision stores cast at
+        scatter time, so the plan arithmetic stays bit-identical across
+        dtypes.
         """
         terms = len(self.left_factors)
-        left = np.zeros((self.rows_union.size, terms))
-        right = np.zeros((self.cols_union.size, terms))
+        panel_dtype = np.float64 if dtype is None else np.dtype(dtype)
+        left = np.zeros((self.rows_union.size, terms), dtype=panel_dtype)
+        right = np.zeros((self.cols_union.size, terms), dtype=panel_dtype)
         for term, (idx, val) in enumerate(self.left_factors):
             left[np.searchsorted(self.rows_union, idx), term] = val
         for term, (idx, val) in enumerate(self.right_factors):

@@ -40,9 +40,13 @@ BUFFER_NAMES = ("u", "v", "w", "gamma", "scratch", "xcol")
 class UpdateWorkspace:
     """A pool of reusable dense ``n``-vectors for the update hot path."""
 
-    def __init__(self, num_nodes: int = 0) -> None:
+    def __init__(self, num_nodes: int = 0, dtype=None) -> None:
         self._capacity = 0
         self._buffers: Dict[str, np.ndarray] = {}
+        # Planning arithmetic is float64 end to end (reduced-precision
+        # score stores cast at scatter time), so the default stays
+        # float64; the seam exists for offline experiments only.
+        self._dtype = np.float64 if dtype is None else np.dtype(dtype)
         if num_nodes > 0:
             self.ensure_capacity(num_nodes)
 
@@ -51,13 +55,18 @@ class UpdateWorkspace:
         """Current buffer length (>= every ``n`` seen so far)."""
         return self._capacity
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the pooled buffers (float64 by default)."""
+        return self._dtype
+
     def ensure_capacity(self, num_nodes: int) -> None:
         """Grow all buffers to hold ``num_nodes`` entries (doubling)."""
         if num_nodes <= self._capacity:
             return
         new_capacity = max(num_nodes, 2 * self._capacity, 16)
         self._buffers = {
-            name: np.zeros(new_capacity, dtype=np.float64)
+            name: np.zeros(new_capacity, dtype=self._dtype)
             for name in BUFFER_NAMES
         }
         self._capacity = new_capacity

@@ -14,6 +14,7 @@ from __future__ import annotations
 import tracemalloc
 from typing import Callable, Tuple, TypeVar
 
+from ..dtypes import resolve_dtype
 from ..linalg.qstore import DEFAULT_SLACK
 
 T = TypeVar("T")
@@ -93,32 +94,34 @@ def inc_svd_intermediate_bytes(num_nodes: int, rank: int) -> int:
     return factors + kron_system + densify
 
 
-def score_store_bytes(num_nodes: int) -> int:
+def score_store_bytes(num_nodes: int, dtype=None) -> int:
     """Allocated bytes of a freshly sharded score store.
 
     Independent of the shard size: shards are allocated tight at build
     time (each holds exactly its live ``rows × n`` float block), so the
-    total is the plain ``n²`` score footprint.  Growth slack appears
-    only after node arrivals, and copy-on-write divergence is costed
-    separately by :func:`snapshot_overhead_bytes`.
+    total is the plain ``n²`` score footprint at the store's storage
+    ``dtype`` (float64 default; a float32 store halves it).  Growth
+    slack appears only after node arrivals, and copy-on-write
+    divergence is costed separately by :func:`snapshot_overhead_bytes`.
     """
-    return num_nodes * num_nodes * _FLOAT_BYTES
+    return num_nodes * num_nodes * resolve_dtype(dtype).itemsize
 
 
 def snapshot_overhead_bytes(
-    divergent_shards: int, shard_rows: int, num_nodes: int
+    divergent_shards: int, shard_rows: int, num_nodes: int, dtype=None
 ) -> int:
     """Extra resident bytes one pinned snapshot costs the writer.
 
     Copy-on-write means a snapshot is free until the writer touches a
     shard; each divergent shard then keeps one retained copy of its
-    ``shard_rows × n`` block alive for the snapshot.  The worst case
-    (writer touched everything) is one full ``n²`` retained version;
-    the typical incremental case is the few shards overlapping the
-    updates' affected rows.
+    ``shard_rows × n`` block alive for the snapshot — at the shard's
+    storage ``dtype`` (float64 default), since copy-on-write clones
+    preserve precision.  The worst case (writer touched everything) is
+    one full ``n²`` retained version; the typical incremental case is
+    the few shards overlapping the updates' affected rows.
     """
     rows = min(divergent_shards * shard_rows, num_nodes)
-    return rows * num_nodes * _FLOAT_BYTES
+    return rows * num_nodes * resolve_dtype(dtype).itemsize
 
 
 def batch_intermediate_bytes(num_nodes: int, num_edges: int) -> int:

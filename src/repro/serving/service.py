@@ -66,6 +66,12 @@ WRITER_MODES = ("sync", "background")
 #: ========== ========================================================
 DEGRADED_POLICIES = ("reject", "queue", "rebuild")
 
+#: Score-store precision modes: ``float64`` (the bit-identity
+#: reference, default), ``float32`` (uniform demotion, caller-asserted
+#: accuracy), or ``auto`` (consume — or search for — an accuracy-gated
+#: :class:`~repro.tuning.precision.PrecisionPlan`).
+PRECISION_MODES = ("float64", "float32", "auto")
+
 
 class SimRankService:
     """Versioned SimRank serving over a link-evolving graph.
@@ -99,6 +105,22 @@ class SimRankService:
     degraded_policy:
         One of :data:`DEGRADED_POLICIES`; what happens when the pool
         becomes unrecoverable (default ``"reject"``).
+    precision:
+        One of :data:`PRECISION_MODES` (default ``"float64"``).
+        ``"float32"`` stores the score shards uniformly at float32
+        (planning/GEMM arithmetic stays float64, so results are
+        bit-identical across executors at that storage dtype).
+        ``"auto"`` consumes ``precision_plan`` — or, when none is
+        given, runs a small seeded
+        :class:`~repro.tuning.precision.PrecisionAutotuner` calibration
+        against a float64 reference leg before serving starts.
+    precision_plan:
+        A :class:`~repro.tuning.precision.PrecisionPlan`, its
+        ``to_dict()`` payload, or a path to a saved plan file.  Only
+        read when ``precision="auto"``.  Per-shard overrides apply on
+        the in-process executor; the process executor is uniform-dtype
+        by design, so a partial plan conservatively serves at the
+        plan's ``store_dtype`` there.
     """
 
     def __init__(
@@ -117,6 +139,8 @@ class SimRankService:
         plan_batching: bool = True,
         executor_options: Optional[dict] = None,
         degraded_policy: str = "reject",
+        precision: Optional[str] = None,
+        precision_plan=None,
     ) -> None:
         if writer not in WRITER_MODES:
             raise ConfigError(
@@ -128,6 +152,20 @@ class SimRankService:
                 f"unknown degraded policy {degraded_policy!r}; expected "
                 f"one of {DEGRADED_POLICIES}"
             )
+        self._precision = precision if precision is not None else "float64"
+        if self._precision not in PRECISION_MODES:
+            raise ConfigError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{PRECISION_MODES}"
+            )
+        self._precision_plan = None
+        score_dtype = self._precision if self._precision != "auto" else None
+        if self._precision == "auto":
+            plan, initial_scores = self._resolve_precision_plan(
+                precision_plan, graph, config, initial_scores, shard_rows
+            )
+            self._precision_plan = plan
+            score_dtype = plan.store_dtype
         engine_kwargs = {}
         if shard_rows is not None:
             engine_kwargs["shard_rows"] = shard_rows
@@ -141,8 +179,17 @@ class SimRankService:
             start_method=start_method,
             plan_batching=plan_batching,
             executor_options=executor_options,
+            score_dtype=score_dtype,
             **engine_kwargs,
         )
+        if (
+            self._precision_plan is not None
+            and not self._precision_plan.uniform
+            and executor != "process"
+        ):
+            # Per-shard overrides exist only in-process; the pool is
+            # uniform-dtype (see PrecisionPlan docs).
+            self._precision_plan.apply_to(self._engine.score_store)
         self._scheduler = UpdateScheduler()
         self._writer: Optional[BackgroundWriter] = None
         self._degraded_policy = degraded_policy
@@ -157,6 +204,44 @@ class SimRankService:
                 max_pending=max_pending,
                 policy=backpressure,
             )
+
+    @staticmethod
+    def _resolve_precision_plan(
+        precision_plan, graph, config, initial_scores, shard_rows
+    ):
+        """Coerce ``precision_plan`` to a plan, autotuning when absent.
+
+        Returns ``(plan, initial_scores)`` — the autotuner computes the
+        initial batch scores when the caller did not supply them, and
+        handing them back avoids recomputing the same matrix for the
+        engine.
+        """
+        from ..tuning.precision import (
+            PrecisionAutotuner,
+            PrecisionPlan,
+        )
+
+        if precision_plan is not None:
+            if isinstance(precision_plan, PrecisionPlan):
+                return precision_plan, initial_scores
+            if isinstance(precision_plan, dict):
+                return PrecisionPlan.from_dict(precision_plan), initial_scores
+            if isinstance(precision_plan, str):
+                return PrecisionPlan.load(precision_plan), initial_scores
+            raise ConfigError(
+                "precision_plan must be a PrecisionPlan, a dict, or a "
+                f"path, got {type(precision_plan).__name__}"
+            )
+        tuner_kwargs = {}
+        if shard_rows is not None:
+            tuner_kwargs["shard_rows"] = shard_rows
+        tuner = PrecisionAutotuner(
+            graph,
+            config=config,
+            initial_scores=initial_scores,
+            **tuner_kwargs,
+        )
+        return tuner.run(), tuner.initial_scores
 
     # -------------------------------------------------------------- #
     # Writer lifecycle
@@ -240,6 +325,21 @@ class SimRankService:
     def executor(self) -> str:
         """Which executor owns the score shards (``inproc``/``process``)."""
         return self._engine.executor
+
+    @property
+    def precision(self) -> str:
+        """The configured precision mode (:data:`PRECISION_MODES`)."""
+        return self._precision
+
+    @property
+    def precision_plan(self):
+        """The consumed/derived precision plan (``auto`` mode), or None.
+
+        Serializable: ``plan.save(path)`` then
+        ``SimRankService(..., precision="auto", precision_plan=path)``
+        restores the exact same dtype layout after a restart.
+        """
+        return self._precision_plan
 
     @property
     def version(self) -> int:
@@ -582,8 +682,20 @@ class SimRankService:
         if self._writer is not None:
             with self._writer.apply_lock:
                 report["executor"] = self._engine.score_store.apply_report()
+                report["executor"].update(
+                    self._engine.score_store.dtype_report()
+                )
         else:
             report["executor"] = self._engine.score_store.apply_report()
+            report["executor"].update(self._engine.score_store.dtype_report())
+        report["precision"] = {
+            "mode": self._precision,
+            "plan": (
+                self._precision_plan.to_dict()
+                if self._precision_plan is not None
+                else None
+            ),
+        }
         if self._writer is not None:
             report["writer"] = self._writer.report()
         report["degraded"] = {

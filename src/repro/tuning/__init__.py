@@ -1,0 +1,26 @@
+"""Accuracy-gated configuration search (the precision autotuner).
+
+The package currently hosts one tuner:
+:class:`~repro.tuning.precision.PrecisionAutotuner`, a PROSE-style
+greedy/bisection search that demotes score-store shards (or the whole
+store) to float32 and accepts a demotion only if ranking accuracy
+against a float64 reference leg stays above configurable gates.  Its
+output is a serializable :class:`~repro.tuning.precision.PrecisionPlan`
+consumed by :class:`repro.serving.service.SimRankService`.
+"""
+
+from .precision import (
+    DEFAULT_CALIBRATION_UPDATES,
+    PrecisionAutotuner,
+    PrecisionGates,
+    PrecisionPlan,
+    calibration_updates,
+)
+
+__all__ = [
+    "PrecisionAutotuner",
+    "PrecisionGates",
+    "PrecisionPlan",
+    "calibration_updates",
+    "DEFAULT_CALIBRATION_UPDATES",
+]
