@@ -12,7 +12,7 @@ Commands
     ``+ source target`` or ``- source target`` per line.
 ``similar <edges.txt> <node> [-k 10]``
     Top-k most similar nodes to one node (single-source query).
-``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N] [--precision float32|auto]``
+``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N] [--precision float32|auto] [--config service.json] [--http PORT]``
     Serving-layer demo: precompute scores, pin a read snapshot, queue
     the updates through the coalescing scheduler, drain them (inline,
     or via the background writer thread with ``--writer background``),
@@ -142,6 +142,30 @@ def build_parser() -> argparse.ArgumentParser:
         "read-only and reject writes, keep queueing writes, or rebuild "
         "the score state in-process and keep writing",
     )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="after queueing the updates, serve the network front door "
+        "on PORT (0 = ephemeral) until interrupted instead of running "
+        "the one-shot demo",
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        metavar="SERVICE_JSON",
+        help="build the service from a ServiceConfig JSON file; "
+        "explicitly passed flags must agree with it (conflicts are a "
+        "hard error)",
+    )
+    serve.add_argument(
+        "--admission-window",
+        type=float,
+        default=None,
+        help="front-door admission window in seconds (--http only); "
+        "overrides the config file's frontdoor section",
+    )
 
     return parser
 
@@ -210,11 +234,15 @@ def command_similar(args: argparse.Namespace) -> int:
     return 0
 
 
-def command_serve(args: argparse.Namespace) -> int:
+def _build_service(args: argparse.Namespace, graph):
+    """Build the service from ``--config`` and/or the per-knob flags.
+
+    Only flags that differ from their argparse defaults count as
+    explicit, so a config file and untouched flags coexist — while an
+    explicitly conflicting flag raises the resolver's ConfigError.
+    """
     from .serving import SimRankService
 
-    graph = load_edge_list(args.edges)
-    batch = load_update_file(args.updates)
     executor_kwargs = {}
     if args.workers > 0:
         executor_kwargs = {
@@ -222,9 +250,61 @@ def command_serve(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "degraded_policy": args.degraded_policy,
         }
-    service = SimRankService(
+    if args.config is not None:
+        # Subcommand flag defaults live on the serve subparser, not the
+        # root, so recover them by parsing a placeholder command line.
+        defaults = build_parser().parse_args(["serve", "_", "_"])
+        flag_kwargs = dict(executor_kwargs)
+        for name in ("writer", "backpressure", "precision"):
+            value = getattr(args, name)
+            if value != getattr(defaults, name):
+                flag_kwargs[name] = value
+        return SimRankService(graph, config=args.config, **flag_kwargs)
+    return SimRankService(
         graph, _config(args), precision=args.precision, **executor_kwargs
     )
+
+
+def _serve_http(service, args: argparse.Namespace) -> int:
+    """Run the network front door until interrupted (``serve --http``)."""
+    import asyncio
+
+    from .frontdoor import FrontDoor
+    from .serving.config import FrontDoorConfig
+
+    base = service.service_config.frontdoor or FrontDoorConfig()
+    overrides = {"port": args.http}
+    if args.admission_window is not None:
+        overrides["admission_window"] = args.admission_window
+    fd_config = FrontDoorConfig(
+        **{**base.to_dict(), **overrides}
+    )
+
+    async def run():
+        door = FrontDoor(service, fd_config)
+        await door.start()
+        print(
+            f"front door listening on {door.host}:{door.port}",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await door.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("front door stopped")
+    finally:
+        service.close()
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    batch = load_update_file(args.updates)
+    service = _build_service(args, graph)
     if args.precision != "float64":
         store = service.engine.score_store
         plan = service.precision_plan
@@ -245,11 +325,23 @@ def command_serve(args: argparse.Namespace) -> int:
             f"{service.engine.score_store.pool.num_shards} shards"
         )
 
+    if args.http is not None:
+        if args.writer == "background" and not service.background:
+            service.start_background_writer(policy=args.backpressure)
+        service.submit(batch)
+        print(
+            f"queued {len(batch)} updates "
+            f"({'background' if service.background else 'sync'} writer)"
+        )
+        return _serve_http(service, args)
+
     pinned = service.snapshot()
     frozen_top = pinned.top_k(args.top)
 
     if args.writer == "background":
-        writer = service.start_background_writer(policy=args.backpressure)
+        writer = service.writer or service.start_background_writer(
+            policy=args.backpressure
+        )
         service.submit(batch)
         print(
             f"queued {len(batch)} updates behind the background writer "

@@ -154,6 +154,11 @@ class PoolTopK:
                 f"capacity {self.capacity} must be >= k {self.k}"
             )
         self.stats = TopKStats()
+        #: Monotone change counter mirroring
+        #: :attr:`repro.executor.topk_index.ShardTopK.revision` — bumped
+        #: whenever worker deltas or respawn invalidations touch the
+        #: mirror, so ranking subscribers can skip no-op drains.
+        self.revision = 0
         #: Global shard id -> candidate dict, or None while dirty.
         self._mirror: Dict[int, Optional[Dict[Pair, float]]] = {
             gid: None for gid in range(pool.num_shards)
@@ -171,6 +176,7 @@ class PoolTopK:
         """Fold one reply's candidate deltas into the mirror."""
         if changes is None:
             return
+        self.revision += 1
         self._sync_keys()
         if changes == "all":
             lo, hi = self._pool.worker_range(worker_id)
@@ -189,6 +195,7 @@ class PoolTopK:
 
     def mark_shards_dirty(self, shard_ids) -> None:
         """Invalidate mirror shards (after a worker respawn)."""
+        self.revision += 1
         self._sync_keys()
         for gid in shard_ids:
             if gid in self._mirror:

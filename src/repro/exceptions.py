@@ -117,6 +117,38 @@ class DegradedModeError(ReproError, RuntimeError):
     """
 
 
+class ServiceClosedError(ReproError, RuntimeError):
+    """The serving session was closed and no longer accepts requests.
+
+    :meth:`~repro.serving.service.SimRankService.close` is idempotent
+    and safe to call while a network front door is still serving; any
+    request that races the shutdown gets this error instead of touching
+    a released executor.  The wire taxonomy maps it to HTTP 503.
+    """
+
+
+class SessionNotFoundError(ReproError, KeyError):
+    """A pinned-snapshot session id is unknown (expired or released).
+
+    Raised by the front door's session manager; the wire taxonomy maps
+    it to HTTP 404.  TTL expiry and explicit release both end a session
+    permanently — clients re-pin by opening a new session.
+    """
+
+    def __init__(self, session_id: object) -> None:
+        super().__init__(f"unknown or expired session {session_id!r}")
+        self.session_id = session_id
+
+
+class ProtocolError(ReproError, ValueError):
+    """A malformed HTTP request or WebSocket frame reached the front door.
+
+    Covers unparsable request lines, oversized headers/bodies, invalid
+    JSON payloads, and RFC 6455 framing violations.  The wire taxonomy
+    maps it to HTTP 400 (or a WebSocket protocol-error close).
+    """
+
+
 class DimensionError(ReproError, ValueError):
     """A matrix or vector argument has an incompatible shape."""
 

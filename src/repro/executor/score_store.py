@@ -178,6 +178,28 @@ class ScoreSnapshot:
         view = self._views[row // self.shard_rows]
         return np.array(view[row % self.shard_rows])
 
+    def gather(self, rows, cols) -> list:
+        """Frozen scores of many ``(row, col)`` pairs, one read per shard.
+
+        The front door's batched-admission path for ``similarity``
+        queries: pairs are grouped by shard and fetched with one
+        fancy-indexing read each, instead of one Python-level
+        :meth:`entry` call per pair.  Bit-identical to :meth:`entry`
+        (both read the same frozen array element and widen through
+        ``float``).
+        """
+        by_shard: dict = {}
+        for index, row in enumerate(rows):
+            by_shard.setdefault(row // self.shard_rows, []).append(index)
+        out = [0.0] * len(rows)
+        for shard, indices in by_shard.items():
+            local = np.array([rows[i] % self.shard_rows for i in indices])
+            cut = np.array([cols[i] for i in indices])
+            values = self._views[shard][local, cut]
+            for slot, value in zip(indices, values):
+                out[slot] = float(value)
+        return out
+
     def column(self, col: int) -> np.ndarray:
         """A copy of frozen column ``col``."""
         out = np.empty(self.num_nodes, dtype=self.dtype)

@@ -259,6 +259,12 @@ class ShardTopK:
         self._track_changes = bool(track_changes)
         self._changed: set = set()
         self._all_changed = False
+        #: Monotone counter bumped whenever the candidate state moves —
+        #: the cheap "did any ranking possibly change since I last
+        #: looked?" signal the front door's top-k subscriptions poll
+        #: after each drain.  Read it *before* a query, and again after,
+        #: to absorb the bumps the query's own lazy re-scans produce.
+        self.revision = 0
         #: None means "everything dirty" (initial state / after a dense
         #: mutation); rebuilt lazily at the next query.
         self._shards: Optional[List[_ShardHeap]] = None
@@ -296,6 +302,7 @@ class ShardTopK:
     # -------------------------------------------------------------- #
 
     def _mark_changed(self, shard_id: int) -> None:
+        self.revision += 1
         if self._track_changes:
             self._changed.add(int(shard_id))
 
@@ -340,6 +347,7 @@ class ShardTopK:
     def invalidate_all(self) -> None:
         """Dense mutation / node arrival: every shard re-scans lazily."""
         self._shards = None
+        self.revision += 1
         self.stats.full_invalidations += 1
         if self._track_changes:
             self._all_changed = True

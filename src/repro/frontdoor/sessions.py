@@ -1,0 +1,144 @@
+"""Pinned-snapshot sessions: a client's bit-stable view with a TTL.
+
+A session pins one :class:`~repro.serving.snapshot.SnapshotView` under
+a random id.  Every query routed through the session answers from that
+frozen view, so a client doing a multi-request analysis (compare pairs,
+then rank, then drill into a source) sees one consistent version no
+matter how many drains land in between — the same bit-stability the
+in-process API gets from holding a view object, carried over a
+stateless wire protocol.
+
+The cost of a pin is bounded by copy-on-write: a pinned view only
+retains the shard buffers the writer has since diverged from.  Sessions
+end two ways — explicit ``DELETE`` or idle TTL expiry (each touch
+refreshes the clock) — and both drop the manager's reference so the
+COW refcounting can reclaim the retained shards.  ``max_sessions``
+caps concurrently pinned views, bounding reader-held memory;
+:class:`~repro.exceptions.BackpressureError` (HTTP 429) tells clients
+to release or wait.
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+from typing import Dict, Optional
+
+from ..exceptions import BackpressureError, SessionNotFoundError
+from ..serving.snapshot import SnapshotView
+
+
+class _Session:
+    __slots__ = ("view", "ttl", "expires_at", "touches")
+
+    def __init__(self, view: SnapshotView, ttl: float, now: float) -> None:
+        self.view = view
+        self.ttl = ttl
+        self.expires_at = now + ttl
+        self.touches = 0
+
+
+class SessionManager:
+    """Id → pinned view registry with idle-TTL expiry.
+
+    Not thread-safe by design: every call happens on the front door's
+    event loop (blocking query execution moves to the thread pool only
+    *after* the view is resolved here).
+    """
+
+    def __init__(
+        self,
+        default_ttl: float,
+        max_sessions: int,
+        clock=time.monotonic,
+    ) -> None:
+        self.default_ttl = float(default_ttl)
+        self.max_sessions = int(max_sessions)
+        self._clock = clock
+        self._sessions: Dict[str, _Session] = {}
+        self.created = 0
+        self.expired = 0
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def create(self, view: SnapshotView, ttl: Optional[float] = None) -> str:
+        """Pin ``view`` under a fresh session id."""
+        now = self._clock()
+        self._purge(now)
+        if len(self._sessions) >= self.max_sessions:
+            raise BackpressureError(
+                f"session table full ({self.max_sessions} pinned); "
+                f"release a session or wait for TTL expiry"
+            )
+        session_id = secrets.token_hex(16)
+        self._sessions[session_id] = _Session(
+            view, float(ttl) if ttl else self.default_ttl, now
+        )
+        self.created += 1
+        return session_id
+
+    def get(self, session_id: str) -> SnapshotView:
+        """The pinned view; touching refreshes the idle TTL."""
+        now = self._clock()
+        self._purge(now)
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionNotFoundError(session_id)
+        session.expires_at = now + session.ttl
+        session.touches += 1
+        return session.view
+
+    def info(self, session_id: str) -> dict:
+        """Wire metadata for one session (refreshes the TTL)."""
+        view = self.get(session_id)
+        session = self._sessions[session_id]
+        return {
+            "session": session_id,
+            "version": view.version,
+            "num_nodes": view.num_nodes,
+            "ttl": session.ttl,
+            "expires_in": session.expires_at - self._clock(),
+            "touches": session.touches,
+            "pinned_bytes": view.nbytes(),
+        }
+
+    def release(self, session_id: str) -> None:
+        """Drop the pin; the id is permanently dead afterwards."""
+        if self._sessions.pop(session_id, None) is None:
+            raise SessionNotFoundError(session_id)
+        self.released += 1
+
+    def release_all(self) -> int:
+        """Drop every pin (front-door shutdown); returns how many."""
+        count = len(self._sessions)
+        self._sessions.clear()
+        self.released += count
+        return count
+
+    def _purge(self, now: float) -> None:
+        expired = [
+            session_id
+            for session_id, session in self._sessions.items()
+            if session.expires_at <= now
+        ]
+        for session_id in expired:
+            del self._sessions[session_id]
+        self.expired += len(expired)
+
+    def report(self) -> dict:
+        """Session gauges for the metrics endpoint."""
+        self._purge(self._clock())
+        return {
+            "active": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "default_ttl_seconds": self.default_ttl,
+            "created": self.created,
+            "expired": self.expired,
+            "released": self.released,
+            "pinned_bytes": sum(
+                session.view.nbytes()
+                for session in self._sessions.values()
+            ),
+        }

@@ -25,10 +25,35 @@ evolve.  This package puts the read/write split on top of the engine:
   serving the last consistent view, mutations raise
   :class:`~repro.exceptions.DegradedModeError` (or queue), or the
   score state is rebuilt in-process and writing resumes.
+* :mod:`repro.serving.config` — :class:`ServiceConfig` /
+  :class:`FrontDoorConfig`, the typed, validated, JSON-round-trippable
+  deployment shape (``SimRankService(config=...)`` and
+  ``serve --config service.json`` consume the same file).
+* :mod:`repro.serving.envelopes` — :class:`QueryRequest` /
+  :class:`QueryResult`, the one request/response shape shared by the
+  in-process API and the network front door's JSON wire, plus the
+  exception→HTTP-status taxonomy.
 """
 
+from .config import (
+    DEGRADED_POLICIES,
+    EXECUTOR_MODES,
+    PRECISION_MODES,
+    WRITER_MODES,
+    FrontDoorConfig,
+    ServiceConfig,
+    resolve_service_config,
+)
+from .envelopes import (
+    ERROR_STATUS,
+    QUERY_KINDS,
+    QueryRequest,
+    QueryResult,
+    error_body,
+    http_status,
+)
 from .scheduler import SchedulerStats, UpdateScheduler
-from .service import DEGRADED_POLICIES, SimRankService
+from .service import SimRankService
 from .snapshot import SnapshotView
 from .writer import BACKPRESSURE_POLICIES, BackgroundWriter, WriterStats
 
@@ -39,6 +64,18 @@ __all__ = [
     "SchedulerStats",
     "BackgroundWriter",
     "WriterStats",
+    "ServiceConfig",
+    "FrontDoorConfig",
+    "resolve_service_config",
+    "QueryRequest",
+    "QueryResult",
+    "QUERY_KINDS",
+    "ERROR_STATUS",
+    "http_status",
+    "error_body",
     "BACKPRESSURE_POLICIES",
     "DEGRADED_POLICIES",
+    "WRITER_MODES",
+    "EXECUTOR_MODES",
+    "PRECISION_MODES",
 ]

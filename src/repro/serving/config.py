@@ -1,0 +1,399 @@
+"""Typed, validated, JSON-round-trippable service configuration.
+
+:class:`SimRankService` accumulated a kwarg sprawl over the PRs that
+grew it — writer mode, drain cadence, backpressure, executor choice,
+worker count, batching, degraded policy, precision, … — and the
+``serve`` CLI re-declared every knob as a flag.  :class:`ServiceConfig`
+is the single typed source of truth for all of it:
+
+* **validated once** — every field is checked at construction against
+  the same legal domains the service enforces, so a bad config fails
+  with :class:`~repro.exceptions.ConfigError` before any state is
+  built;
+* **JSON round-trippable** — :meth:`ServiceConfig.to_dict` /
+  :meth:`ServiceConfig.from_dict` (and :meth:`save` / :meth:`load`)
+  carry the full deployment shape through a config file, so
+  ``SimRankService(config=ServiceConfig.load(path))`` and
+  ``serve --config service.json`` describe identical services;
+* **compatible** — the historical keyword arguments still work: the
+  service builds a config from them, and passing *both* an explicit
+  :class:`ServiceConfig` and a conflicting legacy kwarg raises
+  :class:`~repro.exceptions.ConfigError` instead of silently picking
+  one.
+
+:class:`FrontDoorConfig` nests the network-layer knobs (bind address,
+admission window, session TTL) so one file configures the whole stack,
+service plus front door.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+from ..config import DEFAULT_DAMPING, DEFAULT_ITERATIONS, SimRankConfig
+from ..exceptions import ConfigError
+from .writer import (
+    BACKPRESSURE_POLICIES,
+    DEFAULT_DRAIN_INTERVAL,
+    DEFAULT_MAX_PENDING,
+)
+
+#: Legal writer modes (sync = caller-driven drains, background = a
+#: dedicated :class:`~repro.serving.writer.BackgroundWriter` thread).
+WRITER_MODES = ("sync", "background")
+
+#: Legal executor choices for the score shards.
+EXECUTOR_MODES = ("inproc", "process")
+
+#: What the service does when the shard-worker pool becomes
+#: unrecoverable mid-serve:
+#:
+#: ========== ========================================================
+#: ``reject``  stay up read-only — reads keep serving the last
+#:             consistent view, mutations raise
+#:             :class:`~repro.exceptions.DegradedModeError`
+#: ``queue``   like ``reject``, but submits keep landing in the
+#:             coalescing queue for a later repaired drain
+#: ``rebuild`` fail over: rebuild an in-process score store from the
+#:             pool's frozen base + journal and keep writing without
+#:             the pool (bit-identical scores)
+#: ========== ========================================================
+DEGRADED_POLICIES = ("reject", "queue", "rebuild")
+
+#: Score-store precision modes: ``float64`` (the bit-identity
+#: reference, default), ``float32`` (uniform demotion, caller-asserted
+#: accuracy), or ``auto`` (consume — or search for — an accuracy-gated
+#: :class:`~repro.tuning.precision.PrecisionPlan`).
+PRECISION_MODES = ("float64", "float32", "auto")
+
+#: Default admission window: how long the front door holds the first
+#: query of a batch open for concurrent arrivals to join (seconds).
+DEFAULT_ADMISSION_WINDOW = 0.002
+
+#: Default idle TTL of a pinned-snapshot session (seconds).
+DEFAULT_SESSION_TTL = 30.0
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class FrontDoorConfig:
+    """Network-front-door knobs (HTTP/WebSocket layer).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  Port 0 picks an ephemeral port (the bound port
+        is reported once the server starts).
+    admission_window:
+        Seconds the admission batcher holds the first queued query so
+        concurrent arrivals can join the same snapshot-pinned batched
+        execution.  0 disables batching (every query executes alone).
+        Larger windows raise batch sizes (fewer BLAS calls under load)
+        at the cost of adding up to one window to p99.
+    admission_max_batch:
+        Hard cap on queries per admission batch; a full batch flushes
+        immediately instead of waiting out the window.
+    session_ttl:
+        Default idle seconds before a pinned-snapshot session is
+        released (each request on the session refreshes the clock).
+    max_sessions:
+        Cap on concurrently pinned sessions (each pins COW score
+        shards, so this bounds reader-held memory).
+    subscription_max_k:
+        Largest ``k`` a top-k subscription may request.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    admission_window: float = DEFAULT_ADMISSION_WINDOW
+    admission_max_batch: int = 256
+    session_ttl: float = DEFAULT_SESSION_TTL
+    max_sessions: int = 1024
+    subscription_max_k: int = 100
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.host, str) and bool(self.host),
+            f"frontdoor host must be a non-empty string: {self.host!r}",
+        )
+        _require(
+            0 <= int(self.port) <= 65535,
+            f"frontdoor port must be in [0, 65535]: {self.port!r}",
+        )
+        _require(
+            self.admission_window >= 0,
+            f"admission_window must be >= 0: {self.admission_window!r}",
+        )
+        _require(
+            int(self.admission_max_batch) >= 1,
+            f"admission_max_batch must be >= 1: {self.admission_max_batch!r}",
+        )
+        _require(
+            self.session_ttl > 0,
+            f"session_ttl must be positive: {self.session_ttl!r}",
+        )
+        _require(
+            int(self.max_sessions) >= 1,
+            f"max_sessions must be >= 1: {self.max_sessions!r}",
+        )
+        _require(
+            int(self.subscription_max_k) >= 1,
+            f"subscription_max_k must be >= 1: {self.subscription_max_k!r}",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the exact :meth:`from_dict` input)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrontDoorConfig":
+        """Rebuild from :meth:`to_dict`; unknown keys are an error."""
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"frontdoor config must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown frontdoor config keys: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The full deployment shape of one :class:`SimRankService`.
+
+    Every field mirrors a (former) ``SimRankService.__init__`` keyword;
+    see that class for per-knob semantics.  ``damping``/``iterations``
+    carry the SimRank algorithm configuration so one JSON file
+    describes the whole service (:meth:`simrank_config` derives the
+    :class:`~repro.config.SimRankConfig`).
+    """
+
+    damping: float = DEFAULT_DAMPING
+    iterations: int = DEFAULT_ITERATIONS
+    shard_rows: Optional[int] = None
+    writer: str = "sync"
+    drain_interval: float = DEFAULT_DRAIN_INTERVAL
+    max_pending: int = DEFAULT_MAX_PENDING
+    backpressure: str = "block"
+    executor: str = "inproc"
+    workers: int = 2
+    start_method: Optional[str] = None
+    plan_batching: bool = True
+    executor_options: Optional[dict] = None
+    degraded_policy: str = "reject"
+    precision: str = "float64"
+    #: A :class:`~repro.tuning.precision.PrecisionPlan`, its
+    #: ``to_dict()`` payload, or a path to a saved plan file; only read
+    #: when ``precision="auto"``.
+    precision_plan: object = None
+    frontdoor: Optional[FrontDoorConfig] = field(default=None)
+
+    def __post_init__(self) -> None:
+        # Delegate damping/iterations validation to SimRankConfig.
+        SimRankConfig(damping=self.damping, iterations=self.iterations)
+        _require(
+            self.shard_rows is None or int(self.shard_rows) >= 1,
+            f"shard_rows must be None or >= 1: {self.shard_rows!r}",
+        )
+        _require(
+            self.writer in WRITER_MODES,
+            f"unknown writer mode {self.writer!r}; expected one of "
+            f"{WRITER_MODES}",
+        )
+        _require(
+            self.drain_interval > 0,
+            f"drain_interval must be positive: {self.drain_interval!r}",
+        )
+        _require(
+            int(self.max_pending) >= 1,
+            f"max_pending must be >= 1: {self.max_pending!r}",
+        )
+        _require(
+            self.backpressure in BACKPRESSURE_POLICIES,
+            f"unknown backpressure policy {self.backpressure!r}; expected "
+            f"one of {BACKPRESSURE_POLICIES}",
+        )
+        _require(
+            self.executor in EXECUTOR_MODES,
+            f"unknown executor {self.executor!r}; expected one of "
+            f"{EXECUTOR_MODES}",
+        )
+        _require(
+            int(self.workers) >= 1,
+            f"workers must be >= 1: {self.workers!r}",
+        )
+        _require(
+            self.start_method is None or isinstance(self.start_method, str),
+            f"start_method must be None or a string: {self.start_method!r}",
+        )
+        _require(
+            self.executor_options is None
+            or isinstance(self.executor_options, dict),
+            "executor_options must be None or a dict: "
+            f"{self.executor_options!r}",
+        )
+        _require(
+            self.degraded_policy in DEGRADED_POLICIES,
+            f"unknown degraded policy {self.degraded_policy!r}; expected "
+            f"one of {DEGRADED_POLICIES}",
+        )
+        _require(
+            self.precision in PRECISION_MODES,
+            f"unknown precision {self.precision!r}; expected one of "
+            f"{PRECISION_MODES}",
+        )
+        if self.frontdoor is not None and not isinstance(
+            self.frontdoor, FrontDoorConfig
+        ):
+            raise ConfigError(
+                "frontdoor must be None or a FrontDoorConfig, got "
+                f"{type(self.frontdoor).__name__}"
+            )
+        if (
+            self.precision_plan is not None
+            and self.precision != "auto"
+        ):
+            raise ConfigError(
+                "precision_plan is only consumed with precision='auto' "
+                f"(got precision={self.precision!r})"
+            )
+
+    # -------------------------------------------------------------- #
+    # Derived views
+    # -------------------------------------------------------------- #
+
+    def simrank_config(self) -> SimRankConfig:
+        """The algorithm half (damping, iterations) as a SimRankConfig."""
+        return SimRankConfig(
+            damping=self.damping, iterations=self.iterations
+        )
+
+    def with_overrides(self, **overrides) -> "ServiceConfig":
+        """A copy with the given fields replaced (validated again)."""
+        return replace(self, **overrides)
+
+    # -------------------------------------------------------------- #
+    # JSON round trip
+    # -------------------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the exact :meth:`from_dict` input).
+
+        A live :class:`~repro.tuning.precision.PrecisionPlan` in
+        ``precision_plan`` is flattened to its ``to_dict()`` payload so
+        the round trip stays self-contained.
+        """
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "frontdoor" and value is not None:
+                value = value.to_dict()
+            elif spec.name == "precision_plan" and value is not None:
+                to_dict = getattr(value, "to_dict", None)
+                if callable(to_dict):
+                    value = to_dict()
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceConfig":
+        """Rebuild from :meth:`to_dict`; unknown keys are an error."""
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"service config must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown service config keys: {sorted(unknown)}"
+            )
+        data = dict(payload)
+        if isinstance(data.get("frontdoor"), dict):
+            data["frontdoor"] = FrontDoorConfig.from_dict(data["frontdoor"])
+        return cls(**data)
+
+    def save(self, path: str) -> None:
+        """Serialize to a JSON config file (``serve --config`` input)."""
+        try:
+            text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        except TypeError as exc:
+            raise ConfigError(
+                f"service config is not JSON-serializable: {exc}"
+            ) from None
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ServiceConfig":
+        """Load a config saved by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"invalid JSON in service config {path!r}: {exc}"
+                ) from None
+        return cls.from_dict(payload)
+
+
+def resolve_service_config(config, overrides: dict) -> ServiceConfig:
+    """Coerce the service's ``config`` argument + legacy kwargs to one
+    validated :class:`ServiceConfig`.
+
+    ``config`` may be ``None``, a :class:`~repro.config.SimRankConfig`
+    (the historical second positional argument), a
+    :class:`ServiceConfig`, its ``to_dict()`` payload, or a path to a
+    saved config file.  ``overrides`` holds only the legacy keyword
+    arguments the caller passed *explicitly*.
+
+    The compatibility contract: legacy kwargs on top of ``None`` or a
+    ``SimRankConfig`` simply build the config; on top of an explicit
+    :class:`ServiceConfig` they must agree with it — any explicitly
+    passed kwarg whose value differs from the config's field raises
+    :class:`~repro.exceptions.ConfigError` rather than silently
+    preferring one side.
+    """
+    if isinstance(config, str):
+        config = ServiceConfig.load(config)
+    elif isinstance(config, dict):
+        config = ServiceConfig.from_dict(config)
+    if isinstance(config, ServiceConfig):
+        conflicts = {
+            name: (getattr(config, name), value)
+            for name, value in overrides.items()
+            if getattr(config, name) != value
+        }
+        if conflicts:
+            detail = ", ".join(
+                f"{name}: config={have!r} kwarg={want!r}"
+                for name, (have, want) in sorted(conflicts.items())
+            )
+            raise ConfigError(
+                f"explicit ServiceConfig conflicts with keyword "
+                f"arguments ({detail}); drop the kwargs or change the "
+                f"config"
+            )
+        return config
+    if isinstance(config, SimRankConfig):
+        overrides = dict(overrides)
+        overrides.setdefault("damping", config.damping)
+        overrides.setdefault("iterations", config.iterations)
+    elif config is not None:
+        raise ConfigError(
+            "config must be a ServiceConfig, a SimRankConfig, a dict, a "
+            f"path, or None, got {type(config).__name__}"
+        )
+    return ServiceConfig(**overrides)

@@ -139,6 +139,26 @@ class UpdateScheduler:
         """
         return target in self._active
 
+    def pending_effect(self, source: int, target: int) -> "bool | None":
+        """The queued net effect on edge ``(source, target)``, if any.
+
+        Returns True when an insert is pending, False when a delete is
+        pending, and None when the queue holds no net change for the
+        edge.  The front door's update admission uses this to validate
+        an incoming update against *graph ∪ queue* — an insert that is
+        a duplicate only because an identical insert is already queued
+        must be rejected up front, or the eventual drain would fail the
+        whole batch (a poison batch pausing the background writer).
+        """
+        group = self._groups.get(target)
+        if group is None:
+            return None
+        if source in group.added:
+            return True
+        if source in group.removed:
+            return False
+        return None
+
     def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Enqueue a stream of updates."""
         for update in updates:

@@ -28,19 +28,29 @@ deployment would ship across workers (frozen shard views + packed
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Iterable, Optional, Union
 
 import numpy as np
 
-from ..config import SimRankConfig
 from ..exceptions import (
     ConfigError,
     DegradedModeError,
     PoolUnrecoverableError,
+    ServiceClosedError,
 )
 from ..graph.digraph import DynamicDiGraph
 from ..graph.updates import EdgeUpdate, UpdateBatch
 from ..incremental.engine import DynamicSimRank
+from .config import (  # noqa: F401  (re-exported for compatibility)
+    DEGRADED_POLICIES,
+    PRECISION_MODES,
+    WRITER_MODES,
+    ServiceConfig,
+    resolve_service_config,
+)
+from .envelopes import QueryRequest, QueryResult, run_query
 from .scheduler import UpdateScheduler
 from .snapshot import SnapshotView
 from .writer import (
@@ -49,28 +59,11 @@ from .writer import (
     BackgroundWriter,
 )
 
-WRITER_MODES = ("sync", "background")
-
-#: What the service does when the shard-worker pool becomes
-#: unrecoverable mid-serve:
-#:
-#: ========== ========================================================
-#: ``reject``  stay up read-only — reads keep serving the last
-#:             consistent view, mutations raise
-#:             :class:`~repro.exceptions.DegradedModeError`
-#: ``queue``   like ``reject``, but submits keep landing in the
-#:             coalescing queue for a later repaired drain
-#: ``rebuild`` fail over: rebuild an in-process score store from the
-#:             pool's frozen base + journal and keep writing without
-#:             the pool (bit-identical scores)
-#: ========== ========================================================
-DEGRADED_POLICIES = ("reject", "queue", "rebuild")
-
-#: Score-store precision modes: ``float64`` (the bit-identity
-#: reference, default), ``float32`` (uniform demotion, caller-asserted
-#: accuracy), or ``auto`` (consume — or search for — an accuracy-gated
-#: :class:`~repro.tuning.precision.PrecisionPlan`).
-PRECISION_MODES = ("float64", "float32", "auto")
+#: Sentinel distinguishing "kwarg not passed" from any real value, so
+#: the legacy-kwarg compatibility layer only reports *explicitly*
+#: passed arguments to :func:`resolve_service_config` (an untouched
+#: default can never conflict with an explicit :class:`ServiceConfig`).
+_UNSET = object()
 
 
 class SimRankService:
@@ -78,7 +71,19 @@ class SimRankService:
 
     Parameters
     ----------
-    graph, config, initial_scores, shard_rows:
+    graph:
+        The live :class:`DynamicDiGraph` this service owns.
+    config:
+        The deployment shape: a :class:`ServiceConfig`, its
+        ``to_dict()`` payload, a path to a saved config file, a bare
+        :class:`~repro.config.SimRankConfig` (the historical second
+        positional argument), or None.  The remaining keyword
+        arguments are the historical per-knob surface; they still work
+        and build a :class:`ServiceConfig` under the hood.  Passing an
+        explicit :class:`ServiceConfig` *and* a conflicting keyword
+        raises :class:`~repro.exceptions.ConfigError` — see
+        :func:`resolve_service_config`.
+    initial_scores, shard_rows:
         Forwarded to the underlying :class:`DynamicSimRank` engine.
     writer:
         ``"sync"`` (caller-driven drains) or ``"background"`` (start a
@@ -126,83 +131,101 @@ class SimRankService:
     def __init__(
         self,
         graph: DynamicDiGraph,
-        config: SimRankConfig = None,
+        config=None,
         initial_scores: Optional[np.ndarray] = None,
-        shard_rows: Optional[int] = None,
-        writer: str = "sync",
-        drain_interval: float = DEFAULT_DRAIN_INTERVAL,
-        max_pending: int = DEFAULT_MAX_PENDING,
-        backpressure: str = "block",
-        executor: str = "inproc",
-        workers: int = 2,
-        start_method: Optional[str] = None,
-        plan_batching: bool = True,
-        executor_options: Optional[dict] = None,
-        degraded_policy: str = "reject",
-        precision: Optional[str] = None,
-        precision_plan=None,
+        shard_rows=_UNSET,
+        writer=_UNSET,
+        drain_interval=_UNSET,
+        max_pending=_UNSET,
+        backpressure=_UNSET,
+        executor=_UNSET,
+        workers=_UNSET,
+        start_method=_UNSET,
+        plan_batching=_UNSET,
+        executor_options=_UNSET,
+        degraded_policy=_UNSET,
+        precision=_UNSET,
+        precision_plan=_UNSET,
     ) -> None:
-        if writer not in WRITER_MODES:
-            raise ConfigError(
-                f"unknown writer mode {writer!r}; expected one of "
-                f"{WRITER_MODES}"
-            )
-        if degraded_policy not in DEGRADED_POLICIES:
-            raise ConfigError(
-                f"unknown degraded policy {degraded_policy!r}; expected "
-                f"one of {DEGRADED_POLICIES}"
-            )
-        self._precision = precision if precision is not None else "float64"
-        if self._precision not in PRECISION_MODES:
-            raise ConfigError(
-                f"unknown precision {precision!r}; expected one of "
-                f"{PRECISION_MODES}"
-            )
+        legacy = {
+            "shard_rows": shard_rows,
+            "writer": writer,
+            "drain_interval": drain_interval,
+            "max_pending": max_pending,
+            "backpressure": backpressure,
+            "executor": executor,
+            "workers": workers,
+            "start_method": start_method,
+            "plan_batching": plan_batching,
+            "executor_options": executor_options,
+            "degraded_policy": degraded_policy,
+            "precision": precision,
+            "precision_plan": precision_plan,
+        }
+        overrides = {
+            name: value
+            for name, value in legacy.items()
+            if value is not _UNSET
+        }
+        if overrides.get("precision", "") is None:
+            # Historical callers passed precision=None for "the default".
+            del overrides["precision"]
+        cfg = resolve_service_config(config, overrides)
+        self._config = cfg
+        simrank_config = cfg.simrank_config()
+        self._precision = cfg.precision
         self._precision_plan = None
+        self._closed = False
+        self._close_lock = threading.RLock()
+        self._drain_listeners: list = []
         score_dtype = self._precision if self._precision != "auto" else None
         if self._precision == "auto":
             plan, initial_scores = self._resolve_precision_plan(
-                precision_plan, graph, config, initial_scores, shard_rows
+                cfg.precision_plan,
+                graph,
+                simrank_config,
+                initial_scores,
+                cfg.shard_rows,
             )
             self._precision_plan = plan
             score_dtype = plan.store_dtype
         engine_kwargs = {}
-        if shard_rows is not None:
-            engine_kwargs["shard_rows"] = shard_rows
+        if cfg.shard_rows is not None:
+            engine_kwargs["shard_rows"] = cfg.shard_rows
         self._engine = DynamicSimRank(
             graph,
-            config,
+            simrank_config,
             algorithm="inc-sr",
             initial_scores=initial_scores,
-            executor=executor,
-            workers=workers,
-            start_method=start_method,
-            plan_batching=plan_batching,
-            executor_options=executor_options,
+            executor=cfg.executor,
+            workers=cfg.workers,
+            start_method=cfg.start_method,
+            plan_batching=cfg.plan_batching,
+            executor_options=cfg.executor_options,
             score_dtype=score_dtype,
             **engine_kwargs,
         )
         if (
             self._precision_plan is not None
             and not self._precision_plan.uniform
-            and executor != "process"
+            and cfg.executor != "process"
         ):
             # Per-shard overrides exist only in-process; the pool is
             # uniform-dtype (see PrecisionPlan docs).
             self._precision_plan.apply_to(self._engine.score_store)
         self._scheduler = UpdateScheduler()
         self._writer: Optional[BackgroundWriter] = None
-        self._degraded_policy = degraded_policy
+        self._degraded_policy = cfg.degraded_policy
         self._degraded = False
         self._degraded_reason: Optional[str] = None
         self._degraded_view: Optional[SnapshotView] = None
         self._failovers = 0
         self._last_failover_resumed = 0
-        if writer == "background":
+        if cfg.writer == "background":
             self.start_background_writer(
-                drain_interval=drain_interval,
-                max_pending=max_pending,
-                policy=backpressure,
+                drain_interval=cfg.drain_interval,
+                max_pending=cfg.max_pending,
+                policy=cfg.backpressure,
             )
 
     @staticmethod
@@ -254,6 +277,7 @@ class SimRankService:
         policy: str = "block",
     ) -> BackgroundWriter:
         """Hand the drain loop to a dedicated writer thread."""
+        self._ensure_open()
         if self._writer is not None:
             raise ConfigError("background writer already running")
         heartbeat = (
@@ -269,6 +293,7 @@ class SimRankService:
             policy=policy,
             on_fatal=self._on_pool_failure,
             heartbeat=heartbeat,
+            on_publish=self._on_writer_publish,
         )
         self._writer.start()
         return self._writer
@@ -280,22 +305,82 @@ class SimRankService:
         self._writer.stop(drain=drain)
         self._writer = None
 
-    def close(self) -> None:
-        """Stop the writer (draining leftovers) and release the executor.
+    def close(self, drain: bool = True) -> None:
+        """Stop the writer and release the executor — idempotent.
+
+        Safe to call from several threads at once and any number of
+        times: the whole teardown runs under one lock, the first caller
+        does the work, every later (or concurrent) caller waits for it
+        and returns.  After close every read/write entry point raises
+        :class:`~repro.exceptions.ServiceClosedError` instead of
+        touching the released executor — that is what lets a network
+        front door shut down while requests are still in flight.
 
         On the process executor this also shuts the worker pool down
         and unlinks its shared-memory segments, so always close (or use
         the context manager) when done serving.
         """
-        self.stop_background_writer(drain=True)
-        self._engine.close()
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_listeners.clear()
+            try:
+                self.stop_background_writer(drain=drain)
+            finally:
+                self._engine.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (requests now raise 503-class)."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(
+                "SimRankService is closed and no longer accepts requests"
+            )
 
     def __enter__(self) -> "SimRankService":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop_background_writer(drain=exc_type is None)
-        self._engine.close()
+        self.close(drain=exc_type is None)
+
+    # -------------------------------------------------------------- #
+    # Drain listeners
+    # -------------------------------------------------------------- #
+
+    def add_drain_listener(self, listener) -> None:
+        """Register ``listener(version)`` to fire after every publish.
+
+        Fires on every version bump: background-writer publishes, sync
+        drains, and live ``add_node`` growth.  Listeners run on the
+        draining thread (under the apply lock in background mode), so
+        they must be fast and must not call back into the service;
+        exceptions are swallowed.  The network front door uses this to
+        learn about drains without polling — its listener just flips an
+        asyncio event across the thread boundary.
+        """
+        self._ensure_open()
+        self._drain_listeners.append(listener)
+
+    def remove_drain_listener(self, listener) -> None:
+        """Unregister a listener (no-op when absent)."""
+        try:
+            self._drain_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _on_writer_publish(self, view: SnapshotView) -> None:
+        self._notify_drained(view.version)
+
+    def _notify_drained(self, version: int) -> None:
+        for listener in tuple(self._drain_listeners):
+            try:
+                listener(version)
+            except Exception:
+                pass  # a broken listener must never stall a drain
 
     # -------------------------------------------------------------- #
     # Introspection
@@ -305,6 +390,11 @@ class SimRankService:
     def engine(self) -> DynamicSimRank:
         """The underlying engine (kernel/executor facade)."""
         return self._engine
+
+    @property
+    def service_config(self) -> ServiceConfig:
+        """The resolved deployment shape (whatever surface built it)."""
+        return self._config
 
     @property
     def scheduler(self) -> UpdateScheduler:
@@ -472,6 +562,7 @@ class SimRankService:
 
     def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Queue a stream of updates for the next drain."""
+        self._ensure_open()
         if self._degraded and self._degraded_policy != "queue":
             self._refuse_mutation("submit")
         if self._writer is not None:
@@ -492,6 +583,7 @@ class SimRankService:
         first, so nothing pending is lost and the caller can repair the
         queue and drain again.
         """
+        self._ensure_open()
         if self._writer is not None:
             raise ConfigError(
                 "the background writer owns the drain loop; use flush() "
@@ -503,7 +595,9 @@ class SimRankService:
         if not len(batch):
             return 0
         try:
-            return self._engine.apply_consolidated(batch)
+            groups = self._engine.apply_consolidated(batch)
+            self._notify_drained(self._engine.version)
+            return groups
         except PoolUnrecoverableError as exc:
             # Unlike the transient branch below, do NOT re-queue: the
             # engine's graph/Q already advanced for every journaled
@@ -513,6 +607,7 @@ class SimRankService:
             # finishes the interrupted drain in-process and the call
             # succeeds (returning the resumed group count).
             if self._on_pool_failure(exc):
+                self._notify_drained(self._engine.version)
                 return self._last_failover_resumed
             raise
         except Exception:
@@ -525,6 +620,7 @@ class SimRankService:
         Background mode blocks until the writer has drained and
         published (False on timeout); sync mode simply drains inline.
         """
+        self._ensure_open()
         if self._writer is not None:
             return self._writer.flush(timeout=timeout)
         self.drain()
@@ -532,6 +628,7 @@ class SimRankService:
 
     def add_node(self) -> int:
         """Grow the node universe by one isolated node (applied live)."""
+        self._ensure_open()
         if self._degraded:
             self._refuse_mutation("add_node")
         try:
@@ -540,7 +637,9 @@ class SimRankService:
                     node = self._engine.add_node()
                     self._writer.publish()
                 return node
-            return self._engine.add_node()
+            node = self._engine.add_node()
+            self._notify_drained(self._engine.version)
+            return node
         except PoolUnrecoverableError as exc:
             return self._add_node_failover(exc)
 
@@ -584,6 +683,7 @@ class SimRankService:
         from the torn live mirror a mid-drain pool failure leaves
         behind).
         """
+        self._ensure_open()
         if self._degraded:
             return self._degraded_read_view()
         if self._writer is not None:
@@ -611,6 +711,7 @@ class SimRankService:
         Background mode reads the latest published view (consistent,
         at most one drain behind); sync mode reads the live store.
         """
+        self._ensure_open()
         if self._degraded:
             return self._degraded_read_view().similarity(node_a, node_b)
         if self._writer is not None:
@@ -630,6 +731,7 @@ class SimRankService:
         scan); in background mode the query takes the writer's apply
         lock so it never interleaves with a drain.
         """
+        self._ensure_open()
         if self._degraded:
             return self._degraded_read_view().top_k(
                 k, include_self=include_self
@@ -646,8 +748,33 @@ class SimRankService:
                 k, include_self=include_self
             )
 
+    def query(self, request: Union[QueryRequest, dict]) -> QueryResult:
+        """Run one typed :class:`QueryRequest` and wrap the answer.
+
+        The in-process twin of the front door's ``POST /query``: the
+        same envelope in, the same envelope out, the same arithmetic
+        (``similarity``/``single_pair``/``single_source`` read a pinned
+        snapshot; ``top_k`` rides the shard-heap path under the apply
+        lock).  Accepts a raw wire dict as a convenience.
+        """
+        if isinstance(request, dict):
+            request = QueryRequest.from_dict(request)
+        self._ensure_open()
+        if request.kind == "top_k":
+            started = time.perf_counter()
+            value = self.top_k(request.k)
+            return QueryResult(
+                kind=request.kind,
+                value=value,
+                version=self.version,
+                elapsed_seconds=time.perf_counter() - started,
+                id=request.id,
+            )
+        return run_query(self.snapshot(), request)
+
     def memory_report(self) -> dict:
         """Layered memory accounting including scheduler state."""
+        self._ensure_open()
         if self._writer is not None:
             with self._writer.apply_lock:
                 report = self._engine.memory_report()
@@ -658,6 +785,7 @@ class SimRankService:
 
     def metrics_report(self) -> dict:
         """Serving-side observability: queue, writer, and top-k gauges."""
+        self._ensure_open()
         stats = self._scheduler.stats
         report = {
             "version": self.version,

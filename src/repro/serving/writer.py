@@ -141,6 +141,13 @@ class BackgroundWriter:
         next mutation.  Failures take the same path as drain failures.
     heartbeat_interval:
         Seconds between idle liveness probes.
+    on_publish:
+        Optional ``callback(view)`` invoked (under the apply lock,
+        right after :attr:`current_view` flips) every time a fresh
+        snapshot is published.  This is how the network front door
+        learns about drains without polling; callbacks must be fast and
+        must not raise — exceptions are swallowed so a broken listener
+        can never stall the drain loop.
     """
 
     def __init__(
@@ -153,6 +160,7 @@ class BackgroundWriter:
         on_fatal=None,
         heartbeat=None,
         heartbeat_interval: float = 1.0,
+        on_publish=None,
     ) -> None:
         if policy not in BACKPRESSURE_POLICIES:
             raise ConfigError(
@@ -183,6 +191,7 @@ class BackgroundWriter:
         self._drain_on_stop = True
         self._error: Optional[BaseException] = None
         self.on_fatal = on_fatal
+        self.on_publish = on_publish
         self.heartbeat = heartbeat
         self.heartbeat_interval = float(heartbeat_interval)
         self._last_heartbeat = 0.0
@@ -523,6 +532,11 @@ class BackgroundWriter:
         )
         self.current_view = view
         self.stats.publishes += 1
+        if self.on_publish is not None:
+            try:
+                self.on_publish(view)
+            except Exception:
+                pass  # a broken listener must never stall the drain loop
         return view
 
     # -------------------------------------------------------------- #
