@@ -45,25 +45,42 @@ import numpy as np
 
 from ..frontdoor.protocol import HTTPClient, ws_connect, ws_recv_json
 from ..frontdoor.subscriptions import apply_delta, ranking_digest
+from ..telemetry import MetricRegistry, validate_scrape
 
 
-def _percentiles(samples: List[float]) -> dict:
-    if not samples:
-        return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
-    data = np.asarray(samples) * 1e3
+def _latency_ms(histogram) -> dict:
+    """Wire the histogram digest into the report's historical shape."""
+    digest = histogram.summary()
     return {
-        "count": int(data.size),
-        "p50_ms": float(np.percentile(data, 50)),
-        "p99_ms": float(np.percentile(data, 99)),
-        "mean_ms": float(data.mean()),
+        "count": int(digest["count"]),
+        "p50_ms": digest["p50"] * 1e3,
+        "p99_ms": digest["p99"] * 1e3,
+        "mean_ms": digest["mean"] * 1e3,
     }
 
 
 class _Run:
-    """Shared mutable state of one benchmark run."""
+    """Shared mutable state of one benchmark run.
+
+    Latency samples land in client-side registry histograms (the same
+    fixed-bucket instruments the server exposes), so the report's
+    p50/p99 come from the telemetry digest path rather than a bespoke
+    percentile helper — the benchmark eats the same math it gates.
+    """
 
     def __init__(self) -> None:
-        self.latencies: dict = {"similarity": [], "single_source": []}
+        self.registry = MetricRegistry()
+        self.latencies = {
+            kind: self.registry.histogram(
+                f"bench_{kind}_seconds",
+                help=f"Client-observed {kind} round-trip seconds",
+            )
+            for kind in ("similarity", "single_source")
+        }
+        self.overall = self.registry.histogram(
+            "bench_query_seconds",
+            help="Client-observed query round-trip seconds (all kinds)",
+        )
         self.failures: List[str] = []
         self.requests = 0
         self.updates_accepted = 0
@@ -110,7 +127,8 @@ async def _query_client(
                 run.fail(f"query returned {status}: {body}")
                 return
             run.requests += 1
-            run.latencies[payload["kind"]].append(elapsed)
+            run.latencies[payload["kind"]].observe(elapsed)
+            run.overall.observe(elapsed)
             size = int(body.get("batch_size", 1))
             if size > run.batched_max:
                 run.batched_max = size
@@ -393,6 +411,23 @@ async def _run_clients(
     )
     await asyncio.gather(*tasks)
 
+    # Scrape while the server is still hot (subscriber attached, load
+    # counters populated) so the validated exposition reflects a live
+    # process, not an idle one.
+    scrape = None
+    if getattr(args, "scrape_prometheus", False):
+        async with HTTPClient(host, port) as client:
+            status, text = await client.request(
+                "GET", "/metrics?format=prometheus", raw=True
+            )
+        if status != 200:
+            run.fail(f"prometheus scrape returned {status}")
+        else:
+            try:
+                scrape = validate_scrape(text)
+            except ValueError as exc:
+                run.fail(f"prometheus scrape invalid: {exc}")
+
     # The subscriber stays live through the final flush so the deltas
     # it triggers land before the equality check reads sub_state.
     final_match = False
@@ -409,7 +444,11 @@ async def _run_clients(
     ws_writer = sub_state.get("writer")
     if ws_writer is not None:
         ws_writer.close()
-    return {"final_match": final_match, "frontdoor": frontdoor}
+    return {
+        "final_match": final_match,
+        "frontdoor": frontdoor,
+        "prometheus_scrape": scrape,
+    }
 
 
 async def _bench(args: argparse.Namespace, run: _Run) -> dict:
@@ -455,9 +494,6 @@ async def _bench(args: argparse.Namespace, run: _Run) -> dict:
             "edges": len(seen),
         }
 
-    latencies_all = (
-        run.latencies["similarity"] + run.latencies["single_source"]
-    )
     report = {
         **mode,
         "clients": args.clients,
@@ -466,9 +502,9 @@ async def _bench(args: argparse.Namespace, run: _Run) -> dict:
         "requests": run.requests,
         "throughput_rps": run.requests / args.duration,
         "latency": {
-            "overall": _percentiles(latencies_all),
-            "similarity": _percentiles(run.latencies["similarity"]),
-            "single_source": _percentiles(run.latencies["single_source"]),
+            "overall": _latency_ms(run.overall),
+            "similarity": _latency_ms(run.latencies["similarity"]),
+            "single_source": _latency_ms(run.latencies["single_source"]),
         },
         "max_wire_batch": run.batched_max,
         "updates": {
@@ -490,6 +526,8 @@ async def _bench(args: argparse.Namespace, run: _Run) -> dict:
         "protocol_errors": len(run.failures),
         "failures": run.failures,
     }
+    if outcome.get("prometheus_scrape") is not None:
+        report["prometheus_scrape"] = outcome["prometheus_scrape"]
     return report
 
 
@@ -521,6 +559,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "instead of self-hosting",
     )
     parser.add_argument("--out", default=None, help="JSON report path")
+    parser.add_argument(
+        "--scrape-prometheus",
+        action="store_true",
+        help="fetch /metrics?format=prometheus from the live server "
+        "mid-run and validate the exposition (scrape failures fail "
+        "the gate)",
+    )
     parser.add_argument(
         "--merge-into",
         default=None,

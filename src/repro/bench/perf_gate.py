@@ -37,6 +37,12 @@ per-leg latency, score-store bytes, scatter bytes-per-update, and
 accuracy, gated on accuracy plus a float32 win condition (≥
 ``--min-f32-throughput``x per-update throughput OR ≥
 ``--min-f32-memory-saving`` score-store memory saved).
+
+``--max-telemetry-ratio`` adds a telemetry-overhead section: the live
+pipeline is additionally timed with :mod:`repro.telemetry` enabled at
+default sampling and with the shared null instance, both legs recorded
+in the report, and the gate fails when the on/off mean-latency ratio
+exceeds the given factor (CI uses 1.05).
 """
 
 from __future__ import annotations
@@ -97,13 +103,14 @@ def _workload(
     return base, config, initial, updates
 
 
-def _time_live(graph, config, initial, updates, score_dtype=None):
+def _time_live(graph, config, initial, updates, score_dtype=None, telemetry=None):
     engine = DynamicSimRank(
         graph,
         config,
         algorithm="inc-sr",
         initial_scores=initial,
         score_dtype=score_dtype,
+        telemetry=telemetry,
     )
     engine.apply(UpdateBatch(updates))
     return [stats.seconds for stats in engine.history], engine.similarities()
@@ -346,6 +353,47 @@ def run_precision_curve(
     return curve
 
 
+def run_telemetry_overhead(
+    num_nodes: int = 2000,
+    num_updates: int = 100,
+    references: int = 12,
+    recency: float = 0.7,
+    seed: int = 7,
+) -> Dict:
+    """Live pipeline with telemetry on (default sampling) vs off.
+
+    Both legs replay the identical update stream from identical state;
+    each is timed over two alternating rounds keeping the faster round
+    (same bias suppression as the main gate).  ``overhead_ratio`` is
+    on-mean / off-mean — the factor the instrumented hot path costs —
+    and the caller gates it with ``--max-telemetry-ratio``.
+    """
+    from ..telemetry import NULL_TELEMETRY, Telemetry
+
+    graph, config, initial, updates = _workload(
+        num_nodes, num_updates, references, recency, seed
+    )
+    on_seconds, _ = _time_live(
+        graph, config, initial, updates, telemetry=Telemetry()
+    )
+    off_seconds, _ = _time_live(
+        graph, config, initial, updates, telemetry=NULL_TELEMETRY
+    )
+    on_again, _ = _time_live(
+        graph, config, initial, updates, telemetry=Telemetry()
+    )
+    off_again, _ = _time_live(
+        graph, config, initial, updates, telemetry=NULL_TELEMETRY
+    )
+    on = min(on_seconds, on_again, key=sum)
+    off = min(off_seconds, off_again, key=sum)
+    return {
+        "telemetry_on": _summary(on),
+        "telemetry_off": _summary(off),
+        "overhead_ratio": statistics.fmean(on) / statistics.fmean(off),
+    }
+
+
 def _summary(seconds: List[float]) -> Dict[str, float]:
     return {
         "mean_seconds": statistics.fmean(seconds),
@@ -447,6 +495,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="float32 win condition: required fraction of score-store "
         "bytes saved vs float64 (OR'd with the throughput ratio)",
     )
+    parser.add_argument(
+        "--max-telemetry-ratio",
+        type=float,
+        default=None,
+        help="also run the live pipeline telemetry-on vs telemetry-off "
+        "and fail when the on/off mean-latency ratio exceeds this "
+        "(the report records both legs)",
+    )
     args = parser.parse_args(argv)
 
     report = run_perf_gate(
@@ -457,6 +513,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         precision=args.precision,
     )
+    if args.max_telemetry_ratio is not None:
+        report["telemetry_overhead"] = run_telemetry_overhead(
+            num_nodes=args.nodes,
+            num_updates=args.updates,
+            references=args.references,
+            recency=args.recency,
+            seed=args.seed,
+        )
     if args.precision_curve:
         report["precision_curve"] = run_precision_curve(
             num_nodes=args.nodes,
@@ -530,6 +594,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"PERF GATE FAIL: precision curve gates failed "
                 f"(accuracy_ok={gates['accuracy_ok']}, "
                 f"win_ok={gates['win_ok']})",
+                file=sys.stderr,
+            )
+            return 1
+    overhead = report.get("telemetry_overhead")
+    if overhead is not None:
+        print(
+            f"telemetry overhead: "
+            f"{overhead['telemetry_on']['mean_seconds'] * 1e3:.2f} ms on vs "
+            f"{overhead['telemetry_off']['mean_seconds'] * 1e3:.2f} ms off "
+            f"per update ({overhead['overhead_ratio']:.3f}x)"
+        )
+        if overhead["overhead_ratio"] > args.max_telemetry_ratio:
+            print(
+                f"PERF GATE FAIL: telemetry-on mean latency is "
+                f"{overhead['overhead_ratio']:.3f}x telemetry-off "
+                f"(max {args.max_telemetry_ratio:.2f}x)",
                 file=sys.stderr,
             )
             return 1

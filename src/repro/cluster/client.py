@@ -33,6 +33,7 @@ from ..exceptions import ClusterError, DimensionError
 from ..executor.score_store import ScoreSnapshot, ScoreStore, _Shard
 from ..executor.topk_index import Pair, ScoredPair, TopKStats, _key
 from ..incremental.plan import PlanBatch
+from ..telemetry import NULL_TELEMETRY
 
 
 class PlanningOverlay(ScoreStore):
@@ -69,6 +70,9 @@ class PlanningOverlay(ScoreStore):
         self.version = 0
         self.cow_copies = 0
         self.apply_metrics = ApplyMetricsStub()
+        # What-if applies must not pollute the real apply histogram.
+        self._telemetry = NULL_TELEMETRY
+        self._apply_hist = NULL_TELEMETRY.registry.histogram("null")
         self._shard_timing = {}
         self._shards = []
         overlays = client._overlay
@@ -96,7 +100,9 @@ class ApplyMetricsStub:
     def record(self, per_shard, plans: int = 1) -> None:
         pass
 
-    def record_batch(self, per_shard, plans: int) -> None:
+    def record_batch(
+        self, per_shard, plans: int, per_plan_seconds=None
+    ) -> None:
         pass
 
 
@@ -288,6 +294,10 @@ class ShardClient(ScoreStore):
         self._shard_timing = {}
         self.version = 0
         self.apply_metrics = pool.apply_metrics
+        # Reads never observe; writes dispatch to the pool, which owns
+        # the real instruments — the client holds nulls for API parity.
+        self._telemetry = pool._telemetry
+        self._apply_hist = NULL_TELEMETRY.registry.histogram("null")
         #: Optional zero-arg callable returning the live
         #: :meth:`TransitionStore.export_packed` payload; when set, the
         #: pool ships it to workers on topology changes.

@@ -99,6 +99,12 @@ class ApplyPlanCmd:
     """Apply one kernel update plan to the worker's row shards."""
 
     plan: object  # UpdatePlan (kept loose to avoid import cycles)
+    #: Optional request-trace id (:mod:`repro.telemetry`): the drain
+    #: that produced this plan was tagged by a traced submission, and
+    #: the parent materialises worker-side apply spans under this id
+    #: from the reply's worker-measured seconds (clock domains are
+    #: never mixed).  Defaults keep old pickles readable.
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -138,6 +144,9 @@ class ApplyBatchCmd:
     #: ``None`` disables verification, e.g. unsupervised pools and the
     #: inline replay path where the pipe itself is integrity-checked).
     checksums: Optional[Tuple[int, ...]] = None
+    #: Optional request-trace id carried in the command header (see
+    #: :class:`ApplyPlanCmd.trace_id`).
+    trace_id: Optional[str] = None
 
 
 @dataclass

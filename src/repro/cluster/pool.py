@@ -32,6 +32,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -45,9 +46,11 @@ from ..exceptions import (
     WorkerCrashError,
 )
 from ..executor.score_store import (
+    DEFAULT_RECENT_WINDOW,
     DEFAULT_SHARD_ROWS,
     ApplyMetrics,
     _Shard,
+    window_summary_ms,
 )
 from ..incremental.plan import PlanBatch
 from .faults import FaultInjector
@@ -187,6 +190,13 @@ class PoolStats:
     #: instead of the pipes (the batched path's zero-copy half).
     staged_bytes: int = 0
     worker_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Bounded window of recent per-plan IPC overhead samples (one
+    #: sample per dispatch: the batch's net IPC divided by its plan
+    #: count), so ``apply_report`` can show a *distribution* next to
+    #: the lifetime-mean ``ipc_per_plan_ms`` gauge.
+    recent_ipc_per_plan: deque = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_RECENT_WINDOW)
+    )
 
 
 #: Rough pickled size of a command envelope (dataclass + pipe framing);
@@ -223,6 +233,9 @@ class _InflightBatch:
     #: The journal entry backing this batch — crash attribution for the
     #: poison-quarantine logic keys on its identity.
     entry: object = None
+    #: Request-trace id the dispatching drain was tagged with; the
+    #: collect materialises ``worker.apply`` spans under it.
+    trace_id: Optional[str] = None
 
 
 class _SegmentTable:
@@ -306,6 +319,12 @@ class ShardWorkerPool:
         bit-identity reference).  Carried on each
         :class:`~repro.cluster.messages.SegmentSpec`, so respawns and
         crash replay rebuild shards at the same precision.
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` facade (or None for the
+        shared disabled instance).  The pool observes worker apply
+        seconds into its histograms, materialises ``worker.apply``
+        spans under the active drain's trace id, and feeds the flight
+        recorder on crashes and quarantines.
     """
 
     def __init__(
@@ -321,7 +340,17 @@ class ShardWorkerPool:
         deadline_floor: float = DEFAULT_DEADLINE_FLOOR,
         fault_plan=None,
         dtype=None,
+        telemetry=None,
     ) -> None:
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._telemetry = telemetry
+        self._worker_apply_hist = telemetry.registry.histogram(
+            "repro_cluster_worker_apply_seconds",
+            help="Worker-measured busy seconds per mutating reply",
+        )
         self._dtype = resolve_dtype(dtype)
         scores = np.asarray(scores, dtype=self._dtype)
         if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
@@ -588,6 +617,9 @@ class ShardWorkerPool:
             return
         self._failed = True
         self._fail_reason = reason
+        # Post-mortem breadcrumb: the crash/quarantine that led here
+        # already dumped the flight ring, so a record entry suffices.
+        self._telemetry.flight.record("pool_failed", reason=reason)
         self._inflight.clear()
         for handle in self._workers:
             try:
@@ -626,6 +658,14 @@ class ShardWorkerPool:
         """
         handle = self._workers[worker_id]
         self.stats.crashes += 1
+        flight = self._telemetry.flight
+        flight.record(
+            "worker_crash",
+            worker=worker_id,
+            crashes=self.stats.crashes,
+            journaled=journaled,
+        )
+        flight.dump("worker-crash")
         if entry is not None:
             key = id(entry)
             crashes = self._entry_crashes.get(key, 0) + 1
@@ -648,6 +688,12 @@ class ShardWorkerPool:
                     payload=getattr(journal_cmd, "packed", None)
                     or journal_cmd,
                 )
+                flight.record(
+                    "quarantine",
+                    worker=worker_id,
+                    batch=record.describe(),
+                )
+                flight.dump("quarantine")
                 self.supervisor.quarantine(record)
                 self._fail(f"poison batch quarantined: {record.describe()}")
                 raise PoisonBatchError(
@@ -969,18 +1015,31 @@ class ShardWorkerPool:
         targets = self._workers_for_plan(plan)
         if not targets:
             return
+        trace_id = self._telemetry.tracer.active()
         started = time.perf_counter()
-        replies = self._command(targets, ApplyPlanCmd(plan), journaled=True)
+        replies = self._command(
+            targets, ApplyPlanCmd(plan, trace_id=trace_id), journaled=True
+        )
         wall = time.perf_counter() - started
         per_shard: Dict[int, float] = {}
         slowest = 0.0
-        for reply in replies.values():
+        for worker_id, reply in replies.items():
             for gid, seconds in reply.per_shard_seconds.items():
                 per_shard[gid] = per_shard.get(gid, 0.0) + seconds
             slowest = max(slowest, reply.seconds)
+            self._worker_apply_hist.observe(reply.seconds)
+            self._telemetry.tracer.record(
+                "worker.apply",
+                trace_id,
+                reply.seconds,
+                worker=worker_id,
+                plans=1,
+            )
         self.apply_metrics.record(per_shard)
         self.stats.plans += 1
-        self.stats.ipc_seconds += max(0.0, wall - slowest)
+        ipc = max(0.0, wall - slowest)
+        self.stats.ipc_seconds += ipc
+        self.stats.recent_ipc_per_plan.append(ipc)
         self.stats.ipc_bytes += (plan.nbytes() + _CMD_OVERHEAD_BYTES) * len(
             targets
         )
@@ -1057,8 +1116,15 @@ class ShardWorkerPool:
         )
         if self._injector is not None:
             self._injector.on_staged(self, staged)
+        # The drain that produced this batch tagged the tracer's active
+        # slot; the id rides both command forms so crash replay keeps
+        # the attribution.
+        trace_id = self._telemetry.tracer.active()
         journal_cmd = ApplyBatchCmd(
-            count=packed.count, sections=sections, packed=packed
+            count=packed.count,
+            sections=sections,
+            packed=packed,
+            trace_id=trace_id,
         )
         live_cmd = ApplyBatchCmd(
             count=packed.count,
@@ -1066,6 +1132,7 @@ class ShardWorkerPool:
             staging=slot.name,
             words=words,
             checksums=checksums,
+            trace_id=trace_id,
         )
         entry = _JournalEntry(workers=targets, cmds=journal_cmd)
         self._journal.append(entry)
@@ -1090,6 +1157,7 @@ class ShardWorkerPool:
                 send_seconds=time.perf_counter() - started,
                 dead=dead,
                 entry=entry,
+                trace_id=trace_id,
             )
         )
         return len(plans)
@@ -1190,6 +1258,16 @@ class ShardWorkerPool:
             for gid, seconds in reply.per_shard_seconds.items():
                 per_shard[gid] = per_shard.get(gid, 0.0) + seconds
             slowest = max(slowest, reply.seconds)
+            self._worker_apply_hist.observe(reply.seconds)
+            # The span's duration is the *worker's* clock (the reply's
+            # busy seconds); the parent only stamps the trace id.
+            self._telemetry.tracer.record(
+                "worker.apply",
+                record.trace_id,
+                reply.seconds,
+                worker=worker_id,
+                plans=record.count,
+            )
         if first_error is not None:
             raise ClusterError(first_error)
         self.apply_metrics.record_batch(per_shard, plans=record.count)
@@ -1202,9 +1280,10 @@ class ShardWorkerPool:
         # waiting), and on a contended box the dispatch wall itself is
         # largely the woken worker *doing the apply* on the parent's
         # timeslice, which is work, not wire overhead.
-        self.stats.ipc_seconds += max(
-            0.0, record.send_seconds + collect_wall - slowest
-        )
+        ipc = max(0.0, record.send_seconds + collect_wall - slowest)
+        self.stats.ipc_seconds += ipc
+        if record.count:
+            self.stats.recent_ipc_per_plan.append(ipc / record.count)
 
     def _staging_slot(self, nbytes: int) -> _StagingSlot:
         """A staging slot free of in-flight references, grown to fit."""
@@ -1479,6 +1558,9 @@ class ShardWorkerPool:
                     self.stats.ipc_seconds / self.stats.plans * 1e3
                     if self.stats.plans
                     else 0.0
+                ),
+                "recent_ipc_per_plan_ms": window_summary_ms(
+                    self.stats.recent_ipc_per_plan
                 ),
                 "commands": self.stats.commands,
                 "plan_batches": self.stats.batches,

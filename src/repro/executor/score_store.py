@@ -31,6 +31,7 @@ unchanged.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,28 @@ from ..exceptions import DimensionError
 #: and per-shard growth stay cheap, large enough that per-shard scatter
 #: overhead is negligible against the union-support GEMM.
 DEFAULT_SHARD_ROWS = 512
+
+#: Samples kept in the bounded recent window of per-plan apply seconds
+#: (so merged batch records can still report a distribution).
+DEFAULT_RECENT_WINDOW = 256
+
+
+def window_summary_ms(samples) -> dict:
+    """p50/p95/p99 digest (in ms) of a bounded sample window."""
+    data = sorted(samples)
+    count = len(data)
+    if count == 0:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def _at(q: float) -> float:
+        return data[min(count - 1, int(q * count))] * 1e3
+
+    return {
+        "count": count,
+        "p50": _at(0.50),
+        "p95": _at(0.95),
+        "p99": _at(0.99),
+    }
 
 #: Backwards-compatible alias; the definition lives in
 #: :mod:`repro.dtypes` (one source of truth for the dtype seam).
@@ -73,6 +96,14 @@ class ApplyMetrics:
     #: Plans that arrived inside batched commands.
     batched_plans: int = 0
     last_batch_size: int = 0
+    #: Bounded window of recent *per-plan* apply seconds.  Batched
+    #: records merge shard timings across the whole command, so without
+    #: this window the per-plan distribution would be unrecoverable —
+    #: callers that know the per-plan split pass it to
+    #: :meth:`record_batch`.
+    recent_plan_seconds: deque = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_RECENT_WINDOW)
+    )
 
     def record(self, per_shard: Dict[int, float], plans: int = 1) -> None:
         """Fold one apply command's per-shard timings into the gauges."""
@@ -81,17 +112,32 @@ class ApplyMetrics:
         self.seconds += total
         self.last_plan_seconds = total
         self.last_per_shard_seconds = dict(per_shard)
+        if plans == 1:
+            self.recent_plan_seconds.append(total)
         for shard_id, seconds in per_shard.items():
             self.per_shard_seconds[shard_id] = (
                 self.per_shard_seconds.get(shard_id, 0.0) + seconds
             )
 
-    def record_batch(self, per_shard: Dict[int, float], plans: int) -> None:
-        """Fold one whole drain batch (``plans`` plans, one command)."""
+    def record_batch(
+        self,
+        per_shard: Dict[int, float],
+        plans: int,
+        per_plan_seconds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Fold one whole drain batch (``plans`` plans, one command).
+
+        ``per_plan_seconds`` — when the executor timed each plan
+        individually (the in-process batched path does) — feeds the
+        bounded recent window, so ``report()`` can show a per-plan
+        distribution even though the shard timings are merged.
+        """
         self.record(per_shard, plans=plans)
         self.batches += 1
         self.batched_plans += plans
         self.last_batch_size = plans
+        if per_plan_seconds is not None:
+            self.recent_plan_seconds.extend(per_plan_seconds)
 
     def batch_size(self) -> float:
         """Mean plans per batched apply command (0.0 before any batch)."""
@@ -113,6 +159,7 @@ class ApplyMetrics:
                 str(shard): seconds
                 for shard, seconds in sorted(self.per_shard_seconds.items())
             },
+            "recent_plan_ms": window_summary_ms(self.recent_plan_seconds),
         }
 
 
@@ -245,7 +292,19 @@ class ScoreStore:
         scores: np.ndarray,
         shard_rows: int = DEFAULT_SHARD_ROWS,
         dtype=None,
+        telemetry=None,
     ) -> None:
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._telemetry = telemetry
+        #: Per-plan apply latency histogram; the shared null instrument
+        #: when telemetry is off, so the hot path never branches.
+        self._apply_hist = telemetry.registry.histogram(
+            "repro_executor_apply_plan_seconds",
+            help="Per-plan union-support GEMM + scatter wall time",
+        )
         self._dtype = resolve_dtype(dtype)
         scores = np.asarray(scores, dtype=self._dtype)
         if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
@@ -285,9 +344,12 @@ class ScoreStore:
         scores: np.ndarray,
         shard_rows: int = DEFAULT_SHARD_ROWS,
         dtype=None,
+        telemetry=None,
     ) -> "ScoreStore":
         """Shard a dense score matrix (the initial batch precomputation)."""
-        return cls(scores, shard_rows=shard_rows, dtype=dtype)
+        return cls(
+            scores, shard_rows=shard_rows, dtype=dtype, telemetry=telemetry
+        )
 
     # -------------------------------------------------------------- #
     # Shape / reads
@@ -474,6 +536,7 @@ class ScoreStore:
         self._shard_timing = {}
         self._apply_plan_scatter(plan)
         self.apply_metrics.record(self._shard_timing)
+        self._apply_hist.observe(sum(self._shard_timing.values()))
         self.version += 1
         if self._topk is not None:
             self._topk.on_plan(plan)
@@ -509,15 +572,22 @@ class ScoreStore:
         if not live:
             return
         timing: Dict[int, float] = {}
+        per_plan: List[float] = []
         for plan in live:
             self._shard_timing = {}
             self._apply_plan_scatter(plan)
+            plan_total = 0.0
             for shard_id, seconds in self._shard_timing.items():
                 timing[shard_id] = timing.get(shard_id, 0.0) + seconds
+                plan_total += seconds
+            per_plan.append(plan_total)
+            self._apply_hist.observe(plan_total)
             self.version += 1
             if self._topk is not None:
                 self._topk.on_plan(plan)
-        self.apply_metrics.record_batch(timing, plans=len(live))
+        self.apply_metrics.record_batch(
+            timing, plans=len(live), per_plan_seconds=per_plan
+        )
 
     def _scatter_shard(
         self,

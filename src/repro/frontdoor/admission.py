@@ -40,6 +40,7 @@ import numpy as np
 from ..exceptions import NodeNotFoundError
 from ..serving.envelopes import QueryRequest, QueryResult
 from ..simrank.queries import single_source_simrank
+from ..telemetry import NULL_TELEMETRY, GaugeGroup
 
 
 def batched_similarity(view, pairs: Sequence[tuple]) -> List[float]:
@@ -172,7 +173,10 @@ class AdmissionBatcher:
         window: float,
         max_batch: int,
         run_blocking,
+        telemetry=None,
     ) -> None:
+        if telemetry is None:
+            telemetry = NULL_TELEMETRY
         self._pin_view = pin_view
         self.window = float(window)
         self.max_batch = int(max_batch)
@@ -182,6 +186,24 @@ class AdmissionBatcher:
         self.batches = 0
         self.batched_queries = 0
         self.max_batch_seen = 0
+        self._telemetry = telemetry
+        self._execute_hist = telemetry.registry.histogram(
+            "repro_admission_execute_seconds",
+            help="Batched admission execute time (pin + vectorized pass)",
+        )
+        gauges = GaugeGroup(telemetry.registry, "repro_admission")
+        gauges.expose("window_seconds", lambda: self.window)
+        gauges.expose("max_batch", lambda: self.max_batch)
+        gauges.expose("batches", lambda: self.batches)
+        gauges.expose("batched_queries", lambda: self.batched_queries)
+        gauges.expose(
+            "mean_batch_size",
+            lambda: (
+                self.batched_queries / self.batches if self.batches else 0.0
+            ),
+        )
+        gauges.expose("max_batch_seen", lambda: self.max_batch_seen)
+        self._gauges = gauges
 
     async def run(self, request: QueryRequest) -> QueryResult:
         loop = asyncio.get_running_loop()
@@ -189,7 +211,7 @@ class AdmissionBatcher:
             results = await self._execute([request])
             return self._unwrap(results[0])
         future = loop.create_future()
-        self._pending.append((request, future))
+        self._pending.append((request, future, loop.time()))
         if len(self._pending) >= self.max_batch:
             self._cancel_timer()
             self._flush()
@@ -210,11 +232,20 @@ class AdmissionBatcher:
         asyncio.get_running_loop().create_task(self._settle(batch))
 
     async def _settle(self, batch: List[tuple]) -> None:
-        requests = [request for request, _ in batch]
+        requests = [request for request, _, _ in batch]
+        now = asyncio.get_running_loop().time()
+        tracer = self._telemetry.tracer
+        for request, _, enqueued in batch:
+            tracer.record(
+                "admission.wait",
+                request.trace_id,
+                now - enqueued,
+                batch_size=len(batch),
+            )
         try:
             results = await self._execute(requests)
         except BaseException as exc:  # pin/execute failed wholesale
-            for _, future in batch:
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
@@ -222,14 +253,44 @@ class AdmissionBatcher:
         self.batched_queries += len(batch)
         if len(batch) > self.max_batch_seen:
             self.max_batch_seen = len(batch)
-        for (_, future), result in zip(batch, results):
+        for (_, future, _), result in zip(batch, results):
             if not future.done():
                 future.set_result(result)
 
     async def _execute(self, requests: List[QueryRequest]):
+        tracer = self._telemetry.tracer
+        traced = [
+            request.trace_id
+            for request in requests
+            if tracer.sampled(request.trace_id)
+        ]
+
         def work():
+            pin_started = time.perf_counter()
             view = self._pin_view()
-            return execute_batch(view, requests)
+            pin_elapsed = time.perf_counter() - pin_started
+            exec_started = time.perf_counter()
+            results = execute_batch(view, requests)
+            exec_elapsed = time.perf_counter() - exec_started
+            self._execute_hist.observe(pin_elapsed + exec_elapsed)
+            # The whole batch shares one pin and one vectorized pass, so
+            # every traced member gets the same span timings tagged with
+            # the fan-in it rode along with.
+            for trace_id in traced:
+                tracer.record(
+                    "admission.pin",
+                    trace_id,
+                    pin_elapsed,
+                    batch_size=len(requests),
+                    version=view.version,
+                )
+                tracer.record(
+                    "admission.execute",
+                    trace_id,
+                    exec_elapsed,
+                    batch_size=len(requests),
+                )
+            return results
 
         return await self._run_blocking(work)
 
@@ -243,20 +304,15 @@ class AdmissionBatcher:
         """Fail every parked query (service shutting down)."""
         self._cancel_timer()
         pending, self._pending = self._pending, []
-        for _, future in pending:
+        for _, future, _ in pending:
             if not future.done():
                 future.cancel()
 
     def report(self) -> dict:
-        """Admission counters for the metrics endpoint."""
-        mean = (
-            self.batched_queries / self.batches if self.batches else 0.0
-        )
-        return {
-            "window_seconds": self.window,
-            "max_batch": self.max_batch,
-            "batches": self.batches,
-            "batched_queries": self.batched_queries,
-            "mean_batch_size": mean,
-            "max_batch_seen": self.max_batch_seen,
-        }
+        """Admission counters for the metrics endpoint.
+
+        Rendered through the :class:`GaugeGroup`, so the same readers
+        back this dict and the registry's Prometheus gauges — key names
+        are the historical ones.
+        """
+        return self._gauges.report()

@@ -348,23 +348,34 @@ class HTTPClient:
         method: str,
         path: str,
         payload: object = None,
+        headers: Optional[Dict[str, str]] = None,
+        raw: bool = False,
     ) -> Tuple[int, object]:
-        """One round trip; returns ``(status, parsed-JSON-or-None)``."""
+        """One round trip; returns ``(status, parsed-JSON-or-None)``.
+
+        ``headers`` adds extra request headers (e.g. ``X-Trace-Id``);
+        ``raw=True`` returns the body as decoded text instead of parsed
+        JSON — the Prometheus scrape path, where the response is
+        text-format 0.0.4, not JSON.
+        """
         if self._writer is None:
             await self.connect()
         body = b"" if payload is None else json_body(payload)
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {self.host}:{self.port}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: keep-alive\r\n\r\n"
-        ).encode("latin-1")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         self._writer.write(head + body)
         await self._writer.drain()
-        return await self._read_response()
+        return await self._read_response(raw=raw)
 
-    async def _read_response(self) -> Tuple[int, object]:
+    async def _read_response(self, raw: bool = False) -> Tuple[int, object]:
         reader = self._reader
         try:
             status_line = await reader.readuntil(b"\r\n")
@@ -386,6 +397,8 @@ class HTTPClient:
         body = await reader.readexactly(length) if length else b""
         if "close" in headers.get("connection", "").lower():
             await self.close()
+        if raw:
+            return status, body.decode("utf-8")
         if not body:
             return status, None
         try:

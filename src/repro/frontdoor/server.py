@@ -40,7 +40,9 @@ Design rules:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
+import time
 from typing import Optional, Set
 
 from ..exceptions import ConfigError, ProtocolError
@@ -52,6 +54,11 @@ from ..serving.envelopes import (
     http_status,
     run_query,
 )
+from ..telemetry import (
+    NULL_TELEMETRY,
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from .admission import AdmissionBatcher
 from .protocol import (
     OP_CLOSE,
@@ -61,6 +68,7 @@ from .protocol import (
     handshake_response,
     read_frame,
     read_request,
+    render_response,
     send_json,
     send_ws_json,
 )
@@ -69,6 +77,16 @@ from .subscriptions import TopKSubscriptions
 
 #: Sentinel queued to a subscriber to end its WebSocket.
 _TERMINAL = object()
+
+
+class _RawResponse:
+    """A non-JSON route result: pre-rendered body + content type."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class FrontDoor:
@@ -87,22 +105,42 @@ class FrontDoor:
         self._stopping = False
         self._push_task: Optional[asyncio.Task] = None
         self._ws_tasks: Set[asyncio.Task] = set()
+        self.telemetry = getattr(service, "telemetry", None) or NULL_TELEMETRY
         self.sessions = SessionManager(
             default_ttl=config.session_ttl,
             max_sessions=config.max_sessions,
+            registry=self.telemetry.registry,
         )
         self.subscriptions = TopKSubscriptions(
-            service, max_k=config.subscription_max_k
+            service,
+            max_k=config.subscription_max_k,
+            registry=self.telemetry.registry,
         )
         self.batcher = AdmissionBatcher(
             pin_view=service.snapshot,
             window=config.admission_window,
             max_batch=config.admission_max_batch,
             run_blocking=self._run_blocking,
+            telemetry=self.telemetry,
         )
         self.requests_served = 0
         self.protocol_errors = 0
         self.status_counts: dict = {}
+        registry = self.telemetry.registry
+        self._request_hist = registry.histogram(
+            "repro_frontdoor_request_seconds",
+            help="HTTP request latency at the front door (route + render)",
+        )
+        registry.gauge(
+            "repro_frontdoor_requests_served",
+            help="Requests accepted off the wire",
+            fn=lambda: self.requests_served,
+        )
+        registry.gauge(
+            "repro_frontdoor_protocol_errors",
+            help="Requests rejected as malformed",
+            fn=lambda: self.protocol_errors,
+        )
 
     # ------------------------------------------------------------- #
     # Lifecycle
@@ -227,6 +265,7 @@ class FrontDoor:
                 pass
 
     async def _dispatch_http(self, request, writer) -> bool:
+        started = time.perf_counter()
         try:
             status, payload = await self._route(request)
         except ProtocolError as exc:
@@ -236,7 +275,19 @@ class FrontDoor:
             status, payload = http_status(exc), error_body(exc)
         self.status_counts[status] = self.status_counts.get(status, 0) + 1
         keep_alive = request.keep_alive and status < 500
-        await send_json(writer, status, payload, keep_alive=keep_alive)
+        if isinstance(payload, _RawResponse):
+            writer.write(
+                render_response(
+                    status,
+                    payload.body,
+                    content_type=payload.content_type,
+                    keep_alive=keep_alive,
+                )
+            )
+            await writer.drain()
+        else:
+            await send_json(writer, status, payload, keep_alive=keep_alive)
+        self._request_hist.observe(time.perf_counter() - started)
         return keep_alive
 
     async def _route(self, request):
@@ -244,9 +295,22 @@ class FrontDoor:
         if path == "/health" and method == "GET":
             return 200, self._health()
         if path == "/metrics" and method == "GET":
+            if request.query.get("format") == "prometheus":
+                # Callback gauges render from live attributes; no
+                # blocking engine work happens here.
+                body = render_prometheus(self.telemetry.registry)
+                return 200, _RawResponse(
+                    body.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+                )
             report = await self._run_blocking(self._service.metrics_report)
             report["frontdoor"] = self.report()
             return 200, report
+        if path == "/traces" and method == "GET":
+            trace_id = request.query.get("trace_id")
+            return 200, {
+                "trace_id": trace_id,
+                "spans": self.telemetry.tracer.export(trace_id),
+            }
         if path == "/query" and method == "POST":
             return await self._handle_query(request)
         if path == "/session" and method == "POST":
@@ -280,20 +344,35 @@ class FrontDoor:
 
     async def _handle_query(self, request):
         query = QueryRequest.from_dict(request.json())
-        if query.session is not None:
-            # Pinned-session routing: resolve the frozen view on the
-            # loop (the manager is loop-confined), compute off it.
-            view = self.sessions.get(query.session)
-            result = await self._run_blocking(
-                functools.partial(run_query, view, query)
-            )
-        elif query.batchable:
-            result = await self.batcher.run(query)
-        else:
-            result = await self._run_blocking(
-                functools.partial(self._service.query, query)
-            )
-        return 200, result.to_dict()
+        # The trace enters here: an explicit X-Trace-Id (or an id already
+        # in the envelope) is adopted verbatim and force-sampled; without
+        # one the tracer mints an id only when the sampler keeps it.
+        tracer = self.telemetry.tracer
+        trace_id = tracer.admit(
+            query.trace_id or request.headers.get("x-trace-id")
+        )
+        if trace_id != query.trace_id:
+            query = dataclasses.replace(query, trace_id=trace_id)
+        with tracer.span(
+            "frontdoor.query", trace_id, kind=query.kind
+        ):
+            if query.session is not None:
+                # Pinned-session routing: resolve the frozen view on the
+                # loop (the manager is loop-confined), compute off it.
+                view = self.sessions.get(query.session)
+                result = await self._run_blocking(
+                    functools.partial(run_query, view, query)
+                )
+            elif query.batchable:
+                result = await self.batcher.run(query)
+            else:
+                result = await self._run_blocking(
+                    functools.partial(self._service.query, query)
+                )
+        body = result.to_dict()
+        if trace_id is not None and tracer.sampled(trace_id):
+            body["trace_id"] = trace_id
+        return 200, body
 
     async def _handle_create_session(self, request):
         payload = request.json() or {}
@@ -342,12 +421,32 @@ class FrontDoor:
                 return len(updates), []
             return self._submit_validated(updates)
 
+        tracer = self.telemetry.tracer
+        trace_id = tracer.admit(request.headers.get("x-trace-id"))
+        started = time.perf_counter()
         accepted, rejected = await self._run_blocking(submit)
-        return 200, {
+        tracer.record(
+            "updates.submit",
+            trace_id,
+            time.perf_counter() - started,
+            accepted=accepted,
+            rejected=len(rejected),
+        )
+        if accepted:
+            # Remember the trace until the drain that folds these
+            # updates in; the writer records the drain.apply span (and
+            # worker-side apply spans) under it.
+            note = getattr(self._service, "note_origin_trace", None)
+            if note is not None:
+                note(trace_id)
+        body = {
             "accepted": accepted,
             "rejected": rejected,
             "pending": self._service.pending,
         }
+        if trace_id is not None and tracer.sampled(trace_id):
+            body["trace_id"] = trace_id
+        return 200, body
 
     def _submit_validated(self, updates):
         """Admit only updates valid against **graph ∪ pending queue**.

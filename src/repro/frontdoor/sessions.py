@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 from ..exceptions import BackpressureError, SessionNotFoundError
 from ..serving.snapshot import SnapshotView
+from ..telemetry import NULL_TELEMETRY, GaugeGroup
 
 
 class _Session:
@@ -51,6 +52,7 @@ class SessionManager:
         default_ttl: float,
         max_sessions: int,
         clock=time.monotonic,
+        registry=None,
     ) -> None:
         self.default_ttl = float(default_ttl)
         self.max_sessions = int(max_sessions)
@@ -59,6 +61,17 @@ class SessionManager:
         self.created = 0
         self.expired = 0
         self.released = 0
+        if registry is None:
+            registry = NULL_TELEMETRY.registry
+        gauges = GaugeGroup(registry, "repro_sessions")
+        gauges.expose("active", lambda: len(self._sessions))
+        gauges.expose("max_sessions", lambda: self.max_sessions)
+        gauges.expose("default_ttl_seconds", lambda: self.default_ttl)
+        gauges.expose("created", lambda: self.created)
+        gauges.expose("expired", lambda: self.expired)
+        gauges.expose("released", lambda: self.released)
+        gauges.expose("pinned_bytes", self._pinned_bytes)
+        self._gauges = gauges
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -127,18 +140,17 @@ class SessionManager:
             del self._sessions[session_id]
         self.expired += len(expired)
 
+    def _pinned_bytes(self) -> int:
+        return sum(
+            session.view.nbytes() for session in self._sessions.values()
+        )
+
     def report(self) -> dict:
-        """Session gauges for the metrics endpoint."""
+        """Session gauges for the metrics endpoint.
+
+        Rendered through the :class:`GaugeGroup` so the JSON dict and
+        the registry's Prometheus gauges share one set of readers; key
+        names are the historical ones.
+        """
         self._purge(self._clock())
-        return {
-            "active": len(self._sessions),
-            "max_sessions": self.max_sessions,
-            "default_ttl_seconds": self.default_ttl,
-            "created": self.created,
-            "expired": self.expired,
-            "released": self.released,
-            "pinned_bytes": sum(
-                session.view.nbytes()
-                for session in self._sessions.values()
-            ),
-        }
+        return self._gauges.report()

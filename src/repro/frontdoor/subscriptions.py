@@ -33,6 +33,7 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigError
+from ..telemetry import NULL_TELEMETRY, GaugeGroup
 
 Ranking = List[Tuple[int, int, float]]
 
@@ -119,7 +120,7 @@ class TopKSubscriptions:
     guarded by a plain mutex.
     """
 
-    def __init__(self, service, max_k: int) -> None:
+    def __init__(self, service, max_k: int, registry=None) -> None:
         self._service = service
         self.max_k = int(max_k)
         self._subscribers: Dict[int, Subscriber] = {}
@@ -127,6 +128,28 @@ class TopKSubscriptions:
         self._ids = itertools.count(1)
         self.polls = 0
         self.deltas_pushed = 0
+        if registry is None:
+            registry = NULL_TELEMETRY.registry
+        gauges = GaugeGroup(registry, "repro_subscriptions")
+        gauges.expose("active", lambda: len(self._subscribers))
+        gauges.expose("max_k", lambda: self.max_k)
+        gauges.expose("polls", lambda: self.polls)
+        gauges.expose("deltas_pushed", lambda: self.deltas_pushed)
+        gauges.expose(
+            "skipped_by_revision",
+            lambda: self._sum_field("skipped_by_revision"),
+        )
+        gauges.expose(
+            "quiet_rounds", lambda: self._sum_field("quiet_rounds")
+        )
+        self._gauges = gauges
+
+    def _sum_field(self, field: str) -> int:
+        with self._lock:
+            return sum(
+                getattr(subscriber, field)
+                for subscriber in self._subscribers.values()
+            )
 
     def __len__(self) -> int:
         return len(self._subscribers)
@@ -257,19 +280,10 @@ class TopKSubscriptions:
         return messages
 
     def report(self) -> dict:
-        """Subscription gauges for the metrics endpoint."""
-        with self._lock:
-            subscribers = list(self._subscribers.values())
-        return {
-            "active": len(subscribers),
-            "max_k": self.max_k,
-            "polls": self.polls,
-            "deltas_pushed": self.deltas_pushed,
-            "skipped_by_revision": sum(
-                subscriber.skipped_by_revision
-                for subscriber in subscribers
-            ),
-            "quiet_rounds": sum(
-                subscriber.quiet_rounds for subscriber in subscribers
-            ),
-        }
+        """Subscription gauges for the metrics endpoint.
+
+        Rendered through the :class:`GaugeGroup` so the JSON dict and
+        the registry's Prometheus gauges share one set of readers; key
+        names are the historical ones.
+        """
+        return self._gauges.report()

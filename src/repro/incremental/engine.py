@@ -134,6 +134,12 @@ class DynamicSimRank:
         scattered into shard storage — identically in both executors, so
         a float32 process run is bit-identical to a float32 in-process
         run.  The float64 default is the bit-identity reference.
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` facade threaded through to
+        the score executor (apply-latency histograms, drain trace
+        spans, crash flight recording).  ``None`` (the default) uses
+        the shared disabled instance — standalone engines pay one no-op
+        method call per instrumentation point.
     """
 
     def __init__(
@@ -150,6 +156,7 @@ class DynamicSimRank:
         plan_batching: bool = True,
         executor_options: Optional[dict] = None,
         score_dtype: Optional[str] = None,
+        telemetry=None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ConfigError(
@@ -166,6 +173,11 @@ class DynamicSimRank:
         self._paranoid = bool(paranoid)
         self._plan_batching = bool(plan_batching)
         self._score_dtype = resolve_dtype(score_dtype)
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._telemetry = telemetry
         self._store = TransitionStore.from_graph(self._graph)
         self._workspace = UpdateWorkspace(self._graph.num_nodes)
         if initial_scores is None:
@@ -182,6 +194,7 @@ class DynamicSimRank:
 
             options = dict(executor_options or {})
             options.setdefault("dtype", self._score_dtype)
+            options.setdefault("telemetry", telemetry)
             self._scores = build_client(
                 scores,
                 shard_rows=shard_rows,
@@ -193,7 +206,10 @@ class DynamicSimRank:
             self._scores.transition_exporter = self._store.export_packed
         else:
             self._scores = ScoreStore(
-                scores, shard_rows=shard_rows, dtype=self._score_dtype
+                scores,
+                shard_rows=shard_rows,
+                dtype=self._score_dtype,
+                telemetry=telemetry,
             )
         self._topk_index = None
         self._history: List[UpdateStats] = []

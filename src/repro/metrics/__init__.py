@@ -1,4 +1,8 @@
-"""Evaluation metrics used by the paper's experiments.
+"""**Paper-evaluation** metrics — accuracy and memory of the algorithm.
+
+This package answers "is the reproduction faithful?": the quantities
+the source paper's experiments report, computed offline over score
+matrices and rankings.
 
 * :mod:`repro.metrics.topk` — top-k node-pair extraction.
 * :mod:`repro.metrics.topk_tracker` — incrementally refreshed top-k
@@ -8,9 +12,15 @@
   matrices.
 * :mod:`repro.metrics.memory` — intermediate-memory accounting (Fig. 3).
 
-Serving-side gauges (writer queue depth, backpressure counters, top-k
-``heap_hit_rate``) are reported by
-:meth:`repro.serving.service.SimRankService.metrics_report`.
+It is deliberately distinct from :mod:`repro.telemetry`, which answers
+"is the *service* healthy right now?" — runtime counters, gauges,
+latency histograms, request traces, and the crash flight recorder.
+Rule of thumb: a number a figure in the paper could plot belongs here;
+a number an operator would watch on a dashboard belongs in
+:mod:`repro.telemetry`.  Serving-side gauges (writer queue depth,
+backpressure counters, top-k ``heap_hit_rate``) are reported by
+:meth:`repro.serving.service.SimRankService.metrics_report`, whose
+``telemetry`` section is rendered by the telemetry registry.
 """
 
 from .error import frobenius_error, max_abs_error, mean_abs_error

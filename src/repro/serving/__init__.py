@@ -42,6 +42,7 @@ from .config import (
     WRITER_MODES,
     FrontDoorConfig,
     ServiceConfig,
+    TelemetryConfig,
     resolve_service_config,
 )
 from .envelopes import (
@@ -66,6 +67,7 @@ __all__ = [
     "WriterStats",
     "ServiceConfig",
     "FrontDoorConfig",
+    "TelemetryConfig",
     "resolve_service_config",
     "QueryRequest",
     "QueryResult",

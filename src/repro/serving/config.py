@@ -82,6 +82,80 @@ def _require(condition: bool, message: str) -> None:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Runtime-telemetry knobs (:mod:`repro.telemetry`).
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` swaps every instrument for the shared no-op
+        singletons — tracing, histograms, and flight recording all cost
+        one empty method call.  The front-door stats keep their own
+        attribute counters, so the JSON ``/metrics`` report is
+        unchanged either way.
+    trace_sample_rate:
+        Fraction of *minted* trace ids that record spans (deterministic
+        on the id, so all layers and processes agree).  Explicit
+        ``X-Trace-Id`` headers are always sampled.
+    trace_capacity:
+        Span-ring size (oldest spans are dropped first).
+    flight_capacity:
+        Flight-recorder event-ring size.
+    flight_dir:
+        Directory flight dumps are written into (``None`` = CWD).
+    """
+
+    enabled: bool = True
+    trace_sample_rate: float = 1.0
+    trace_capacity: int = 512
+    flight_capacity: int = 256
+    flight_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.enabled, bool),
+            f"telemetry enabled must be a bool: {self.enabled!r}",
+        )
+        _require(
+            0.0 <= float(self.trace_sample_rate) <= 1.0,
+            "trace_sample_rate must be in [0, 1]: "
+            f"{self.trace_sample_rate!r}",
+        )
+        _require(
+            int(self.trace_capacity) >= 1,
+            f"trace_capacity must be >= 1: {self.trace_capacity!r}",
+        )
+        _require(
+            int(self.flight_capacity) >= 1,
+            f"flight_capacity must be >= 1: {self.flight_capacity!r}",
+        )
+        _require(
+            self.flight_dir is None or isinstance(self.flight_dir, str),
+            f"flight_dir must be None or a string: {self.flight_dir!r}",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the exact :meth:`from_dict` input)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TelemetryConfig":
+        """Rebuild from :meth:`to_dict`; unknown keys are an error."""
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"telemetry config must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown telemetry config keys: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
 class FrontDoorConfig:
     """Network-front-door knobs (HTTP/WebSocket layer).
 
@@ -198,6 +272,7 @@ class ServiceConfig:
     #: when ``precision="auto"``.
     precision_plan: object = None
     frontdoor: Optional[FrontDoorConfig] = field(default=None)
+    telemetry: Optional[TelemetryConfig] = field(default=None)
 
     def __post_init__(self) -> None:
         # Delegate damping/iterations validation to SimRankConfig.
@@ -260,6 +335,13 @@ class ServiceConfig:
                 "frontdoor must be None or a FrontDoorConfig, got "
                 f"{type(self.frontdoor).__name__}"
             )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryConfig
+        ):
+            raise ConfigError(
+                "telemetry must be None or a TelemetryConfig, got "
+                f"{type(self.telemetry).__name__}"
+            )
         if (
             self.precision_plan is not None
             and self.precision != "auto"
@@ -297,7 +379,7 @@ class ServiceConfig:
         payload = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
-            if spec.name == "frontdoor" and value is not None:
+            if spec.name in ("frontdoor", "telemetry") and value is not None:
                 value = value.to_dict()
             elif spec.name == "precision_plan" and value is not None:
                 to_dict = getattr(value, "to_dict", None)
@@ -323,6 +405,8 @@ class ServiceConfig:
         data = dict(payload)
         if isinstance(data.get("frontdoor"), dict):
             data["frontdoor"] = FrontDoorConfig.from_dict(data["frontdoor"])
+        if isinstance(data.get("telemetry"), dict):
+            data["telemetry"] = TelemetryConfig.from_dict(data["telemetry"])
         return cls(**data)
 
     def save(self, path: str) -> None:

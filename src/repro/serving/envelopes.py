@@ -133,6 +133,13 @@ class QueryRequest:
         against that session's frozen view instead of a fresh snapshot.
     id:
         Optional caller-chosen correlation id, echoed on the result.
+    trace_id:
+        Optional request-trace id (:mod:`repro.telemetry`).  The front
+        door fills it from the ``X-Trace-Id`` header (or mints one when
+        sampled); admission, pin, and gather spans are recorded under
+        it.  ``None`` means the request is untraced; the field is
+        dropped from the wire payload, so pre-telemetry clients and
+        servers interoperate unchanged.
     """
 
     kind: str
@@ -142,6 +149,7 @@ class QueryRequest:
     k: Optional[int] = None
     session: Optional[str] = None
     id: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -156,6 +164,10 @@ class QueryRequest:
                     f"query kind {self.kind!r} requires field {name!r}"
                 )
             object.__setattr__(self, name, _coerce_index(name, value))
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise ConfigError(
+                f"trace_id must be a string, got {self.trace_id!r}"
+            )
 
     @property
     def batchable(self) -> bool:

@@ -50,6 +50,7 @@ from .config import (  # noqa: F401  (re-exported for compatibility)
     ServiceConfig,
     resolve_service_config,
 )
+from ..telemetry import Telemetry
 from .envelopes import QueryRequest, QueryResult, run_query
 from .scheduler import UpdateScheduler
 from .snapshot import SnapshotView
@@ -172,6 +173,21 @@ class SimRankService:
             del overrides["precision"]
         cfg = resolve_service_config(config, overrides)
         self._config = cfg
+        #: The service's telemetry spine, shared by every layer below
+        #: (engine, executor, pool) and above (front door): one metric
+        #: registry, one trace ring, one flight recorder.
+        self.telemetry = Telemetry.from_config(cfg.telemetry)
+        self._query_hist = self.telemetry.registry.histogram(
+            "repro_service_query_seconds",
+            help="In-process query latency (snapshot pin + execute)",
+        )
+        self._drain_hist = self.telemetry.registry.histogram(
+            "repro_drain_apply_seconds",
+            help="Consolidated drain apply wall time (sync + background)",
+        )
+        #: Trace ids of traced update submissions awaiting the drain
+        #: that folds them in (bounded; drained by the next apply).
+        self._origin_traces: list = []
         simrank_config = cfg.simrank_config()
         self._precision = cfg.precision
         self._precision_plan = None
@@ -203,6 +219,7 @@ class SimRankService:
             plan_batching=cfg.plan_batching,
             executor_options=cfg.executor_options,
             score_dtype=score_dtype,
+            telemetry=self.telemetry,
             **engine_kwargs,
         )
         if (
@@ -294,6 +311,8 @@ class SimRankService:
             on_fatal=self._on_pool_failure,
             heartbeat=heartbeat,
             on_publish=self._on_writer_publish,
+            telemetry=self.telemetry,
+            trace_source=self._take_origin_traces,
         )
         self._writer.start()
         return self._writer
@@ -497,6 +516,13 @@ class SimRankService:
         """
         self._degraded = True
         self._degraded_reason = f"{type(exc).__name__}: {exc}"
+        flight = self.telemetry.flight
+        flight.record(
+            "pool_failure",
+            error=type(exc).__name__,
+            reason=str(exc),
+            policy=self._degraded_policy,
+        )
         if self._degraded_policy == "rebuild":
             try:
                 resumed = self._engine.failover_in_process()
@@ -507,7 +533,11 @@ class SimRankService:
                 self._degraded_reason = None
                 self._failovers += 1
                 self._last_failover_resumed = resumed
+                flight.record("failover", resumed=resumed)
                 return True
+        # Degraded-mode entry is one of the flight recorder's three
+        # dump triggers: snapshot the last N events for the post-mortem.
+        flight.dump("degraded")
         view = self._writer.current_view if self._writer is not None else None
         if view is None:
             view = self._build_degraded_view()
@@ -549,6 +579,28 @@ class SimRankService:
     # -------------------------------------------------------------- #
     # Write path
     # -------------------------------------------------------------- #
+
+    def note_origin_trace(self, trace_id: Optional[str]) -> None:
+        """Remember a traced update submission until the next drain.
+
+        The drain that folds the submission in records a
+        ``drain.apply`` span under each remembered id (with the fan-in
+        count as an attribute) and propagates the most recent one down
+        the executor as the active trace — so worker-side apply spans
+        land in the submitter's trace.  Bounded: beyond 64 pending ids
+        new ones are dropped (the span ring is best-effort anyway).
+        """
+        if not trace_id or not self.telemetry.tracer.sampled(trace_id):
+            return
+        if len(self._origin_traces) < 64:
+            self._origin_traces.append(trace_id)
+
+    def _take_origin_traces(self) -> list:
+        """Pop every pending origin trace id (called by the drain)."""
+        if not self._origin_traces:
+            return []
+        taken, self._origin_traces = self._origin_traces, []
+        return taken
 
     def submit(self, update: Union[EdgeUpdate, UpdateBatch]) -> None:
         """Queue an update (or a whole batch) for the next drain.
@@ -594,8 +646,26 @@ class SimRankService:
         batch = self._scheduler.drain()
         if not len(batch):
             return 0
+        traces = self._take_origin_traces()
+        tracer = self.telemetry.tracer
+        # The active-trace baton rides the whole apply call chain down
+        # to the cluster pipe (see Tracer.set_active); sync drains run
+        # on the calling thread, so set/clear brackets the apply.
+        tracer.set_active(traces[-1] if traces else None)
+        started = time.perf_counter()
         try:
             groups = self._engine.apply_consolidated(batch)
+            elapsed = time.perf_counter() - started
+            self._drain_hist.observe(elapsed)
+            for trace_id in traces:
+                tracer.record(
+                    "drain.apply",
+                    trace_id,
+                    elapsed,
+                    fan_in=len(traces),
+                    updates=len(batch),
+                    groups=groups,
+                )
             self._notify_drained(self._engine.version)
             return groups
         except PoolUnrecoverableError as exc:
@@ -613,6 +683,8 @@ class SimRankService:
         except Exception:
             self._scheduler.submit_many(batch)
             raise
+        finally:
+            tracer.set_active(None)
 
     def flush(self, timeout: Optional[float] = None) -> bool:
         """Ensure everything queued so far is applied.
@@ -760,17 +832,20 @@ class SimRankService:
         if isinstance(request, dict):
             request = QueryRequest.from_dict(request)
         self._ensure_open()
+        started = time.perf_counter()
         if request.kind == "top_k":
-            started = time.perf_counter()
             value = self.top_k(request.k)
-            return QueryResult(
+            result = QueryResult(
                 kind=request.kind,
                 value=value,
                 version=self.version,
                 elapsed_seconds=time.perf_counter() - started,
                 id=request.id,
             )
-        return run_query(self.snapshot(), request)
+        else:
+            result = run_query(self.snapshot(), request)
+        self._query_hist.observe(time.perf_counter() - started)
+        return result
 
     def memory_report(self) -> dict:
         """Layered memory accounting including scheduler state."""
@@ -845,6 +920,9 @@ class SimRankService:
                 "floor_invalidations": index.stats.floor_invalidations,
                 "dirty_shards": index.dirty_shards(),
             }
+        # New section only — every pre-telemetry key above is unchanged
+        # (asserted by tests/test_telemetry.py).
+        report["telemetry"] = self.telemetry.report()
         return report
 
     def __repr__(self) -> str:

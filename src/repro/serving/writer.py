@@ -148,6 +148,18 @@ class BackgroundWriter:
         learns about drains without polling; callbacks must be fast and
         must not raise — exceptions are swallowed so a broken listener
         can never stall the drain loop.
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` facade (None → the shared
+        disabled instance).  Each drain observes its apply wall time
+        into the ``repro_drain_apply_seconds`` histogram and records a
+        ``drain.apply`` span per traced origin submission.
+    trace_source:
+        Optional zero-argument callable returning the trace ids of the
+        traced submissions this drain folds in (the service's
+        pending-origin-trace buffer).  The most recent id becomes the
+        tracer's *active* trace for the duration of the apply, which is
+        how the executor and the cluster pipe inherit it without any
+        signature changes.
     """
 
     def __init__(
@@ -161,6 +173,8 @@ class BackgroundWriter:
         heartbeat=None,
         heartbeat_interval: float = 1.0,
         on_publish=None,
+        telemetry=None,
+        trace_source=None,
     ) -> None:
         if policy not in BACKPRESSURE_POLICIES:
             raise ConfigError(
@@ -173,6 +187,37 @@ class BackgroundWriter:
             )
         if max_pending < 1:
             raise ConfigError(f"max_pending must be >= 1: {max_pending}")
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._telemetry = telemetry
+        self._trace_source = trace_source
+        self._drain_hist = telemetry.registry.histogram(
+            "repro_drain_apply_seconds",
+            help="Consolidated drain apply wall time (sync + background)",
+        )
+        registry = telemetry.registry
+        registry.gauge(
+            "repro_writer_queue_depth",
+            help="Net updates currently queued",
+            fn=self.queue_depth,
+        )
+        registry.gauge(
+            "repro_writer_drains",
+            help="Drain batches applied",
+            fn=lambda: self.stats.drains,
+        )
+        registry.gauge(
+            "repro_writer_publishes",
+            help="Snapshot views published",
+            fn=lambda: self.stats.publishes,
+        )
+        registry.gauge(
+            "repro_writer_dropped_updates",
+            help="Updates dropped under the drop-coalesce policy",
+            fn=lambda: self.stats.dropped_updates,
+        )
         self._engine = engine
         self._scheduler = scheduler
         self.drain_interval = float(drain_interval)
@@ -493,6 +538,12 @@ class BackgroundWriter:
             self._cond.notify_all()
 
     def _apply(self, batch) -> None:
+        traces = self._trace_source() if self._trace_source else []
+        tracer = self._telemetry.tracer
+        # The most recent traced submission becomes the drain's active
+        # trace: the baton rides engine → executor → cluster pipe, so
+        # worker-side apply spans land in the submitter's trace.
+        tracer.set_active(traces[-1] if traces else None)
         started = time.perf_counter()
         try:
             with self._apply_lock:
@@ -503,7 +554,19 @@ class BackgroundWriter:
             # _on_failure for the requeue/failover split.
             self._on_failure(exc, batch)
             return
+        finally:
+            tracer.set_active(None)
         elapsed = time.perf_counter() - started
+        self._drain_hist.observe(elapsed)
+        for trace_id in traces:
+            tracer.record(
+                "drain.apply",
+                trace_id,
+                elapsed,
+                fan_in=len(traces),
+                updates=len(batch),
+                groups=groups,
+            )
         with self._cond:
             self._inflight = 0
             self._resume_backoff = 0

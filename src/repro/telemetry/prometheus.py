@@ -1,0 +1,160 @@
+"""Prometheus text-format exposition (and a minimal parser for tests).
+
+:func:`render_prometheus` walks a :class:`~.registry.MetricRegistry`
+and emits text-format 0.0.4 — ``# TYPE`` lines, cumulative
+``_bucket{le="..."}`` series for histograms, plus ``_sum``/``_count``.
+Callback gauges are evaluated at render time; non-finite values are
+emitted as Prometheus ``NaN``.
+
+:func:`parse_prometheus_text` is the deliberately small inverse used by
+the test suite and the CI smoke leg to *validate* a live scrape: it
+understands comments, the ``name{labels} value`` sample shape, and
+returns per-family type + samples.  It is not a general client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_prometheus", "parse_prometheus_text", "CONTENT_TYPE"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_OK.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry) -> str:
+    """Text-format 0.0.4 exposition of every registered instrument."""
+    lines: List[str] = []
+    for instrument in registry.collect():
+        name = _sanitize(instrument.name)
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if instrument.kind == "histogram":
+            cumulative = 0
+            counts = instrument.bucket_counts()
+            for bound, count in zip(instrument.buckets, counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += counts[-1] if counts else 0
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+        else:
+            lines.append(f"{name} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict]:
+    """Parse a text-format scrape into ``{family: {type, samples}}``.
+
+    ``samples`` maps ``(sample_name, labels_tuple)`` to a float value,
+    where ``labels_tuple`` is a sorted tuple of ``(key, value)`` pairs.
+    Raises ``ValueError`` on any line it cannot understand — the CI
+    smoke leg uses this as a validity gate, so unparseable output must
+    fail loudly, not silently skip.
+    """
+    families: Dict[str, Dict] = {}
+    declared_type: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared_type[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable prometheus sample: {raw!r}")
+        sample_name = match.group("name")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if match.group("labels"):
+            labels = tuple(
+                sorted(
+                    (m.group("key"), m.group("value"))
+                    for m in _LABEL.finditer(match.group("labels"))
+                )
+            )
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        elif value_text == "NaN":
+            value = float("nan")
+        else:
+            value = float(value_text)
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(
+                suffix
+            ) else None
+            if base and base in declared_type:
+                family = base
+                break
+        entry = families.setdefault(
+            family,
+            {"type": declared_type.get(family, "untyped"), "samples": {}},
+        )
+        entry["samples"][(sample_name, labels)] = value
+    return families
+
+
+def validate_scrape(text: str) -> Dict[str, int]:
+    """Parse + sanity-check a scrape; returns summary counts.
+
+    Used by the CI front-door smoke leg: every histogram family must
+    have a ``+Inf`` bucket whose value equals its ``_count``.
+    """
+    families = parse_prometheus_text(text)
+    histograms = 0
+    for name, entry in families.items():
+        if entry["type"] != "histogram":
+            continue
+        histograms += 1
+        samples = entry["samples"]
+        inf_bucket: Optional[float] = None
+        count: Optional[float] = None
+        for (sample_name, labels), value in samples.items():
+            if sample_name == f"{name}_bucket" and (
+                ("le", "+Inf") in labels
+            ):
+                inf_bucket = value
+            if sample_name == f"{name}_count":
+                count = value
+        if inf_bucket is None or count is None or inf_bucket != count:
+            raise ValueError(
+                f"histogram {name} +Inf bucket ({inf_bucket}) does not "
+                f"match count ({count})"
+            )
+    return {"families": len(families), "histograms": histograms}

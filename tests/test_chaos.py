@@ -303,3 +303,63 @@ class TestSingleFaultKinds:
             assert np.array_equal(final, expected)
         finally:
             service.close()
+
+
+class TestFlightRecorder:
+    def test_quarantine_writes_flight_files(self, workload, tmp_path):
+        """A poison batch leaves a post-mortem trail on disk: the pool
+        dumps its event ring on the quarantine and the service dumps
+        again on degraded-mode entry, each a well-formed JSON snapshot
+        in the configured flight directory."""
+        import json as _json
+
+        from repro.serving import ServiceConfig, TelemetryConfig
+
+        graph, scores, updates, _ = workload
+        config = ServiceConfig(
+            damping=CFG.damping,
+            iterations=CFG.iterations,
+            shard_rows=16,
+            executor="process",
+            workers=2,
+            degraded_policy="reject",
+            executor_options={
+                "fault_plan": FaultPlan(
+                    actions=(
+                        FaultAction(
+                            kind="poison", worker_id=0, at_command=3
+                        ),
+                    )
+                )
+            },
+            telemetry=TelemetryConfig(flight_dir=str(tmp_path)),
+        )
+        service = SimRankService(
+            graph.copy(), config, initial_scores=scores.copy()
+        )
+        try:
+            _drive(service, updates)
+            assert service.degraded
+            report = service.metrics_report()
+            assert (
+                report["executor"]["supervisor"]["quarantined_batches"] == 1
+            )
+            dumps = sorted(p.name for p in tmp_path.glob("flight-*.json"))
+            reasons = {name.split("-")[-2] for name in dumps}
+            assert "quarantine" in reasons, dumps
+            assert "degraded" in reasons, dumps
+            for path in tmp_path.glob("flight-*.json"):
+                payload = _json.loads(path.read_text())
+                assert set(payload) == {
+                    "reason",
+                    "pid",
+                    "dumped_at",
+                    "events",
+                }
+                assert isinstance(payload["events"], list)
+                for event in payload["events"]:
+                    assert set(event) == {"time", "kind", "fields"}
+            # The flight gauges agree with what's on disk.
+            assert report["telemetry"]["flight"]["dumps"] >= 2
+        finally:
+            service.close()

@@ -723,3 +723,236 @@ class TestProtocol:
             )
         finally:
             service.close()
+
+
+# ------------------------------------------------------------------ #
+# Telemetry over the wire
+# ------------------------------------------------------------------ #
+
+
+class TestTelemetryWire:
+    def test_explicit_trace_id_spans_query_path(self, workload):
+        """A client-supplied ``X-Trace-Id`` is force-sampled and every
+        layer the request crosses lands a span under it: the admission
+        wait, the snapshot pin, the vectorized execute, and the front
+        door dispatch itself."""
+        service = _service(workload)
+
+        async def body(door):
+            async with HTTPClient(door.host, door.port) as client:
+                status, body_json = await client.request(
+                    "POST",
+                    "/query",
+                    {"kind": "similarity", "node_a": 1, "node_b": 2},
+                    headers={"X-Trace-Id": "trace-e2e-query"},
+                )
+                assert status == 200
+                assert body_json["trace_id"] == "trace-e2e-query"
+                status, traces = await client.request(
+                    "GET", "/traces?trace_id=trace-e2e-query"
+                )
+                assert status == 200
+                names = [span["name"] for span in traces["spans"]]
+                for expected in (
+                    "admission.wait",
+                    "admission.pin",
+                    "admission.execute",
+                    "frontdoor.query",
+                ):
+                    assert expected in names, names
+                execute = traces["spans"][names.index("admission.execute")]
+                assert execute["attrs"]["batch_size"] >= 1  # fan-in
+                for span in traces["spans"]:
+                    assert span["trace_id"] == "trace-e2e-query"
+                    assert span["duration_ms"] >= 0.0
+            return True
+
+        try:
+            assert asyncio.run(_with_door(service, body))
+        finally:
+            service.close()
+
+    def test_update_trace_reaches_drain(self, workload):
+        """An ``X-Trace-Id`` on POST /updates follows the accepted
+        updates through the background drain: the flush-side apply span
+        lands in the same trace the client named."""
+        graph, _, _ = workload
+        edge = next(iter(graph.edges()))
+        service = _service(workload)
+
+        async def body(door):
+            async with HTTPClient(door.host, door.port) as client:
+                status, body_json = await client.request(
+                    "POST",
+                    "/updates",
+                    {"updates": [["delete", *edge]]},
+                    headers={"X-Trace-Id": "trace-e2e-update"},
+                )
+                assert status == 200
+                assert body_json["accepted"] == 1
+                assert body_json["trace_id"] == "trace-e2e-update"
+                status, _ = await client.request("POST", "/flush", {})
+                assert status == 200
+                status, traces = await client.request(
+                    "GET", "/traces?trace_id=trace-e2e-update"
+                )
+                assert status == 200
+                names = [span["name"] for span in traces["spans"]]
+                assert "updates.submit" in names, names
+                assert "drain.apply" in names, names
+                drain = traces["spans"][names.index("drain.apply")]
+                assert drain["attrs"]["updates"] >= 1
+            return True
+
+        try:
+            assert asyncio.run(_with_door(service, body))
+        finally:
+            service.close()
+
+    def test_worker_apply_spans_join_the_trace(self, workload):
+        """With the process executor the trace crosses the cluster
+        pipe: command headers carry the id and the parent materialises
+        per-worker ``worker.apply`` spans from the replies."""
+        graph, scores, _ = workload
+        edge = next(iter(graph.edges()))
+        service = SimRankService(
+            graph.copy(),
+            CFG,
+            initial_scores=scores.copy(),
+            executor="process",
+            workers=2,
+            shard_rows=16,
+        )
+
+        async def body(door):
+            async with HTTPClient(door.host, door.port) as client:
+                status, body_json = await client.request(
+                    "POST",
+                    "/updates",
+                    {"updates": [["delete", *edge]]},
+                    headers={"X-Trace-Id": "trace-e2e-worker"},
+                )
+                assert status == 200
+                assert body_json["accepted"] == 1
+                status, _ = await client.request("POST", "/flush", {})
+                assert status == 200
+                # Batch replies are pipelined; a read is the sync point
+                # that collects them (and materialises worker spans).
+                status, _ = await client.request(
+                    "POST",
+                    "/query",
+                    {"kind": "similarity", "node_a": 0, "node_b": 1},
+                )
+                assert status == 200
+                status, traces = await client.request(
+                    "GET", "/traces?trace_id=trace-e2e-worker"
+                )
+                assert status == 200
+                spans = traces["spans"]
+                names = [span["name"] for span in spans]
+                assert "drain.apply" in names, names
+                workers = [s for s in spans if s["name"] == "worker.apply"]
+                assert workers, names
+                assert {w["attrs"]["worker"] for w in workers} <= {0, 1}
+                for span in workers:
+                    assert span["trace_id"] == "trace-e2e-worker"
+            return True
+
+        try:
+            assert asyncio.run(_with_door(service, body))
+        finally:
+            service.close()
+
+    def test_prometheus_scrape_and_legacy_json(self, workload):
+        """`/metrics?format=prometheus` serves valid text exposition;
+        the JSON default keeps every historical front-door key."""
+        from repro.telemetry import validate_scrape
+
+        service = _service(workload)
+
+        async def body(door):
+            async with HTTPClient(door.host, door.port) as client:
+                status, _ = await client.request(
+                    "POST",
+                    "/query",
+                    {"kind": "similarity", "node_a": 0, "node_b": 3},
+                )
+                assert status == 200
+                status, text = await client.request(
+                    "GET", "/metrics?format=prometheus", raw=True
+                )
+                assert status == 200
+                summary = validate_scrape(text)
+                assert summary["families"] > 10
+                assert summary["histograms"] >= 1
+                assert "repro_frontdoor_request_seconds_bucket" in text
+
+                status, report = await client.request("GET", "/metrics")
+                assert status == 200
+                frontdoor = report["frontdoor"]
+                assert set(frontdoor["admission"]) == {
+                    "window_seconds",
+                    "max_batch",
+                    "batches",
+                    "batched_queries",
+                    "mean_batch_size",
+                    "max_batch_seen",
+                }
+                assert set(frontdoor["sessions"]) == {
+                    "active",
+                    "max_sessions",
+                    "default_ttl_seconds",
+                    "created",
+                    "expired",
+                    "released",
+                    "pinned_bytes",
+                }
+                assert set(frontdoor["subscriptions"]) == {
+                    "active",
+                    "max_k",
+                    "polls",
+                    "deltas_pushed",
+                    "skipped_by_revision",
+                    "quiet_rounds",
+                }
+                assert "telemetry" in report
+            return True
+
+        try:
+            assert asyncio.run(_with_door(service, body))
+        finally:
+            service.close()
+
+    def test_unsampled_requests_carry_no_trace(self, workload):
+        """With sampling off, minted ids are dropped at the door:
+        responses carry no trace_id and the span ring stays empty."""
+        from repro.serving import TelemetryConfig
+
+        graph, scores, _ = workload
+        config = ServiceConfig(
+            damping=CFG.damping,
+            iterations=CFG.iterations,
+            telemetry=TelemetryConfig(trace_sample_rate=0.0),
+        )
+        service = SimRankService(
+            graph.copy(), config, initial_scores=scores.copy()
+        )
+
+        async def body(door):
+            async with HTTPClient(door.host, door.port) as client:
+                status, body_json = await client.request(
+                    "POST",
+                    "/query",
+                    {"kind": "similarity", "node_a": 1, "node_b": 2},
+                )
+                assert status == 200
+                assert "trace_id" not in body_json
+                status, traces = await client.request("GET", "/traces")
+                assert status == 200
+                assert traces["spans"] == []
+            return True
+
+        try:
+            assert asyncio.run(_with_door(service, body))
+        finally:
+            service.close()

@@ -1,0 +1,429 @@
+"""Tests for repro.telemetry: registry, tracing, flight, exposition.
+
+The contracts the telemetry subsystem promises:
+
+* **typed registry** — idempotent factories, thread-safe instruments,
+  callback gauges that re-bind to the latest owner;
+* **no-op mode** — a disabled registry hands out shared null
+  singletons whose hot-path methods allocate *nothing* (asserted with
+  ``tracemalloc``);
+* **deterministic sampling** — the CRC32 sampler gives every process
+  the same keep/drop verdict for a given trace id, and explicit ids
+  are always kept;
+* **exposition round-trip** — ``render_prometheus`` output parses back
+  through the minimal parser and survives ``validate_scrape``;
+* **flight recorder** — events ring-buffer, dumps are well-formed JSON
+  files, I/O failure is absorbed;
+* **report compatibility** — ``SimRankService.metrics_report()`` keeps
+  every pre-telemetry key (names asserted exactly) and only *adds* the
+  ``telemetry`` section; the front-door stats dicts rendered through
+  :class:`GaugeGroup` keep their historical key sets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tracemalloc
+import uuid
+
+import numpy as np
+import pytest
+
+from repro import SimRankConfig
+from repro.graph.generators import erdos_renyi_digraph
+from repro.graph.updates import EdgeUpdate
+from repro.serving import ServiceConfig, SimRankService, TelemetryConfig
+from repro.simrank.matrix import matrix_simrank
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_TELEMETRY,
+    FlightRecorder,
+    GaugeGroup,
+    MetricRegistry,
+    Telemetry,
+    Tracer,
+    parse_prometheus_text,
+    render_prometheus,
+    trace_sampled,
+    validate_scrape,
+)
+
+CFG = SimRankConfig(damping=0.6, iterations=7)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = erdos_renyi_digraph(30, 0.1, seed=11)
+    scores = matrix_simrank(graph, CFG)
+    return graph, scores
+
+
+# ------------------------------------------------------------------ #
+# Registry
+# ------------------------------------------------------------------ #
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c", help="a counter")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        gauge = registry.gauge("g")
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+        hist = registry.histogram("h")
+        hist.observe(0.002)
+        hist.observe(0.003)
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(0.005)
+
+    def test_factories_idempotent_by_name(self):
+        registry = MetricRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+        names = [i.name for i in registry.collect()]
+        assert names == sorted(names) == ["x", "y", "z"]
+
+    def test_callback_gauge_rebinds_to_latest_owner(self):
+        registry = MetricRegistry()
+        registry.gauge("depth", fn=lambda: 1.0)
+        assert registry.gauge("depth").value == 1.0
+        # A restarted owner re-registers under the same name; the gauge
+        # must read the live object, not the dead one.
+        registry.gauge("depth", fn=lambda: 2.0)
+        assert registry.gauge("depth").value == 2.0
+
+    def test_callback_failure_reads_nan_not_raises(self):
+        registry = MetricRegistry()
+
+        def broken():
+            raise RuntimeError("owner is gone")
+
+        gauge = registry.gauge("dead", fn=broken)
+        assert np.isnan(gauge.value)
+
+    def test_histogram_percentiles_bracket_the_data(self):
+        hist = MetricRegistry().histogram("lat")
+        for value in np.linspace(0.001, 0.1, 500):
+            hist.observe(float(value))
+        digest = hist.summary()
+        assert digest["count"] == 500
+        # Interpolated percentiles are bucket-approximate; they must be
+        # ordered and inside the observed range.
+        assert 0.001 <= digest["p50"] <= digest["p95"] <= digest["p99"]
+        assert digest["p99"] <= digest["max"] == pytest.approx(0.1)
+        assert digest["p50"] == pytest.approx(0.05, rel=0.6)
+
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        registry = MetricRegistry(enabled=False)
+        counter = registry.counter("a")
+        assert counter is registry.counter("b")
+        counter.inc()
+        assert counter.value == 0.0
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        assert hist.count == 0
+        assert registry.collect() == []
+
+    def test_noop_hot_path_allocates_nothing(self):
+        registry = NULL_TELEMETRY.registry
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h")
+        tracer = NULL_TELEMETRY.tracer
+        flight = NULL_TELEMETRY.flight
+
+        def hot_loop():
+            for _ in range(1000):
+                counter.inc()
+                gauge.set(1.0)
+                hist.observe(0.5)
+                tracer.record("span", None, 0.5)
+                flight.record("event")
+
+        hot_loop()  # warm up code objects / caches
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            hot_loop()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
+
+
+class TestGaugeGroup:
+    def test_report_matches_registry_gauges(self):
+        registry = MetricRegistry()
+
+        class Stats:
+            hits = 3
+            misses = 1
+
+        stats = Stats()
+        group = GaugeGroup(registry, "repro_test")
+        group.expose("hits", lambda: stats.hits)
+        group.expose("misses", lambda: stats.misses)
+        assert group.report() == {"hits": 3, "misses": 1}
+        assert registry.get("repro_test_hits").value == 3
+        stats.hits = 9  # one set of readers backs both surfaces
+        assert group.report()["hits"] == 9
+        assert registry.get("repro_test_hits").value == 9
+
+
+# ------------------------------------------------------------------ #
+# Tracing
+# ------------------------------------------------------------------ #
+
+
+class TestSampling:
+    def test_deterministic_and_boundary_rates(self):
+        trace_id = "abc123"
+        assert trace_sampled(trace_id, 1.0)
+        assert not trace_sampled(trace_id, 0.0)
+        verdicts = {trace_sampled(trace_id, 0.5) for _ in range(10)}
+        assert len(verdicts) == 1  # same id, same verdict, every time
+
+    def test_sample_rate_is_roughly_honored(self):
+        kept = sum(
+            trace_sampled(uuid.uuid4().hex, 0.25) for _ in range(2000)
+        )
+        assert 0.15 < kept / 2000 < 0.35
+
+    def test_explicit_ids_bypass_sampling(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.admit("user-named-trace") == "user-named-trace"
+        assert tracer.sampled("user-named-trace")
+        # Minted ids at rate 0.0 are dropped entirely.
+        assert tracer.admit(None) is None
+
+
+class TestTracer:
+    def test_span_and_record_export(self):
+        tracer = Tracer()
+        with tracer.span("work", "t1", stage="test"):
+            pass
+        tracer.record("apply", "t1", 0.25, worker=3)
+        tracer.record("other", "t2", 0.1)
+        spans = tracer.export("t1")
+        assert [span["name"] for span in spans] == ["work", "apply"]
+        assert spans[1]["duration_ms"] == pytest.approx(250.0)
+        assert spans[1]["attrs"] == {"worker": 3, "plans": 1} or spans[1][
+            "attrs"
+        ] == {"worker": 3}
+        assert len(tracer.export()) == 3
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            tracer.record("s", f"t{index}", 0.001)
+        assert len(tracer.export()) == 4
+        assert tracer.spans_recorded == 10
+        assert tracer.spans_dropped == 6
+
+    def test_active_baton(self):
+        tracer = Tracer()
+        assert tracer.active() is None
+        tracer.set_active("t9")
+        assert tracer.active() == "t9"
+        tracer.set_active(None)
+        assert tracer.active() is None
+
+
+# ------------------------------------------------------------------ #
+# Prometheus exposition
+# ------------------------------------------------------------------ #
+
+
+class TestPrometheus:
+    def test_render_parse_validate_round_trip(self):
+        registry = MetricRegistry()
+        registry.counter("repro_reqs", help="requests").inc(5)
+        registry.gauge("repro_depth", fn=lambda: 3.0)
+        hist = registry.histogram("repro_lat", help="latency")
+        for value in (0.0002, 0.004, 0.004, 2.0):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        families = parse_prometheus_text(text)
+        assert families["repro_reqs"]["type"] == "counter"
+        assert families["repro_reqs"]["samples"][("repro_reqs", ())] == 5.0
+        assert families["repro_depth"]["samples"][("repro_depth", ())] == 3.0
+        lat = families["repro_lat"]
+        assert lat["type"] == "histogram"
+        assert lat["samples"][("repro_lat_count", ())] == 4.0
+        assert lat["samples"][("repro_lat_sum", ())] == pytest.approx(
+            2.0082
+        )
+        # Buckets are cumulative and the +Inf bucket equals the count.
+        inf = lat["samples"][("repro_lat_bucket", (("le", "+Inf"),))]
+        assert inf == 4.0
+        summary = validate_scrape(text)
+        assert summary == {"families": 3, "histograms": 1}
+
+    def test_bucket_counts_are_cumulative(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            hist.observe(value)
+        samples = parse_prometheus_text(render_prometheus(registry))["h"][
+            "samples"
+        ]
+        by_bound = {
+            labels[0][1]: value
+            for (name, labels), value in samples.items()
+            if name == "h_bucket"
+        }
+        assert by_bound["0.001"] == 1.0
+        assert by_bound["0.01"] == 2.0
+        assert by_bound["0.1"] == 3.0
+        assert by_bound["+Inf"] == 4.0
+
+    def test_unparseable_scrape_fails_loudly(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not prometheus")
+
+
+# ------------------------------------------------------------------ #
+# Flight recorder
+# ------------------------------------------------------------------ #
+
+
+class TestFlightRecorder:
+    def test_dump_file_format(self, tmp_path):
+        flight = FlightRecorder(capacity=8, directory=str(tmp_path))
+        for index in range(12):  # overflow the ring
+            flight.record("tick", index=index)
+        path = flight.dump("unit-test")
+        assert path is not None and os.path.exists(path)
+        assert os.path.basename(path).startswith("flight-")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["reason"] == "unit-test"
+        assert payload["pid"] == os.getpid()
+        assert len(payload["events"]) == 8  # bounded ring
+        assert payload["events"][-1] == {
+            "time": payload["events"][-1]["time"],
+            "kind": "tick",
+            "fields": {"index": 11},
+        }
+        second = flight.dump("unit-test")
+        assert second != path  # sequence number advances
+        assert flight.report()["dumps"] == 2
+
+    def test_unwritable_directory_is_absorbed(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file, not a directory")
+        flight = FlightRecorder(directory=str(target))
+        flight.record("tick")
+        assert flight.dump("unit-test") is None
+        assert flight.report()["dump_errors"] == 1
+
+    def test_disabled_recorder_is_inert(self, tmp_path):
+        flight = FlightRecorder(directory=str(tmp_path), enabled=False)
+        flight.record("tick")
+        assert flight.events() == []
+        assert flight.dump("nope") is None
+        assert list(tmp_path.iterdir()) == []
+
+
+# ------------------------------------------------------------------ #
+# Service integration: report compatibility + config plumbing
+# ------------------------------------------------------------------ #
+
+
+class TestServiceIntegration:
+    def test_metrics_report_keys_unchanged_plus_telemetry(self, workload):
+        graph, scores = workload
+        service = SimRankService(
+            graph.copy(), CFG, initial_scores=scores.copy()
+        )
+        try:
+            service.submit(EdgeUpdate.insert(0, 7))
+            service.drain()
+            report = service.metrics_report()
+            # The pre-telemetry surface, exactly — consumers parse these.
+            # ("topk" joins only when a top-k index is configured.)
+            assert set(report) == {
+                "version",
+                "queue_depth",
+                "pending_targets",
+                "scheduler",
+                "executor",
+                "precision",
+                "degraded",
+                "telemetry",
+            }
+            assert set(report["scheduler"]) == {
+                "submitted",
+                "cancelled_pairs",
+                "drained_updates",
+                "drained_batches",
+                "drained_groups",
+                "max_drained_groups",
+                "coalescing_ratio",
+            }
+            telemetry = report["telemetry"]
+            assert telemetry["enabled"] is True
+            assert set(telemetry) == {
+                "enabled",
+                "tracing",
+                "flight",
+                "histograms",
+            }
+            # The executor stage digest rides the new bounded window.
+            recent = report["executor"]["recent_plan_ms"]
+            assert recent["count"] >= 1
+            assert recent["p50"] <= recent["p99"]
+        finally:
+            service.close()
+
+    def test_disabled_telemetry_via_config(self, workload):
+        graph, scores = workload
+        config = ServiceConfig(
+            damping=CFG.damping,
+            iterations=CFG.iterations,
+            telemetry=TelemetryConfig(enabled=False),
+        )
+        service = SimRankService(
+            graph.copy(), config, initial_scores=scores.copy()
+        )
+        try:
+            service.submit(EdgeUpdate.insert(0, 9))
+            service.drain()
+            report = service.metrics_report()["telemetry"]
+            assert report["enabled"] is False
+            assert report["histograms"] == {}
+            assert service.telemetry.tracer.export() == []
+        finally:
+            service.close()
+
+    def test_telemetry_config_round_trips(self):
+        config = ServiceConfig(
+            telemetry=TelemetryConfig(
+                trace_sample_rate=0.25, flight_dir="/tmp/flights"
+            )
+        )
+        loaded = ServiceConfig.from_dict(config.to_dict())
+        assert loaded.telemetry == config.telemetry
+
+    def test_drain_span_lands_under_origin_trace(self, workload):
+        graph, scores = workload
+        service = SimRankService(
+            graph.copy(), CFG, initial_scores=scores.copy()
+        )
+        try:
+            service.note_origin_trace("origin-1")
+            service.submit(EdgeUpdate.insert(1, 8))
+            service.drain()
+            spans = service.telemetry.tracer.export("origin-1")
+            names = [span["name"] for span in spans]
+            assert "drain.apply" in names
+            drain = spans[names.index("drain.apply")]
+            assert drain["attrs"]["fan_in"] == 1
+            assert drain["attrs"]["updates"] >= 1
+        finally:
+            service.close()
