@@ -394,6 +394,95 @@ def run_telemetry_overhead(
     }
 
 
+def run_durability_overhead(
+    num_nodes: int = 2000,
+    num_updates: int = 100,
+    references: int = 12,
+    recency: float = 0.7,
+    seed: int = 7,
+    fsync: str = "interval",
+) -> Dict:
+    """Serving drain loop WAL-on (``fsync`` policy) vs WAL-off.
+
+    Both legs drain the identical update stream one update per drain
+    through :class:`~repro.serving.SimRankService` — the WAL-on leg
+    appends every acked drain before publishing it (the ack-after-
+    append seam the durability layer adds).  Alternating rounds keep
+    the faster of two runs per leg (same bias suppression as the other
+    overhead sections).  ``overhead_ratio`` is on-mean / off-mean and
+    the caller gates it with ``--max-durability-ratio``.
+
+    The on-leg also times a time-travel pass — ``top_k_at`` against
+    every retained checkpoint version — reported as
+    ``time_travel.mean_seconds`` (not gated; checkpoint-load plus
+    WAL-replay cost is the measurement, regressions show in trend).
+    """
+    import shutil
+    import tempfile
+
+    from ..serving import DurabilityConfig, SimRankService
+
+    graph, config, initial, updates = _workload(
+        num_nodes, num_updates, references, recency, seed
+    )
+
+    def _drain_leg(durability):
+        service = SimRankService(
+            graph.copy(),
+            config,
+            initial_scores=initial.copy(),
+            durability=durability,
+        )
+        seconds: List[float] = []
+        try:
+            for update in updates:
+                service.submit(update)
+                started = time.perf_counter()
+                service.drain()
+                seconds.append(time.perf_counter() - started)
+            travel = []
+            if durability is not None:
+                for version in service.durability.retained_versions():
+                    started = time.perf_counter()
+                    service.top_k_at(100, version)
+                    travel.append(time.perf_counter() - started)
+            return seconds, travel
+        finally:
+            service.close()
+
+    def _on_leg():
+        data_dir = tempfile.mkdtemp(prefix="repro-durability-gate-")
+        try:
+            # Default checkpoint cadence: the gate measures the
+            # per-drain WAL tax, not checkpoint cost (that shows up
+            # in the ungated time-travel section instead).
+            return _drain_leg(
+                DurabilityConfig(data_dir=data_dir, fsync=fsync)
+            )
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+    on_seconds, travel = _on_leg()
+    off_seconds, _ = _drain_leg(None)
+    on_again, travel_again = _on_leg()
+    off_again, _ = _drain_leg(None)
+    if sum(on_again) < sum(on_seconds):
+        on_seconds, travel = on_again, travel_again
+    off = min(off_seconds, off_again, key=sum)
+    report = {
+        "fsync": fsync,
+        "wal_on": _summary(on_seconds),
+        "wal_off": _summary(off),
+        "overhead_ratio": (
+            statistics.fmean(on_seconds) / statistics.fmean(off)
+        ),
+    }
+    if travel:
+        report["time_travel"] = _summary(travel)
+        report["time_travel"]["versions"] = len(travel)
+    return report
+
+
 def _summary(seconds: List[float]) -> Dict[str, float]:
     return {
         "mean_seconds": statistics.fmean(seconds),
@@ -503,6 +592,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "and fail when the on/off mean-latency ratio exceeds this "
         "(the report records both legs)",
     )
+    parser.add_argument(
+        "--durability",
+        action="store_true",
+        help="also run the serving drain loop WAL-on vs WAL-off (plus "
+        "a time-travel read pass) and gate the on/off mean-latency "
+        "ratio with --max-durability-ratio",
+    )
+    parser.add_argument(
+        "--max-durability-ratio",
+        type=float,
+        default=1.10,
+        help="fail when the WAL-on mean drain latency exceeds WAL-off "
+        "times this (--durability only)",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "off"),
+        default="interval",
+        help="WAL fsync policy for the --durability on-leg",
+    )
     args = parser.parse_args(argv)
 
     report = run_perf_gate(
@@ -520,6 +629,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             references=args.references,
             recency=args.recency,
             seed=args.seed,
+        )
+    if args.durability:
+        report["durability_overhead"] = run_durability_overhead(
+            num_nodes=args.nodes,
+            num_updates=args.updates,
+            references=args.references,
+            recency=args.recency,
+            seed=args.seed,
+            fsync=args.fsync,
         )
     if args.precision_curve:
         report["precision_curve"] = run_precision_curve(
@@ -610,6 +728,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"PERF GATE FAIL: telemetry-on mean latency is "
                 f"{overhead['overhead_ratio']:.3f}x telemetry-off "
                 f"(max {args.max_telemetry_ratio:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+    durability = report.get("durability_overhead")
+    if durability is not None:
+        travel = durability.get("time_travel")
+        travel_note = (
+            f", time travel {travel['mean_seconds'] * 1e3:.1f} ms/version "
+            f"over {travel['versions']} versions"
+            if travel
+            else ""
+        )
+        print(
+            f"durability overhead (fsync={durability['fsync']}): "
+            f"{durability['wal_on']['mean_seconds'] * 1e3:.2f} ms on vs "
+            f"{durability['wal_off']['mean_seconds'] * 1e3:.2f} ms off "
+            f"per drain ({durability['overhead_ratio']:.3f}x){travel_note}"
+        )
+        if durability["overhead_ratio"] > args.max_durability_ratio:
+            print(
+                f"PERF GATE FAIL: WAL-on mean drain latency is "
+                f"{durability['overhead_ratio']:.3f}x WAL-off "
+                f"(max {args.max_durability_ratio:.2f}x)",
                 file=sys.stderr,
             )
             return 1

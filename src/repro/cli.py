@@ -12,7 +12,7 @@ Commands
     ``+ source target`` or ``- source target`` per line.
 ``similar <edges.txt> <node> [-k 10]``
     Top-k most similar nodes to one node (single-source query).
-``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N] [--precision float32|auto] [--config service.json] [--http PORT]``
+``serve <edges.txt> <updates.txt> [-k 10] [--writer background] [--workers N] [--precision float32|auto] [--config service.json] [--http PORT] [--data-dir DIR]``
     Serving-layer demo: precompute scores, pin a read snapshot, queue
     the updates through the coalescing scheduler, drain them (inline,
     or via the background writer thread with ``--writer background``),
@@ -160,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
         "hard error)",
     )
     serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="enable durable persistence in DIR: every acked drain is "
+        "WAL'd before it is published, periodic checkpoints bound "
+        "recovery time, and a restart with the same DIR resumes "
+        "bit-identical to the last acked drain",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("always", "interval", "off"),
+        default="interval",
+        help="WAL fsync policy (--data-dir only): per-append, on a "
+        "timer, or OS page cache only",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=64,
+        metavar="DRAINS",
+        help="checkpoint every N WAL'd drains (--data-dir only)",
+    )
+    serve.add_argument(
         "--admission-window",
         type=float,
         default=None,
@@ -250,6 +273,14 @@ def _build_service(args: argparse.Namespace, graph):
             "workers": args.workers,
             "degraded_policy": args.degraded_policy,
         }
+    if args.data_dir is not None:
+        from .serving import DurabilityConfig
+
+        executor_kwargs["durability"] = DurabilityConfig(
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            checkpoint_interval=args.checkpoint_interval,
+        )
     if args.config is not None:
         # Subcommand flag defaults live on the serve subparser, not the
         # root, so recover them by parsing a placeholder command line.
@@ -305,6 +336,14 @@ def command_serve(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.edges)
     batch = load_update_file(args.updates)
     service = _build_service(args, graph)
+    if service.durability is not None:
+        manager = service.durability
+        print(
+            f"durability: data dir {manager.data_dir} "
+            f"(fsync={manager.config.fsync}, "
+            f"state version v{service.version})",
+            flush=True,
+        )
     if args.precision != "float64":
         store = service.engine.score_store
         plan = service.precision_plan

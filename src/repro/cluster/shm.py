@@ -143,6 +143,81 @@ def unregister_pool(manifest_path: str) -> None:
         pass
 
 
+def register_durability(data_dir: str) -> str:
+    """Record a live durability session's data dir; returns the path.
+
+    Durability manifests carry ``kind: "durability"`` so the reaper can
+    tell them from pool manifests (which predate the ``kind`` field and
+    are treated as pools when it is absent).  A dead owner's residue —
+    its ``wal.lock`` and any ``checkpoints/tmp-*`` scratch dirs a
+    SIGKILL interrupted mid-checkpoint — is reclaimed by
+    :func:`reap_orphans`, exactly like orphaned ``/dev/shm`` prefixes.
+    """
+    os.makedirs(MANIFEST_DIR, exist_ok=True)
+    token = f"durability{os.getpid():x}x{os.urandom(4).hex()}"
+    path = os.path.join(MANIFEST_DIR, f"{token}.json")
+    payload = {
+        "pid": os.getpid(),
+        "kind": "durability",
+        "data_dir": os.path.abspath(data_dir),
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+    return path
+
+
+def _sweep_durability(data_dir: str, owner_pid: int) -> int:
+    """Reclaim a dead durability owner's lock + checkpoint scratch dirs.
+
+    Only removes the ``wal.lock`` when it still names a dead pid (the
+    dead owner's, or a successor's that also died) — a live successor
+    process may already hold a fresh lock in the same data dir, and
+    that one must survive the sweep.  Returns the number of filesystem
+    entries reclaimed.
+    """
+    removed = 0
+    lock_path = os.path.join(data_dir, "wal.lock")
+    try:
+        with open(lock_path, "r", encoding="utf-8") as fh:
+            lock_pid = int(fh.read().strip() or -1)
+    except (OSError, ValueError):
+        lock_pid = None
+    if lock_pid is not None and not _pid_alive(lock_pid):
+        try:
+            os.unlink(lock_path)
+            removed += 1
+        except OSError:
+            pass
+    tmp_root = os.path.join(data_dir, "checkpoints")
+    try:
+        entries = os.listdir(tmp_root)
+    except OSError:
+        entries = []
+    for entry in entries:
+        if not entry.startswith("tmp-"):
+            continue
+        scratch = os.path.join(tmp_root, entry)
+        for dirpath, dirnames, filenames in os.walk(scratch, topdown=False):
+            for name in filenames:
+                try:
+                    os.unlink(os.path.join(dirpath, name))
+                except OSError:
+                    pass
+            for name in dirnames:
+                try:
+                    os.rmdir(os.path.join(dirpath, name))
+                except OSError:
+                    pass
+        try:
+            os.rmdir(scratch)
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 def _pid_alive(pid: int) -> bool:
     try:
         os.kill(pid, 0)
@@ -159,11 +234,13 @@ def reap_orphans() -> int:
     """Sweep segments whose owning pool process is gone.
 
     Scans every manifest in :data:`MANIFEST_DIR`; for each one whose
-    recorded pid no longer exists, sweeps its segment prefix from
-    ``/dev/shm`` and removes the manifest.  Returns the number of
-    segments removed.  Called at pool startup and via ``atexit`` so
-    orphans from SIGKILL'd sessions are cleaned by the next session
-    rather than by chance.
+    recorded pid no longer exists, sweeps its residue — the segment
+    prefix from ``/dev/shm`` for pool manifests, the stale ``wal.lock``
+    and orphaned ``checkpoints/tmp-*`` scratch dirs for durability
+    manifests — and removes the manifest.  Returns the number of
+    entries removed.  Called at pool/durability startup and via
+    ``atexit`` so orphans from SIGKILL'd sessions are cleaned by the
+    next session rather than by chance.
     """
     removed = 0
     if not os.path.isdir(MANIFEST_DIR):
@@ -176,7 +253,11 @@ def reap_orphans() -> int:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             pid = int(payload["pid"])
-            prefix = str(payload["prefix"])
+            kind = str(payload.get("kind", "pool"))
+            if kind == "durability":
+                target = str(payload["data_dir"])
+            else:
+                target = str(payload["prefix"])
         except (OSError, ValueError, KeyError):
             # Unreadable manifest: drop it, but never guess a prefix.
             try:
@@ -186,7 +267,10 @@ def reap_orphans() -> int:
             continue
         if _pid_alive(pid):
             continue
-        removed += sweep_segments(prefix)
+        if kind == "durability":
+            removed += _sweep_durability(target, pid)
+        else:
+            removed += sweep_segments(target)
         try:
             os.unlink(path)
         except OSError:

@@ -1,0 +1,63 @@
+"""Durable low-rank persistence for the serving stack.
+
+Three pieces, one data directory:
+
+* :mod:`repro.durability.wal` — the checksummed append-only
+  write-ahead log of factored deltas (each acked drain's
+  ``PackedPlanBatch`` words plus its consolidated row updates, framed
+  with length + CRC32, with configurable fsync and rotation).
+* :mod:`repro.durability.checkpoint` — atomic base checkpoints: the
+  score shards dtype-exact, the packed ``Q`` snapshot, an optional
+  SVD-truncated factor history, published by manifest rename.
+* :mod:`repro.durability.manager` — the orchestration: recovery on
+  startup (bit-identical to the last acked drain), per-drain appends
+  on the ack path, periodic checkpoints with retention, and
+  time-travel materialization of any retained historical version.
+
+Enable it with ``SimRankService(graph, durability="/path/to/dir")``
+(or a full :class:`~repro.serving.config.DurabilityConfig`), or
+``python -m repro serve ... --data-dir /path/to/dir``.
+"""
+
+from .checkpoint import (
+    CheckpointData,
+    graph_from_packed,
+    list_checkpoints,
+    load_checkpoint,
+    read_manifest,
+    summarize_history,
+    write_checkpoint,
+    write_manifest,
+)
+from .manager import DurabilityManager, RecoveredState
+from .wal import (
+    FSYNC_POLICIES,
+    KIND_ADD_NODE,
+    KIND_BATCH,
+    WalFrame,
+    WriteAheadLog,
+    decode_frames,
+    encode_add_node_frame,
+    encode_batch_frame,
+)
+
+__all__ = [
+    "CheckpointData",
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "KIND_ADD_NODE",
+    "KIND_BATCH",
+    "RecoveredState",
+    "WalFrame",
+    "WriteAheadLog",
+    "decode_frames",
+    "encode_add_node_frame",
+    "encode_batch_frame",
+    "graph_from_packed",
+    "list_checkpoints",
+    "load_checkpoint",
+    "read_manifest",
+    "summarize_history",
+    "write_checkpoint",
+    "write_manifest",
+]

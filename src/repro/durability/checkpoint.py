@@ -1,0 +1,381 @@
+"""Atomic factored checkpoints: base score shards + packed ``Q``.
+
+A checkpoint is the replay base the WAL's delta frames build on: the
+score shards exactly as the :class:`~repro.executor.score_store.ScoreStore`
+holds them (per-shard storage dtype preserved — a float32 shard is
+saved as float32 and restores bit-identically via the exact
+float32→float64→float32 round trip) plus the packed
+:class:`~repro.linalg.qstore.TransitionSnapshot` payload, from which
+both ``Q`` *and* the graph are rebuilt (row ``i`` of the backward CSR
+lists ``i``'s in-neighbors; ``TransitionStore.from_graph`` is
+deterministic, so the rebuilt ``Q`` is bit-identical too).
+
+Publication is atomic at two levels: each checkpoint is written into a
+``checkpoints/tmp-*`` scratch directory, fsynced, and ``os.rename``d
+to its final ``ckpt-<version>`` name; the data dir's ``MANIFEST`` is
+then rewritten via the tmp + ``os.replace`` pattern.  A crash at any
+byte offset leaves either the old manifest (pointing at complete
+checkpoints) or the new one — never a half-written checkpoint that a
+restart could load.
+
+The optional ``history.npz`` is the git_theta idea applied to the
+drain stream: every plan since the previous checkpoint contributes
+factor pairs ``ξ·ηᵀ + η·ξᵀ``; stacked over the drains they form a
+low-rank panel pair whose product is the whole inter-checkpoint score
+delta.  QR-compress both panels, SVD the small core, truncate at a
+rank/threshold, and the accumulated history survives as one compact
+``R @ C`` pair per checkpoint — an audit trail (and a future
+delta-shipping payload) that costs far less than the raw log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import CorruptLogError
+from ..graph import DynamicDiGraph
+
+__all__ = [
+    "CheckpointData",
+    "checkpoint_path",
+    "graph_from_packed",
+    "list_checkpoints",
+    "load_checkpoint",
+    "read_manifest",
+    "summarize_history",
+    "write_checkpoint",
+    "write_manifest",
+]
+
+MANIFEST_NAME = "MANIFEST"
+CHECKPOINT_DIRNAME = "checkpoints"
+_CKPT_PREFIX = "ckpt-"
+_TMP_PREFIX = "tmp-"
+MANIFEST_FORMAT = 1
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def checkpoint_path(data_dir: str, version: int) -> str:
+    return os.path.join(
+        data_dir, CHECKPOINT_DIRNAME, f"{_CKPT_PREFIX}{version:016d}"
+    )
+
+
+def list_checkpoints(data_dir: str) -> List[Tuple[int, str]]:
+    """``(version, path)`` of every published checkpoint, ascending."""
+    root = os.path.join(data_dir, CHECKPOINT_DIRNAME)
+    out: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return out
+    for name in names:
+        if not name.startswith(_CKPT_PREFIX):
+            continue
+        try:
+            version = int(name[len(_CKPT_PREFIX) :])
+        except ValueError:
+            continue
+        out.append((version, os.path.join(root, name)))
+    out.sort()
+    return out
+
+
+# ------------------------------------------------------------------ #
+# Manifest
+# ------------------------------------------------------------------ #
+
+
+def read_manifest(data_dir: str) -> Optional[dict]:
+    """The published manifest, or None when the dir is fresh/unused."""
+    path = os.path.join(data_dir, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        # The manifest is written atomically, so a damaged one is not
+        # crash residue — refuse to guess, like a mid-log CRC failure.
+        raise CorruptLogError(
+            f"unreadable durability manifest {path}: {exc}", path=path
+        ) from None
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise CorruptLogError(
+            f"unsupported manifest format {manifest.get('format')!r} "
+            f"in {path}",
+            path=path,
+        )
+    return manifest
+
+
+def write_manifest(data_dir: str, retained_versions: List[int]) -> None:
+    """Atomically publish the retained-checkpoint list."""
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "latest": max(retained_versions),
+        "retained": sorted(retained_versions),
+        "written_at": time.time(),
+    }
+    path = os.path.join(data_dir, MANIFEST_NAME)
+    tmp = path + f".tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(data_dir)
+
+
+# ------------------------------------------------------------------ #
+# Checkpoint write / load
+# ------------------------------------------------------------------ #
+
+
+@dataclass
+class CheckpointData:
+    """One loaded checkpoint, ready to seed a replay."""
+
+    version: int
+    meta: dict
+    #: Shard blocks in saved order, each in its storage dtype.
+    shards: List[np.ndarray] = field(default_factory=list)
+    #: ``TransitionStore.export_packed()`` payload.
+    packed_q: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Optional SVD-truncated factor history (``history.npz`` payload).
+    history: Optional[dict] = None
+
+
+def write_checkpoint(
+    data_dir: str,
+    *,
+    version: int,
+    score_store,
+    transition_store,
+    damping: float,
+    iterations: int,
+    history: Optional[dict] = None,
+) -> str:
+    """Write and atomically publish one checkpoint; returns its path.
+
+    Caller must hold the apply lock (or otherwise guarantee the stores
+    are quiescent) — the shard blocks are copied here, so the lock is
+    only held for the copy + serialization, not for later reads.
+    """
+    root = os.path.join(data_dir, CHECKPOINT_DIRNAME)
+    os.makedirs(root, exist_ok=True)
+    final = checkpoint_path(data_dir, version)
+    tmp = os.path.join(root, f"{_TMP_PREFIX}{os.getpid()}-{version:016d}")
+    os.makedirs(tmp, exist_ok=True)
+
+    shard_arrays = {}
+    shard_dtypes = []
+    for index, (_base, block) in enumerate(score_store.iter_shard_blocks()):
+        shard_arrays[f"shard_{index:05d}"] = np.ascontiguousarray(block)
+        shard_dtypes.append(block.dtype.name)
+    _savez(os.path.join(tmp, "scores.npz"), shard_arrays)
+
+    packed = transition_store.export_packed()
+    _savez(
+        os.path.join(tmp, "transitions.npz"),
+        {key: np.asarray(value) for key, value in packed.items()},
+    )
+
+    if history is not None:
+        _savez(
+            os.path.join(tmp, "history.npz"),
+            {key: np.asarray(value) for key, value in history.items()},
+        )
+
+    meta = {
+        "version": int(version),
+        "num_nodes": int(score_store.num_nodes),
+        "shard_rows": int(score_store.shard_rows),
+        "shard_dtypes": shard_dtypes,
+        "damping": float(damping),
+        "iterations": int(iterations),
+        "has_history": history is not None,
+        "created_at": time.time(),
+    }
+    meta_path = os.path.join(tmp, "meta.json")
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    _fsync_dir(tmp)
+
+    # Publish: one rename flips the whole directory from scratch to
+    # final.  A stale final dir (a retried version) is replaced.
+    if os.path.isdir(final):
+        _remove_tree(final)
+    os.rename(tmp, final)
+    _fsync_dir(root)
+    return final
+
+
+def _savez(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _remove_tree(path: str) -> None:
+    for dirpath, dirnames, filenames in os.walk(path, topdown=False):
+        for name in filenames:
+            try:
+                os.unlink(os.path.join(dirpath, name))
+            except OSError:
+                pass
+        for name in dirnames:
+            try:
+                os.rmdir(os.path.join(dirpath, name))
+            except OSError:
+                pass
+    try:
+        os.rmdir(path)
+    except OSError:
+        pass
+
+
+def load_checkpoint(path: str) -> CheckpointData:
+    """Load one published checkpoint directory."""
+    try:
+        with open(os.path.join(path, "meta.json"), "r", encoding="utf-8") as f:
+            meta = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise CorruptLogError(
+            f"unreadable checkpoint meta in {path}: {exc}", path=path
+        ) from None
+    try:
+        with np.load(os.path.join(path, "scores.npz")) as archive:
+            shards = [
+                archive[name] for name in sorted(archive.files)
+            ]
+        with np.load(os.path.join(path, "transitions.npz")) as archive:
+            packed_q = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError) as exc:
+        raise CorruptLogError(
+            f"unreadable checkpoint arrays in {path}: {exc}", path=path
+        ) from None
+    history = None
+    history_path = os.path.join(path, "history.npz")
+    if meta.get("has_history") and os.path.exists(history_path):
+        with np.load(history_path) as archive:
+            history = {name: archive[name] for name in archive.files}
+    return CheckpointData(
+        version=int(meta["version"]),
+        meta=meta,
+        shards=shards,
+        packed_q=packed_q,
+        history=history,
+    )
+
+
+def graph_from_packed(packed_q: Dict[str, np.ndarray]) -> DynamicDiGraph:
+    """Rebuild the graph from the packed backward-CSR structure.
+
+    Row ``i`` of ``Q`` lists the in-neighbors of ``i``: every column
+    ``j`` in row ``i`` is an edge ``j → i``.  The edge *weights* are
+    redundant (``1/indegree``, re-derived by ``from_packed`` /
+    ``from_graph``), so structure alone reproduces the store.
+    """
+    num_nodes = int(np.asarray(packed_q["num_nodes"]))
+    indptr = np.asarray(packed_q["indptr"])
+    indices = np.asarray(packed_q["indices"])
+    graph = DynamicDiGraph(num_nodes)
+    for target in range(num_nodes):
+        for source in indices[indptr[target] : indptr[target + 1]]:
+            graph.add_edge(int(source), target)
+    return graph
+
+
+# ------------------------------------------------------------------ #
+# Factor-history summarization (git_theta-style)
+# ------------------------------------------------------------------ #
+
+
+def summarize_history(
+    packed_batches,
+    num_nodes: int,
+    *,
+    max_rank: int = 32,
+    threshold: float = 1e-11,
+) -> Optional[dict]:
+    """SVD-truncate the factor pairs of a checkpoint interval.
+
+    ``packed_batches`` is the interval's drains as
+    :class:`~repro.incremental.plan.PackedPlanBatch` objects.  Each
+    plan contributes ``ξ·ηᵀ + η·ξᵀ`` per factor pair, so the summed
+    score delta restricted to the union support ``U`` factors exactly
+    as ``L @ Rᵀ`` with ``2R`` columns.  Both panels are QR-compressed,
+    the small ``2R×2R`` core is SVD'd, and singular values below
+    ``threshold`` (relative to the largest) — or beyond ``max_rank`` —
+    are dropped.  Returns the ``history.npz`` payload, or None when
+    the interval carried no factors.
+    """
+    supports: List[np.ndarray] = []
+    pairs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    for packed in packed_batches:
+        for plan in packed.plans():
+            for (l_idx, l_val), (r_idx, r_val) in zip(
+                plan.left_factors, plan.right_factors
+            ):
+                if l_idx.size == 0 or r_idx.size == 0:
+                    continue
+                supports.append(l_idx)
+                supports.append(r_idx)
+                pairs.append((l_idx, l_val, r_idx, r_val))
+    if not pairs:
+        return None
+    union = np.unique(np.concatenate(supports))
+    position = np.full(num_nodes, -1, dtype=np.int64)
+    position[union] = np.arange(union.size)
+    rank = len(pairs)
+    left_panel = np.zeros((union.size, 2 * rank), dtype=np.float64)
+    right_panel = np.zeros((union.size, 2 * rank), dtype=np.float64)
+    for k, (l_idx, l_val, r_idx, r_val) in enumerate(pairs):
+        rows = position[l_idx]
+        cols = position[r_idx]
+        # ξ·ηᵀ ...
+        left_panel[rows, k] = l_val
+        right_panel[cols, k] = r_val
+        # ... plus its transpose η·ξᵀ.
+        left_panel[cols, rank + k] = r_val
+        right_panel[rows, rank + k] = l_val
+    lq, lr = np.linalg.qr(left_panel)
+    rq, rr = np.linalg.qr(right_panel)
+    u, s, vh = np.linalg.svd(lr @ rr.T)
+    if s.size and s[0] > 0:
+        keep = int(np.count_nonzero(s > threshold * s[0]))
+    else:
+        keep = 0
+    keep = max(1, min(int(max_rank), keep if keep else 1))
+    left = lq @ (u[:, :keep] * s[:keep])
+    right = vh[:keep] @ rq.T
+    return {
+        "support": union,
+        "left": left,
+        "right": right,
+        "rank": np.int64(keep),
+        "raw_rank": np.int64(2 * rank),
+        "threshold": np.float64(threshold),
+    }

@@ -160,3 +160,41 @@ class ConvergenceError(ReproError, RuntimeError):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+
+
+class CorruptLogError(ReproError, RuntimeError):
+    """The write-ahead log is damaged beyond safe automatic repair.
+
+    A torn tail — a partial final frame left by a crash mid-append — is
+    *expected* damage and is silently truncated on recovery.  This
+    error covers everything else: a CRC mismatch, a bad magic, or an
+    impossible length in the *middle* of the log (valid frames follow
+    the damage), where truncating would silently discard drains the
+    service already acknowledged.  Recovery refuses to guess; the
+    operator decides whether to restore from an older checkpoint or
+    accept the loss explicitly.
+    """
+
+    def __init__(self, message: str, path: str = "", offset: int = -1) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class HistoryUnavailableError(ReproError, KeyError):
+    """A time-travel read asked for a version outside the retained window.
+
+    Raised by ``score_at(version)`` / ``top_k_at(version)`` when the
+    requested version predates the oldest retained checkpoint (pruned
+    by the retention policy), lies beyond the current live version, or
+    falls in a gap left by a durability failure.  The wire taxonomy
+    maps it to HTTP 404.
+    """
+
+    def __init__(self, message: str) -> None:
+        # KeyError repr()s its message; store it plainly for str().
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message

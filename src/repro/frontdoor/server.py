@@ -332,7 +332,7 @@ class FrontDoor:
 
     def _health(self) -> dict:
         service = self._service
-        return {
+        health = {
             "status": "degraded" if service.degraded else "ok",
             "version": service.version,
             "num_nodes": service.num_nodes,
@@ -341,6 +341,17 @@ class FrontDoor:
             "sessions": len(self.sessions),
             "subscribers": len(self.subscriptions),
         }
+        manager = service.durability
+        if manager is not None:
+            health["durability"] = {
+                "failed": manager.failed,
+                "fsync": manager.config.fsync,
+                "durable_version": manager.durable_version,
+                "last_checkpoint_version": manager.last_checkpoint_version,
+                "wal_bytes": manager.wal_bytes(),
+                "wal_lag_drains": manager.wal_lag_drains(),
+            }
+        return health
 
     async def _handle_query(self, request):
         query = QueryRequest.from_dict(request.json())
@@ -353,10 +364,33 @@ class FrontDoor:
         )
         if trace_id != query.trace_id:
             query = dataclasses.replace(query, trace_id=trace_id)
+        raw_version = request.query.get("version")
+        at_version = None
+        if raw_version is not None:
+            try:
+                at_version = int(raw_version)
+            except ValueError:
+                raise ProtocolError(
+                    f"version must be an integer: {raw_version!r}"
+                )
+            if query.session is not None:
+                raise ProtocolError(
+                    "?version= and a pinned session are mutually "
+                    "exclusive (both name a fixed view)"
+                )
         with tracer.span(
             "frontdoor.query", trace_id, kind=query.kind
         ):
-            if query.session is not None:
+            if at_version is not None:
+                # Time-travel read: materialize the historical view off
+                # the loop (checkpoint load + WAL replay can take a
+                # while), then compute off it like a pinned session.
+                def _travel():
+                    view = self._service.view_at(at_version)
+                    return run_query(view, query)
+
+                result = await self._run_blocking(_travel)
+            elif query.session is not None:
                 # Pinned-session routing: resolve the frozen view on the
                 # loop (the manager is loop-confined), compute off it.
                 view = self.sessions.get(query.session)

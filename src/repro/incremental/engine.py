@@ -214,6 +214,10 @@ class DynamicSimRank:
         self._topk_index = None
         self._history: List[UpdateStats] = []
         self._version = 0
+        # The most recent successful consolidated drain as
+        # ``(row_updates, plans)`` — what the durability layer frames
+        # into its write-ahead log (see :meth:`take_last_drain`).
+        self._last_drain = None
         # Failover bookkeeping: plans/row-updates whose graph + Q surgery
         # already happened but whose score application died with the pool.
         self._unapplied_plans: List = []
@@ -447,6 +451,7 @@ class DynamicSimRank:
         from .row_update import consolidate_batch, plan_composite_row_update
 
         started = time.perf_counter()
+        self._last_drain = None
         row_updates = consolidate_batch(batch, self._graph)
         batched = (
             self._plan_batching
@@ -488,8 +493,11 @@ class DynamicSimRank:
                 )
                 self._unapplied_row_updates = list(row_updates[index + 1 :])
                 raise
-            if batched:
-                plans.append(plan)
+            # Collected on *both* wire paths: the batched dispatch below
+            # ships them, and the durability layer frames them into the
+            # WAL either way (plan factors are fresh arrays — only the
+            # dropped diagnostics may alias pooled workspace).
+            plans.append(plan)
             row_update.apply_to(self._graph)
             # Row-granular surgery on the dual store (no CSR rebuild).
             self._store.set_row_from_graph(self._graph, row_update.target)
@@ -521,6 +529,7 @@ class DynamicSimRank:
                         raise
         elapsed = time.perf_counter() - started
         self._version += 1
+        self._last_drain = (tuple(row_updates), tuple(plans))
         for update in batch:
             self._history.append(
                 UpdateStats(
@@ -536,6 +545,29 @@ class DynamicSimRank:
             if problem is not None:
                 raise GraphError(f"paranoid check failed: {problem}")
         return len(row_updates)
+
+    def take_last_drain(self):
+        """Pop the last drain's ``(row_updates, plans)`` record, if any.
+
+        Consumed by the durability layer right after a successful
+        :meth:`apply_consolidated` (under the apply lock) to frame the
+        drain into the write-ahead log; cleared on read so a later
+        failure can never re-log a stale drain.  Returns None when no
+        unconsumed drain record exists.
+        """
+        drained, self._last_drain = self._last_drain, None
+        return drained
+
+    def restore_version(self, version: int) -> None:
+        """Reset the monotone version counter (crash-restart recovery).
+
+        Called exactly once, by the serving layer, after rebuilding the
+        engine from a durability checkpoint + WAL replay — the restored
+        state *is* the state at ``version``, and every downstream
+        consumer (acks, time travel, the front door's version header)
+        keys off this counter matching the durable history.
+        """
+        self._version = int(version)
 
     def add_node(self) -> int:
         """Grow the node universe by one isolated node; return its id.

@@ -40,6 +40,7 @@ from .config import (
     EXECUTOR_MODES,
     PRECISION_MODES,
     WRITER_MODES,
+    DurabilityConfig,
     FrontDoorConfig,
     ServiceConfig,
     TelemetryConfig,
@@ -68,6 +69,7 @@ __all__ = [
     "ServiceConfig",
     "FrontDoorConfig",
     "TelemetryConfig",
+    "DurabilityConfig",
     "resolve_service_config",
     "QueryRequest",
     "QueryResult",

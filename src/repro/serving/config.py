@@ -243,6 +243,113 @@ class FrontDoorConfig:
 
 
 @dataclass(frozen=True)
+class DurabilityConfig:
+    """Durable-persistence knobs (:mod:`repro.durability`).
+
+    Parameters
+    ----------
+    data_dir:
+        The durability root: WAL segments, checkpoints, manifest, and
+        the single-writer lock all live under this directory.  A dir
+        holding a valid manifest is *restored from* at service
+        construction (the caller's graph/scores seed only a fresh dir).
+    fsync:
+        One of ``always`` / ``interval`` / ``off`` — when appended WAL
+        frames are forced to stable storage.  Every policy flushes to
+        the OS per append, so process death (SIGKILL) loses nothing;
+        the policy only decides exposure to machine/power failure.
+    fsync_interval:
+        Seconds between forced syncs under the ``interval`` policy.
+    checkpoint_interval:
+        Acked drains between checkpoints (the WAL-lag budget a restart
+        must replay).
+    rotate_bytes:
+        WAL segment size before rotation.
+    retain_checkpoints:
+        Checkpoints (and the WAL segments bridging them) kept for
+        time-travel reads; older versions are pruned.
+    svd_history:
+        Write a git_theta-style SVD-truncated summary of each
+        checkpoint interval's factor history (``history.npz``).
+    svd_max_rank, svd_threshold:
+        Truncation knobs for that summary: hard rank cap, and the
+        relative singular-value floor below which components drop.
+    """
+
+    data_dir: str = ""
+    fsync: str = "interval"
+    fsync_interval: float = 0.05
+    checkpoint_interval: int = 64
+    rotate_bytes: int = 4 * 1024 * 1024
+    retain_checkpoints: int = 2
+    svd_history: bool = False
+    svd_max_rank: int = 32
+    svd_threshold: float = 1e-11
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.data_dir, str) and bool(self.data_dir),
+            f"durability data_dir must be a non-empty string: "
+            f"{self.data_dir!r}",
+        )
+        _require(
+            self.fsync in ("always", "interval", "off"),
+            f"unknown fsync policy {self.fsync!r}; expected one of "
+            "('always', 'interval', 'off')",
+        )
+        _require(
+            self.fsync_interval > 0,
+            f"fsync_interval must be positive: {self.fsync_interval!r}",
+        )
+        _require(
+            int(self.checkpoint_interval) >= 1,
+            f"checkpoint_interval must be >= 1: "
+            f"{self.checkpoint_interval!r}",
+        )
+        _require(
+            int(self.rotate_bytes) >= 4096,
+            f"rotate_bytes must be >= 4096: {self.rotate_bytes!r}",
+        )
+        _require(
+            int(self.retain_checkpoints) >= 1,
+            f"retain_checkpoints must be >= 1: "
+            f"{self.retain_checkpoints!r}",
+        )
+        _require(
+            isinstance(self.svd_history, bool),
+            f"svd_history must be a bool: {self.svd_history!r}",
+        )
+        _require(
+            int(self.svd_max_rank) >= 1,
+            f"svd_max_rank must be >= 1: {self.svd_max_rank!r}",
+        )
+        _require(
+            0 < float(self.svd_threshold) < 1,
+            f"svd_threshold must be in (0, 1): {self.svd_threshold!r}",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the exact :meth:`from_dict` input)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DurabilityConfig":
+        """Rebuild from :meth:`to_dict`; unknown keys are an error."""
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"durability config must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown durability config keys: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """The full deployment shape of one :class:`SimRankService`.
 
@@ -273,6 +380,7 @@ class ServiceConfig:
     precision_plan: object = None
     frontdoor: Optional[FrontDoorConfig] = field(default=None)
     telemetry: Optional[TelemetryConfig] = field(default=None)
+    durability: Optional[DurabilityConfig] = field(default=None)
 
     def __post_init__(self) -> None:
         # Delegate damping/iterations validation to SimRankConfig.
@@ -342,6 +450,13 @@ class ServiceConfig:
                 "telemetry must be None or a TelemetryConfig, got "
                 f"{type(self.telemetry).__name__}"
             )
+        if self.durability is not None and not isinstance(
+            self.durability, DurabilityConfig
+        ):
+            raise ConfigError(
+                "durability must be None or a DurabilityConfig, got "
+                f"{type(self.durability).__name__}"
+            )
         if (
             self.precision_plan is not None
             and self.precision != "auto"
@@ -379,7 +494,10 @@ class ServiceConfig:
         payload = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
-            if spec.name in ("frontdoor", "telemetry") and value is not None:
+            if (
+                spec.name in ("frontdoor", "telemetry", "durability")
+                and value is not None
+            ):
                 value = value.to_dict()
             elif spec.name == "precision_plan" and value is not None:
                 to_dict = getattr(value, "to_dict", None)
@@ -407,6 +525,10 @@ class ServiceConfig:
             data["frontdoor"] = FrontDoorConfig.from_dict(data["frontdoor"])
         if isinstance(data.get("telemetry"), dict):
             data["telemetry"] = TelemetryConfig.from_dict(data["telemetry"])
+        if isinstance(data.get("durability"), dict):
+            data["durability"] = DurabilityConfig.from_dict(
+                data["durability"]
+            )
         return cls(**data)
 
     def save(self, path: str) -> None:

@@ -32,6 +32,7 @@ from ..exceptions import (
     EdgeExistsError,
     EdgeNotFoundError,
     GraphError,
+    HistoryUnavailableError,
     NodeNotFoundError,
     PoolUnrecoverableError,
     ProtocolError,
@@ -65,6 +66,7 @@ _REQUIRED_BY_KIND = {
 #: ``SessionNotFoundError``  404
 #: ``NodeNotFoundError``     404
 #: ``EdgeNotFoundError``     404
+#: ``HistoryUnavailableError`` 404
 #: ``EdgeExistsError``       409
 #: ``ProtocolError``         400
 #: ``ConfigError``           400
@@ -80,6 +82,7 @@ ERROR_STATUS: Tuple[Tuple[type, int], ...] = (
     (SessionNotFoundError, 404),
     (NodeNotFoundError, 404),
     (EdgeNotFoundError, 404),
+    (HistoryUnavailableError, 404),
     (EdgeExistsError, 409),
     (ProtocolError, 400),
     (ConfigError, 400),

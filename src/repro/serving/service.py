@@ -37,6 +37,7 @@ import numpy as np
 from ..exceptions import (
     ConfigError,
     DegradedModeError,
+    HistoryUnavailableError,
     PoolUnrecoverableError,
     ServiceClosedError,
 )
@@ -47,6 +48,7 @@ from .config import (  # noqa: F401  (re-exported for compatibility)
     DEGRADED_POLICIES,
     PRECISION_MODES,
     WRITER_MODES,
+    DurabilityConfig,
     ServiceConfig,
     resolve_service_config,
 )
@@ -65,6 +67,20 @@ from .writer import (
 #: passed arguments to :func:`resolve_service_config` (an untouched
 #: default can never conflict with an explicit :class:`ServiceConfig`).
 _UNSET = object()
+
+
+def _coerce_durability(value):
+    """Accept a data-dir string, a wire dict, or a DurabilityConfig."""
+    if value is None or isinstance(value, DurabilityConfig):
+        return value
+    if isinstance(value, str):
+        return DurabilityConfig(data_dir=value)
+    if isinstance(value, dict):
+        return DurabilityConfig.from_dict(value)
+    raise ConfigError(
+        "durability must be a data-dir path, a DurabilityConfig, or a "
+        f"config dict, not {type(value).__name__}"
+    )
 
 
 class SimRankService:
@@ -127,6 +143,16 @@ class SimRankService:
         the in-process executor; the process executor is uniform-dtype
         by design, so a partial plan conservatively serves at the
         plan's ``store_dtype`` there.
+    durability:
+        A data-dir path, a
+        :class:`~repro.serving.config.DurabilityConfig`, or its
+        ``to_dict()`` payload.  When set, the service recovers any
+        state already in the data dir (the recovered graph/scores win
+        over the ``graph``/``initial_scores`` arguments), appends every
+        acked drain to a checksummed write-ahead log before the ack is
+        released, writes periodic checkpoints, and serves time-travel
+        reads (:meth:`score_at`, :meth:`top_k_at`, :meth:`view_at`)
+        over the retained history.
     """
 
     def __init__(
@@ -147,7 +173,10 @@ class SimRankService:
         degraded_policy=_UNSET,
         precision=_UNSET,
         precision_plan=_UNSET,
+        durability=_UNSET,
     ) -> None:
+        if durability is not _UNSET:
+            durability = _coerce_durability(durability)
         legacy = {
             "shard_rows": shard_rows,
             "writer": writer,
@@ -162,6 +191,7 @@ class SimRankService:
             "degraded_policy": degraded_policy,
             "precision": precision,
             "precision_plan": precision_plan,
+            "durability": durability,
         }
         overrides = {
             name: value
@@ -194,42 +224,71 @@ class SimRankService:
         self._closed = False
         self._close_lock = threading.RLock()
         self._drain_listeners: list = []
-        score_dtype = self._precision if self._precision != "auto" else None
-        if self._precision == "auto":
-            plan, initial_scores = self._resolve_precision_plan(
-                cfg.precision_plan,
+        self._durability = None
+        if cfg.durability is not None:
+            from ..durability.manager import DurabilityManager
+
+            self._durability = DurabilityManager(
+                cfg.durability, telemetry=self.telemetry
+            )
+        try:
+            recovered = None
+            if self._durability is not None:
+                # A data dir holding a valid manifest wins over the
+                # caller's graph/scores: the durable history *is* the
+                # service state, restored bit-identical to the last
+                # acked drain.  The arguments seed only a fresh dir.
+                recovered = self._durability.recover()
+                if recovered is not None:
+                    graph = recovered.graph
+                    initial_scores = recovered.scores
+            score_dtype = (
+                self._precision if self._precision != "auto" else None
+            )
+            if self._precision == "auto":
+                plan, initial_scores = self._resolve_precision_plan(
+                    cfg.precision_plan,
+                    graph,
+                    simrank_config,
+                    initial_scores,
+                    cfg.shard_rows,
+                )
+                self._precision_plan = plan
+                score_dtype = plan.store_dtype
+            engine_kwargs = {}
+            if cfg.shard_rows is not None:
+                engine_kwargs["shard_rows"] = cfg.shard_rows
+            self._engine = DynamicSimRank(
                 graph,
                 simrank_config,
-                initial_scores,
-                cfg.shard_rows,
+                algorithm="inc-sr",
+                initial_scores=initial_scores,
+                executor=cfg.executor,
+                workers=cfg.workers,
+                start_method=cfg.start_method,
+                plan_batching=cfg.plan_batching,
+                executor_options=cfg.executor_options,
+                score_dtype=score_dtype,
+                telemetry=self.telemetry,
+                **engine_kwargs,
             )
-            self._precision_plan = plan
-            score_dtype = plan.store_dtype
-        engine_kwargs = {}
-        if cfg.shard_rows is not None:
-            engine_kwargs["shard_rows"] = cfg.shard_rows
-        self._engine = DynamicSimRank(
-            graph,
-            simrank_config,
-            algorithm="inc-sr",
-            initial_scores=initial_scores,
-            executor=cfg.executor,
-            workers=cfg.workers,
-            start_method=cfg.start_method,
-            plan_batching=cfg.plan_batching,
-            executor_options=cfg.executor_options,
-            score_dtype=score_dtype,
-            telemetry=self.telemetry,
-            **engine_kwargs,
-        )
-        if (
-            self._precision_plan is not None
-            and not self._precision_plan.uniform
-            and cfg.executor != "process"
-        ):
-            # Per-shard overrides exist only in-process; the pool is
-            # uniform-dtype (see PrecisionPlan docs).
-            self._precision_plan.apply_to(self._engine.score_store)
+            if (
+                self._precision_plan is not None
+                and not self._precision_plan.uniform
+                and cfg.executor != "process"
+            ):
+                # Per-shard overrides exist only in-process; the pool is
+                # uniform-dtype (see PrecisionPlan docs).
+                self._precision_plan.apply_to(self._engine.score_store)
+            if self._durability is not None:
+                if recovered is not None:
+                    self._engine.restore_version(recovered.version)
+                self._durability.attach(self._engine)
+        except BaseException:
+            # Never leak the data-dir lock on a failed construction.
+            if self._durability is not None:
+                self._durability.close()
+            raise
         self._scheduler = UpdateScheduler()
         self._writer: Optional[BackgroundWriter] = None
         self._degraded_policy = cfg.degraded_policy
@@ -311,6 +370,7 @@ class SimRankService:
             on_fatal=self._on_pool_failure,
             heartbeat=heartbeat,
             on_publish=self._on_writer_publish,
+            on_drained=self._durable_on_drain,
             telemetry=self.telemetry,
             trace_source=self._take_origin_traces,
         )
@@ -347,7 +407,11 @@ class SimRankService:
             try:
                 self.stop_background_writer(drain=drain)
             finally:
-                self._engine.close()
+                try:
+                    self._engine.close()
+                finally:
+                    if self._durability is not None:
+                        self._durability.close()
 
     @property
     def closed(self) -> bool:
@@ -506,7 +570,9 @@ class SimRankService:
         except Exception:
             return None
 
-    def _on_pool_failure(self, exc: BaseException) -> bool:
+    def _on_pool_failure(
+        self, exc: BaseException, defer_resync: bool = False
+    ) -> bool:
         """Handle an unrecoverable pool: fail over or degrade read-only.
 
         Runs under the writer's apply lock (background mode) or on the
@@ -534,6 +600,8 @@ class SimRankService:
                 self._failovers += 1
                 self._last_failover_resumed = resumed
                 flight.record("failover", resumed=resumed)
+                if not defer_resync:
+                    self._durable_resync()
                 return True
         # Degraded-mode entry is one of the flight recorder's three
         # dump triggers: snapshot the last N events for the post-mortem.
@@ -666,6 +734,7 @@ class SimRankService:
                     updates=len(batch),
                     groups=groups,
                 )
+            self._durable_on_drain()
             self._notify_drained(self._engine.version)
             return groups
         except PoolUnrecoverableError as exc:
@@ -707,9 +776,11 @@ class SimRankService:
             if self._writer is not None:
                 with self._writer.apply_lock:
                     node = self._engine.add_node()
+                    self._durable_add_node(node)
                     self._writer.publish()
                 return node
             node = self._engine.add_node()
+            self._durable_add_node(node)
             self._notify_drained(self._engine.version)
             return node
         except PoolUnrecoverableError as exc:
@@ -727,19 +798,71 @@ class SimRankService:
         try:
             if lock is not None:
                 lock.acquire()
-            if not self._on_pool_failure(exc):
+            if not self._on_pool_failure(exc, defer_resync=True):
                 raise exc
             node = self._engine.graph.num_nodes - 1
             store = self._engine.score_store
             while store.num_nodes < self._engine.graph.num_nodes:
                 store.add_node()
             store.set_entry(node, node, 1.0 - self._engine.config.damping)
+            self._durable_resync()
             if self._writer is not None:
                 self._writer.publish()
             return node
         finally:
             if lock is not None:
                 lock.release()
+
+    # -------------------------------------------------------------- #
+    # Durability hooks
+    # -------------------------------------------------------------- #
+
+    def _durable_on_drain(self) -> None:
+        """Append the just-applied drain to the WAL, then maybe checkpoint.
+
+        Runs on the draining thread — under the writer's apply lock in
+        background mode, inline in sync mode — *between* the engine
+        apply and the publish/ack.  Ack-after-append is the durability
+        contract: a version a client observed is a version a restart
+        recovers bit-identically.
+        """
+        if self._durability is None:
+            return
+        drained = self._engine.take_last_drain()
+        if drained is None:
+            return
+        row_updates, plans = drained
+        self._durability.append_drain(
+            self._engine.version, row_updates, plans
+        )
+        self._durability.maybe_checkpoint(self._engine)
+
+    def _durable_add_node(self, node: int) -> None:
+        """WAL one live node arrival (same ack-after-append seam)."""
+        if self._durability is None:
+            return
+        self._durability.append_add_node(
+            self._engine.version, node, self._engine.graph.num_nodes
+        )
+        self._durability.maybe_checkpoint(self._engine)
+
+    def _durable_resync(self) -> None:
+        """Re-anchor the log after an in-process failover.
+
+        Journal replay re-derived the live state outside the WAL seam,
+        so the stale last-drain record (if any) is dropped and a full
+        checkpoint recaptures and rotates — see
+        :meth:`~repro.durability.manager.DurabilityManager.resync`.
+        """
+        if self._durability is None:
+            return
+        self._engine.take_last_drain()  # stale: replay bypassed the seam
+        self._durability.resync(self._engine)
+
+    @property
+    def durability(self):
+        """The :class:`DurabilityManager`, or None when not configured."""
+        return self._durability
 
     # -------------------------------------------------------------- #
     # Read path
@@ -819,6 +942,39 @@ class SimRankService:
             return self._degraded_read_view().top_k(
                 k, include_self=include_self
             )
+
+    def view_at(self, version: int) -> SnapshotView:
+        """Pin a historical version as an immutable snapshot.
+
+        ``version`` must be the live version (served directly) or one
+        reachable from a retained checkpoint plus WAL replay; anything
+        older than the retention horizon (or newer than the live state)
+        raises :class:`~repro.exceptions.HistoryUnavailableError`.
+        Requires durability to be configured.
+        """
+        self._ensure_open()
+        version = int(version)
+        live = self._engine.version
+        if version == live:
+            return self.snapshot()
+        if version > live:
+            raise HistoryUnavailableError(
+                f"version {version} is in the future (live version is "
+                f"{live})"
+            )
+        if self._durability is None:
+            raise HistoryUnavailableError(
+                "time-travel reads need durability= configured"
+            )
+        return self._durability.view_at(version, self._engine.config)
+
+    def score_at(self, node_a: int, node_b: int, version: int) -> float:
+        """One pair's score as of ``version`` (time-travel read)."""
+        return self.view_at(version).similarity(node_a, node_b)
+
+    def top_k_at(self, k: int, version: int, include_self: bool = False):
+        """Top-``k`` pairs as of ``version`` (time-travel read)."""
+        return self.view_at(version).top_k(k, include_self=include_self)
 
     def query(self, request: Union[QueryRequest, dict]) -> QueryResult:
         """Run one typed :class:`QueryRequest` and wrap the answer.
@@ -920,6 +1076,11 @@ class SimRankService:
                 "floor_invalidations": index.stats.floor_invalidations,
                 "dirty_shards": index.dirty_shards(),
             }
+        report["durability"] = (
+            self._durability.report()
+            if self._durability is not None
+            else {"enabled": False}
+        )
         # New section only — every pre-telemetry key above is unchanged
         # (asserted by tests/test_telemetry.py).
         report["telemetry"] = self.telemetry.report()

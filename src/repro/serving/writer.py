@@ -173,6 +173,7 @@ class BackgroundWriter:
         heartbeat=None,
         heartbeat_interval: float = 1.0,
         on_publish=None,
+        on_drained=None,
         telemetry=None,
         trace_source=None,
     ) -> None:
@@ -237,6 +238,9 @@ class BackgroundWriter:
         self._error: Optional[BaseException] = None
         self.on_fatal = on_fatal
         self.on_publish = on_publish
+        #: Fires between the engine apply and the publish, still under
+        #: the apply lock — the service's WAL-append-before-ack seam.
+        self.on_drained = on_drained
         self.heartbeat = heartbeat
         self.heartbeat_interval = float(heartbeat_interval)
         self._last_heartbeat = 0.0
@@ -548,6 +552,8 @@ class BackgroundWriter:
         try:
             with self._apply_lock:
                 groups = self._engine.apply_consolidated(batch)
+                if self.on_drained is not None:
+                    self.on_drained()
                 self.publish()
         except Exception as exc:
             # Pause instead of spinning on the same poison batch; see

@@ -17,11 +17,17 @@ Dump files are named ``flight-<pid>-<reason>-<seq>.json`` and contain::
       "reason": "quarantine",
       "pid": 12345,
       "dumped_at": 1754650000.123,
+      "context": {"durable_version": 41, "wal_offset": 18204, ...},
       "events": [
         {"time": ..., "kind": "drain", "fields": {...}},
         ...
       ]
     }
+
+``context`` holds slow-changing facts layers push with
+:meth:`FlightRecorder.set_context` — e.g. the durability layer's last
+durable version and WAL byte offset — so a dump pins *where the
+on-disk history ends* next to the events that led to the failure.
 
 Dumping is best-effort: an unwritable directory must never turn a
 handled worker crash into a parent crash, so I/O errors are swallowed
@@ -62,6 +68,16 @@ class FlightRecorder:
         self.events_recorded = 0
         self.dumps = 0
         self.dump_errors = 0
+        self._context: Dict = {}
+
+    def set_context(self, **fields) -> None:
+        """Merge slow-changing facts into every future dump's payload."""
+        if not self.enabled:
+            return
+        self._context.update(fields)
+
+    def context(self) -> Dict:
+        return dict(self._context)
 
     def record(self, kind: str, **fields) -> None:
         """Append one event to the ring (lock-free hot path)."""
@@ -91,6 +107,7 @@ class FlightRecorder:
             "reason": reason,
             "pid": os.getpid(),
             "dumped_at": time.time(),
+            "context": self.context(),
             "events": self.events(),
         }
         name = f"flight-{os.getpid()}-{reason}-{seq}.json"
@@ -131,6 +148,12 @@ class NullFlightRecorder:
 
     def record(self, kind: str, **fields) -> None:
         pass
+
+    def set_context(self, **fields) -> None:
+        pass
+
+    def context(self) -> Dict:
+        return {}
 
     def events(self) -> List[Dict]:
         return []

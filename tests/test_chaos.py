@@ -355,7 +355,9 @@ class TestFlightRecorder:
                     "pid",
                     "dumped_at",
                     "events",
+                    "context",
                 }
+                assert isinstance(payload["context"], dict)
                 assert isinstance(payload["events"], list)
                 for event in payload["events"]:
                     assert set(event) == {"time", "kind", "fields"}

@@ -356,6 +356,7 @@ class TestServiceIntegration:
                 "precision",
                 "degraded",
                 "telemetry",
+                "durability",
             }
             assert set(report["scheduler"]) == {
                 "submitted",
